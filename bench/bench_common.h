@@ -1,0 +1,50 @@
+// Shared helpers for the reproduction benches: argument handling and
+// table/CDF printing in the shape the paper reports.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace pbecc::bench {
+
+// Flow length for end-to-end benches: `--seconds N` overrides the default
+// (the paper uses 20 s flows; shorter runs keep the full suite quick).
+inline util::Duration flow_seconds(int argc, char** argv,
+                                   int default_seconds) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--seconds") == 0) {
+      return std::atoi(argv[i + 1]) * util::kSecond;
+    }
+  }
+  return default_seconds * util::kSecond;
+}
+
+inline void header(const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("================================================================\n");
+}
+
+// Order statistics row in the paper's Fig 13/14 style.
+inline void print_order_stats(const char* label, const util::SampleSet& s) {
+  std::printf("%-8s p10=%8.1f p25=%8.1f p50=%8.1f p75=%8.1f p90=%8.1f\n",
+              label, s.percentile(10), s.percentile(25), s.percentile(50),
+              s.percentile(75), s.percentile(90));
+}
+
+// Compact CDF: value at each decile.
+inline void print_cdf(const char* label, const util::SampleSet& s) {
+  std::printf("%-22s:", label);
+  for (int p = 10; p <= 100; p += 10) {
+    std::printf(" %7.1f", s.percentile(p));
+  }
+  std::printf("  (deciles 10..100)\n");
+}
+
+}  // namespace pbecc::bench

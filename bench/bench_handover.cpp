@@ -1,0 +1,55 @@
+// Handover extension bench (the paper's §1 argument against base-station-
+// centric designs: "In the event of a handover between cell towers, ABC
+// would need to migrate state").
+//
+// A PBE-CC flow rides through an inter-site handover: the serving cell
+// changes mid-flow, in-flight HARQ blocks are dropped (no forwarding), and
+// the client — whose decoders already watch the neighbor list — re-runs
+// its fair-share approach on the new primary without any server-side
+// state migration.
+#include "bench/bench_common.h"
+#include "sim/scenario.h"
+
+using namespace pbecc;
+
+int main() {
+  bench::header("Extension: inter-site handover (endpoint keeps all the state)");
+
+  std::printf("\n  %-8s %12s %12s %12s %14s\n", "algo", "tput(Mb)",
+              "p50-d(ms)", "p95-d(ms)", "lost packets");
+  for (const std::string algo : {"pbe", "abc", "bbr"}) {
+    sim::ScenarioConfig cfg;
+    cfg.seed = 77;
+    cfg.cells = {{10.0, 0.02}, {10.0, 0.02}};
+    sim::Scenario s{cfg};
+    sim::UeSpec ue;
+    ue.cell_indices = {0, 1};  // phone tracks both cells (neighbor list)
+    // Keep CA off so the handover is a clean primary switch.
+    ue.ca.activation_queue_bytes = 1 << 30;
+    ue.ca.activation_utilization = 2.0;
+    s.add_ue(ue);
+    sim::FlowSpec fs;
+    fs.algo = algo;
+    fs.stop = 20 * util::kSecond;
+    const int f = s.add_flow(fs);
+
+    // Ping-pong handovers at 5, 10 and 15 seconds.
+    s.run_until(5 * util::kSecond);
+    s.bs().handover(1, {2});
+    s.run_until(10 * util::kSecond);
+    s.bs().handover(1, {1});
+    s.run_until(15 * util::kSecond);
+    s.bs().handover(1, {2});
+    s.run_until(20 * util::kSecond);
+    s.stats(f).finish(fs.stop);
+
+    std::printf("  %-8s %12.1f %12.1f %12.1f %14llu\n", algo.c_str(),
+                s.stats(f).avg_tput_mbps(), s.stats(f).median_delay_ms(),
+                s.stats(f).p95_delay_ms(),
+                static_cast<unsigned long long>(s.sender(f).total_lost_packets()));
+  }
+  std::printf("\n  Expected: PBE-CC re-ramps on each new primary within ~3 RTTs\n"
+              "  and keeps delay near the floor; losses are limited to the\n"
+              "  HARQ blocks in flight at the instant of each handover.\n");
+  return 0;
+}

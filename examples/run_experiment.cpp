@@ -1,0 +1,127 @@
+// Pantheon-style experiment runner: the paper evaluates algorithms by
+// running each over the same emulated link and recording per-packet
+// delays and windowed throughput (§6.1). This tool does the same from the
+// command line and can emit machine-readable CSV for plotting.
+//
+//   run_experiment [options]
+//     --algo NAME        pbe|abc|bbr|cubic|copa|verus|sprout|pcc|vivace|all
+//     --location IDX     location profile 0..39 (default 2)
+//     --seconds N        flow length (default 12)
+//     --seed N           override the location's seed
+//     --csv FILE         append one summary row per run to FILE
+//     --timeseries FILE  write 100 ms window throughput series to FILE
+//
+//   ./build/examples/run_experiment --algo all --location 31 --csv out.csv
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/algorithms.h"
+#include "sim/location.h"
+
+using namespace pbecc;
+
+namespace {
+
+struct Options {
+  std::string algo = "pbe";
+  int location = 2;
+  int seconds = 12;
+  std::uint64_t seed = 0;  // 0 = location default
+  std::string csv;
+  std::string timeseries;
+};
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const auto need = [&](const char* flag) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (!std::strcmp(argv[i], "--algo")) {
+      o.algo = need("--algo");
+    } else if (!std::strcmp(argv[i], "--location")) {
+      o.location = std::atoi(need("--location"));
+    } else if (!std::strcmp(argv[i], "--seconds")) {
+      o.seconds = std::atoi(need("--seconds"));
+    } else if (!std::strcmp(argv[i], "--seed")) {
+      o.seed = static_cast<std::uint64_t>(std::atoll(need("--seed")));
+    } else if (!std::strcmp(argv[i], "--csv")) {
+      o.csv = need("--csv");
+    } else if (!std::strcmp(argv[i], "--timeseries")) {
+      o.timeseries = need("--timeseries");
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      std::exit(2);
+    }
+  }
+  if (o.location < 0 || o.location >= sim::kNumLocations) {
+    std::fprintf(stderr, "location must be 0..%d\n", sim::kNumLocations - 1);
+    std::exit(2);
+  }
+  return o;
+}
+
+void run_one(const Options& o, const std::string& algo) {
+  auto loc = sim::location(o.location);
+  if (o.seed != 0) loc.seed = o.seed;
+  const auto r = sim::run_location(loc, algo, o.seconds * util::kSecond);
+
+  std::printf("%-8s %s  tput %.2f Mbit/s  delay p50 %.1f / avg %.1f / "
+              "p95 %.1f ms  CA=%s\n",
+              algo.c_str(), loc.describe().c_str(), r.avg_tput_mbps,
+              r.median_delay_ms, r.avg_delay_ms, r.p95_delay_ms,
+              r.ca_triggered ? "yes" : "no");
+
+  if (!o.csv.empty()) {
+    FILE* f = std::fopen(o.csv.c_str(), "a");
+    if (!f) {
+      std::perror("csv open");
+      std::exit(1);
+    }
+    // Header for new files.
+    if (std::ftell(f) == 0) {
+      std::fprintf(f, "algo,location,seconds,seed,tput_mbps,delay_p50_ms,"
+                      "delay_avg_ms,delay_p95_ms,ca_triggered,"
+                      "internet_state_fraction\n");
+    }
+    std::fprintf(f, "%s,%d,%d,%llu,%.3f,%.2f,%.2f,%.2f,%d,%.4f\n",
+                 algo.c_str(), o.location, o.seconds,
+                 static_cast<unsigned long long>(loc.seed), r.avg_tput_mbps,
+                 r.median_delay_ms, r.avg_delay_ms, r.p95_delay_ms,
+                 r.ca_triggered ? 1 : 0, r.internet_state_fraction);
+    std::fclose(f);
+  }
+
+  if (!o.timeseries.empty()) {
+    FILE* f = std::fopen(o.timeseries.c_str(), "a");
+    if (!f) {
+      std::perror("timeseries open");
+      std::exit(1);
+    }
+    const auto wins = r.window_tputs.samples();
+    for (std::size_t i = 0; i < wins.size(); ++i) {
+      std::fprintf(f, "%s,%d,%.1f,%.3f\n", algo.c_str(), o.location,
+                   0.1 * static_cast<double>(i), wins[i]);
+    }
+    std::fclose(f);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+  if (o.algo == "all") {
+    for (const auto& a : sim::all_algorithms()) run_one(o, a);
+  } else {
+    run_one(o, o.algo);
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// CUBIC (Ha, Rhee, Xu — SIGOPS OSR 2008), the Linux default loss-based
+// controller the paper compares against.
+//
+// Window growth W(t) = C (t - K)^3 + Wmax with K = cbrt(Wmax * beta / C),
+// multiplicative decrease by beta on loss, fast convergence, and the
+// TCP-friendly (Reno-tracking) region. Loss-based: it fills whatever
+// buffer the bottleneck has, which on cellular links is exactly the
+// bufferbloat behaviour the paper's Figs 13-14 show.
+#pragma once
+
+#include "net/congestion_controller.h"
+
+namespace pbecc::baselines {
+
+struct CubicConfig {
+  double c = 0.4;            // scaling constant (segments/sec^3)
+  double beta = 0.7;         // multiplicative decrease factor
+  bool fast_convergence = true;
+  std::int32_t mss = net::kDefaultMss;
+  double initial_cwnd_segments = 10;
+  // Pacing headroom over cwnd/srtt so the window, not the pacer, limits.
+  double pacing_gain = 1.25;
+};
+
+class Cubic : public net::CongestionController {
+ public:
+  explicit Cubic(CubicConfig cfg = {});
+
+  void on_ack(const net::AckSample& s) override;
+  void on_loss(const net::LossSample& s) override;
+
+  util::RateBps pacing_rate(util::Time now) const override;
+  double cwnd_bytes(util::Time now) const override;
+  std::string name() const override { return "cubic"; }
+
+  double cwnd_segments() const { return cwnd_; }
+
+ private:
+  double cubic_window(double t_sec) const;
+  void enter_recovery(util::Time now);
+
+  CubicConfig cfg_;
+  double cwnd_;           // in segments
+  double ssthresh_ = 1e9; // in segments
+  double w_max_ = 0;
+  double w_last_max_ = 0;
+  util::Time epoch_start_ = -1;
+  double k_ = 0;
+  double w_tcp_ = 0;      // TCP-friendly estimate
+  util::Duration srtt_ = 100 * util::kMillisecond;
+  util::Time recovery_until_ = 0;
+};
+
+}  // namespace pbecc::baselines

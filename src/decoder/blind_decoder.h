@@ -1,0 +1,54 @@
+// Blind control-channel decoder — the endpoint measurement front end.
+//
+// This replaces the paper's USRP+srsLTE decoder (§5): "each decoder decodes
+// the control channel by searching every possible message position inside
+// the control channel of one subframe and trying all possible formats at
+// each location until finding the correct message." We do exactly that
+// over the synthetic PDCCH: for every aggregation level (8/4/2/1), every
+// aligned candidate position, and every DCI format, majority-vote the
+// repetition-coded bits and validate the RNTI-masked CRC plus structural
+// field checks. Decoding runs on the *noisy* control region, so weak
+// channels genuinely lose messages.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phy/cell_config.h"
+#include "phy/dci.h"
+#include "phy/pdcch.h"
+
+namespace pbecc::decoder {
+
+struct DecodeStats {
+  std::uint64_t candidates_tried = 0;
+  std::uint64_t crc_failures = 0;
+  std::uint64_t messages_decoded = 0;
+};
+
+class BlindDecoder {
+ public:
+  explicit BlindDecoder(phy::CellConfig cell) : cell_(cell) {}
+
+  // All DCI messages recovered from one subframe's control region.
+  std::vector<phy::Dci> decode(const phy::PdcchSubframe& sf);
+
+  const DecodeStats& stats() const { return stats_; }
+  const phy::CellConfig& cell() const { return cell_; }
+
+ private:
+  // Majority-vote the repetitions of a msg_bits-long message stored in
+  // `n_cces` CCEs starting at `first_cce`.
+  util::BitVec majority_decode(const phy::PdcchSubframe& sf, int first_cce,
+                               int n_cces, int msg_bits) const;
+
+  // Re-encoding agreement check (path-metric stand-in): true when the
+  // candidate message is consistent with >=97% of the raw region bits.
+  bool region_agrees(const phy::PdcchSubframe& sf, int first_cce, int n_cces,
+                     const util::BitVec& msg) const;
+
+  phy::CellConfig cell_;
+  DecodeStats stats_;
+};
+
+}  // namespace pbecc::decoder

@@ -1,0 +1,35 @@
+#include "decoder/message_fusion.h"
+
+namespace pbecc::decoder {
+
+void MessageFusion::on_decoded(phy::CellId cell, std::int64_t sf_index,
+                               std::vector<phy::Dci> messages) {
+  pending_[sf_index][cell] = std::move(messages);
+  if (pending_[sf_index].size() == expected_.size()) {
+    flush_through(sf_index);
+  } else {
+    // Emit any older, incomplete subframes — a decoder that skipped one
+    // must not stall the pipeline (capacity estimates are time-critical).
+    flush_through(sf_index - 1);
+  }
+}
+
+void MessageFusion::flush_through(std::int64_t sf_index) {
+  auto it = pending_.begin();
+  while (it != pending_.end() && it->first <= sf_index) {
+    FusedSubframe fused;
+    fused.sf_index = it->first;
+    for (phy::CellId c : expected_) {
+      CellMessages cm;
+      cm.cell = c;
+      if (auto found = it->second.find(c); found != it->second.end()) {
+        cm.messages = std::move(found->second);
+      }
+      fused.cells.push_back(std::move(cm));
+    }
+    out_(fused);
+    it = pending_.erase(it);
+  }
+}
+
+}  // namespace pbecc::decoder

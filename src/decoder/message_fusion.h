@@ -1,0 +1,52 @@
+// Message Fusion (paper Fig 10a): aligns the decoded control messages from
+// multiple per-cell decoders by subframe index and hands the congestion
+// control module one consolidated view per subframe.
+//
+// Decoders may report cells in any order within a subframe; fusion emits a
+// subframe once every registered cell has reported it (or, if a decoder
+// misses a subframe entirely, when the next subframe completes).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "phy/cell_config.h"
+#include "phy/dci.h"
+
+namespace pbecc::decoder {
+
+struct CellMessages {
+  phy::CellId cell = 0;
+  std::vector<phy::Dci> messages;
+};
+
+struct FusedSubframe {
+  std::int64_t sf_index = 0;
+  std::vector<CellMessages> cells;  // one entry per registered cell
+};
+
+class MessageFusion {
+ public:
+  using Output = std::function<void(const FusedSubframe&)>;
+
+  explicit MessageFusion(Output out) : out_(std::move(out)) {}
+
+  void register_cell(phy::CellId cell) { expected_.push_back(cell); }
+  std::size_t num_cells() const { return expected_.size(); }
+
+  // Feed one cell's decode result for one subframe.
+  void on_decoded(phy::CellId cell, std::int64_t sf_index,
+                  std::vector<phy::Dci> messages);
+
+ private:
+  void flush_through(std::int64_t sf_index);
+
+  Output out_;
+  std::vector<phy::CellId> expected_;
+  // sf_index -> per-cell messages collected so far.
+  std::map<std::int64_t, std::map<phy::CellId, std::vector<phy::Dci>>> pending_;
+};
+
+}  // namespace pbecc::decoder

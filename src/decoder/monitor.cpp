@@ -1,0 +1,49 @@
+#include "decoder/monitor.h"
+
+namespace pbecc::decoder {
+
+Monitor::Monitor(phy::Rnti own_rnti, std::vector<phy::CellConfig> cells,
+                 Output out, ControlBerFn ber_fn,
+                 UserTrackerConfig tracker_cfg, std::uint64_t seed)
+    : own_rnti_(own_rnti), out_(std::move(out)), ber_fn_(std::move(ber_fn)),
+      rng_(seed) {
+  fusion_ = std::make_unique<MessageFusion>([this](const FusedSubframe& fused) {
+    std::vector<CellObservation> obs;
+    obs.reserve(fused.cells.size());
+    for (const auto& cm : fused.cells) {
+      CellObservation o;
+      o.cell = cm.cell;
+      o.sf_index = fused.sf_index;
+      o.cell_prbs = cell_prbs_.at(cm.cell);
+      o.summary = trackers_.at(cm.cell)->on_subframe(fused.sf_index,
+                                                     cm.messages, own_rnti_);
+      obs.push_back(o);
+    }
+    out_(obs);
+  });
+  for (const auto& c : cells) {
+    decoders_.emplace(c.id, std::make_unique<BlindDecoder>(c));
+    trackers_.emplace(c.id, std::make_unique<UserTracker>(c.n_prbs(), tracker_cfg));
+    cell_prbs_[c.id] = c.n_prbs();
+    fusion_->register_cell(c.id);
+  }
+}
+
+void Monitor::on_pdcch(const phy::PdcchSubframe& sf) {
+  auto dit = decoders_.find(sf.cell_id);
+  if (dit == decoders_.end()) return;
+
+  // The monitor receives the control region over its own radio channel.
+  phy::PdcchSubframe noisy = sf;
+  if (ber_fn_) {
+    const double ber = ber_fn_(sf.cell_id);
+    phy::apply_bit_noise(noisy, ber, rng_);
+  }
+  fusion_->on_decoded(sf.cell_id, sf.sf_index, dit->second->decode(noisy));
+}
+
+void Monitor::set_tracker_window(util::Duration w) {
+  for (auto& [id, t] : trackers_) t->set_window(w);
+}
+
+}  // namespace pbecc::decoder

@@ -1,0 +1,67 @@
+// The complete endpoint measurement module: per-cell blind decoders (fed
+// with the monitor's own noisy copy of each control region), message
+// fusion, and per-cell user trackers — the full pipeline of paper Fig 10a,
+// ending in the per-subframe cell observations the capacity estimator
+// consumes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "decoder/blind_decoder.h"
+#include "decoder/message_fusion.h"
+#include "decoder/user_tracker.h"
+#include "phy/pdcch.h"
+#include "util/rng.h"
+
+namespace pbecc::decoder {
+
+// One cell's digest for one subframe, after decode + fusion + tracking.
+struct CellObservation {
+  phy::CellId cell = 0;
+  std::int64_t sf_index = 0;
+  int cell_prbs = 0;
+  UserTracker::SubframeSummary summary{};
+};
+
+class Monitor {
+ public:
+  using Output = std::function<void(const std::vector<CellObservation>&)>;
+
+  // `control_ber` is evaluated per subframe per cell to noise the monitor's
+  // copy of the control region (0 = clean).
+  using ControlBerFn = std::function<double(phy::CellId)>;
+
+  Monitor(phy::Rnti own_rnti, std::vector<phy::CellConfig> cells,
+          Output out, ControlBerFn ber_fn = {},
+          UserTrackerConfig tracker_cfg = {}, std::uint64_t seed = 99);
+
+  // Feed a (clean) control region broadcast from the base station; the
+  // monitor applies its own reception noise before decoding. Cells the
+  // monitor is not configured for are ignored (it only runs decoders for
+  // the aggregated cells of its own UE, as in the paper's prototype).
+  void on_pdcch(const phy::PdcchSubframe& sf);
+
+  // RTprop changes adjust the activity window (paper averages over the
+  // most recent RTprop of subframes).
+  void set_tracker_window(util::Duration w);
+
+  const UserTracker& tracker(phy::CellId cell) const { return *trackers_.at(cell); }
+  const BlindDecoder& decoder(phy::CellId cell) const { return *decoders_.at(cell); }
+  bool has_cell(phy::CellId cell) const { return decoders_.contains(cell); }
+
+ private:
+  phy::Rnti own_rnti_;
+  Output out_;
+  ControlBerFn ber_fn_;
+  std::map<phy::CellId, std::unique_ptr<BlindDecoder>> decoders_;
+  std::map<phy::CellId, std::unique_ptr<UserTracker>> trackers_;
+  std::map<phy::CellId, int> cell_prbs_;
+  std::unique_ptr<MessageFusion> fusion_;
+  util::Rng rng_;
+};
+
+}  // namespace pbecc::decoder

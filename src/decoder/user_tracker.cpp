@@ -1,0 +1,82 @@
+#include "decoder/user_tracker.h"
+
+#include <algorithm>
+
+namespace pbecc::decoder {
+
+void UserTracker::expire(std::int64_t current_sf) {
+  const auto window_sf = cfg_.window / util::kSubframe;
+  while (!history_.empty() && history_.front().sf <= current_sf - window_sf) {
+    const auto& o = history_.front();
+    auto it = users_.find(o.rnti);
+    if (it != users_.end()) {
+      it->second.active_subframes -= 1;
+      it->second.average_prbs -= o.prbs;  // holds the *sum* internally
+      if (it->second.active_subframes <= 0) users_.erase(it);
+    }
+    history_.pop_front();
+  }
+}
+
+UserTracker::SubframeSummary UserTracker::on_subframe(
+    std::int64_t sf_index, const std::vector<phy::Dci>& messages,
+    phy::Rnti own_rnti) {
+  expire(sf_index);
+
+  SubframeSummary s;
+  for (const auto& dci : messages) {
+    if (!dci.is_downlink()) continue;  // uplink grants don't consume DL PRBs
+    s.allocated_prbs += dci.n_prbs;
+    if (dci.rnti == own_rnti) {
+      s.own_prbs += dci.n_prbs;
+      s.own_bits_per_prb = dci.mcs.bits_per_prb();
+    }
+    history_.push_back({sf_index, dci.rnti, dci.n_prbs});
+    auto& u = users_[dci.rnti];
+    u.rnti = dci.rnti;
+    u.active_subframes += 1;
+    u.average_prbs += dci.n_prbs;  // sum; divided out on read
+    u.last_seen_sf = sf_index;
+  }
+
+  s.idle_prbs = std::max(0, cell_prbs_ - s.allocated_prbs);
+  s.raw_active_users = static_cast<int>(users_.size());
+  s.data_users = data_users(own_rnti);
+  return s;
+}
+
+bool UserTracker::passes_filter(const UserActivity& a, phy::Rnti own_rnti,
+                                phy::Rnti candidate) const {
+  if (candidate == own_rnti) return true;  // we are always a data user
+  if (a.active_subframes < cfg_.min_active_subframes) return false;
+  const double pave =
+      a.average_prbs / std::max(1, a.active_subframes);  // sum -> mean
+  return pave > cfg_.min_average_prbs;
+}
+
+int UserTracker::data_users(phy::Rnti own_rnti) const {
+  int n = 0;
+  bool own_seen = false;
+  for (const auto& [rnti, a] : users_) {
+    if (passes_filter(a, own_rnti, rnti)) ++n;
+    if (rnti == own_rnti) own_seen = true;
+  }
+  // We share the cell even when momentarily unscheduled: count ourselves.
+  if (!own_seen) ++n;
+  return n;
+}
+
+int UserTracker::raw_users() const { return static_cast<int>(users_.size()); }
+
+std::vector<UserActivity> UserTracker::activity() const {
+  std::vector<UserActivity> out;
+  out.reserve(users_.size());
+  for (const auto& [rnti, a] : users_) {
+    UserActivity ua = a;
+    ua.average_prbs = a.average_prbs / std::max(1, a.active_subframes);
+    out.push_back(ua);
+  }
+  return out;
+}
+
+}  // namespace pbecc::decoder

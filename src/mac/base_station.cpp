@@ -1,0 +1,400 @@
+#include "mac/base_station.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "phy/error_model.h"
+#include "phy/transport_block.h"
+
+namespace pbecc::mac {
+
+BaseStation::BaseStation(net::EventLoop& loop,
+                         std::vector<phy::CellConfig> cells,
+                         BaseStationConfig cfg)
+    : loop_(loop), cfg_(std::move(cfg)), cell_cfgs_(std::move(cells)),
+      rng_(cfg_.seed) {
+  if (cell_cfgs_.empty()) throw std::invalid_argument("base station needs >=1 cell");
+  for (const auto& c : cell_cfgs_) {
+    ControlTrafficConfig ctrl_cfg = cfg_.control_traffic;
+    ctrl_cfg.seed = rng_.next_u64();
+    cells_.push_back(CellState{c, make_scheduler(cfg_.scheduler),
+                               ControlTrafficGenerator{ctrl_cfg}});
+  }
+}
+
+void BaseStation::add_ue(const UeConfig& cfg, DeliveryHandler deliver) {
+  if (ues_.contains(cfg.id)) throw std::invalid_argument("duplicate UE id");
+  if (cfg.aggregated_cells.empty()) {
+    throw std::invalid_argument("UE needs at least one aggregated cell");
+  }
+  UeState st{
+      .cfg = cfg,
+      .queue = {},
+      .queue_bytes = 0,
+      .head_bits_sent = 0,
+      .next_tb_seq = 0,
+      .reorder = nullptr,
+      .harq = {},
+      .channels = {},
+      .ch_now = {},
+      .ca = CaManager{cfg.aggregated_cells, cfg.ca},
+      .newest_secondary_prbs_this_sf = 0,
+      .total_prbs_this_sf = 0,
+      .last_served = {},
+      .explicit_rate_bps = 0,
+  };
+  delivery_[cfg.id] = std::move(deliver);
+  const UeId id = cfg.id;
+  st.reorder = std::make_unique<ReorderingBuffer>(
+      [this, id](net::Packet pkt) { delivery_.at(id)(std::move(pkt)); });
+  for (phy::CellId c : cfg.aggregated_cells) {
+    phy::ChannelConfig chc = cfg.channel;
+    // Independent fading per carrier, same mobility trace.
+    chc.seed = cfg.channel.seed * 1000003ULL + c;
+    st.channels.emplace(c, phy::ChannelModel{chc});
+    st.harq.emplace(c, HarqEntity{});
+  }
+  ues_.emplace(id, std::move(st));
+}
+
+void BaseStation::enqueue(UeId ue, net::Packet pkt) {
+  auto& st = ues_.at(ue);
+  if (st.queue_bytes + pkt.bytes > st.cfg.queue_capacity_bytes) {
+    if (drop_handler_) drop_handler_(ue, pkt);
+    return;  // per-user buffer overflow: droptail
+  }
+  pkt.bs_enqueue_time = loop_.now();
+  st.queue_bytes += pkt.bytes;
+  st.queue.push_back(std::move(pkt));
+}
+
+void BaseStation::start() {
+  if (started_) return;
+  started_ = true;
+  loop_.schedule_at(util::subframe_start(sf_index_ + 1) , [this] { tick(); });
+}
+
+std::int64_t BaseStation::backlog_bits(const UeState& ue) const {
+  return ue.queue_bytes * 8 - ue.head_bits_sent;
+}
+
+void BaseStation::tick() {
+  sf_index_ = util::subframe_index(loop_.now());
+
+  // Sample every UE's channel on every aggregated cell once per subframe.
+  for (auto& [id, ue] : ues_) {
+    ue.newest_secondary_prbs_this_sf = 0;
+    ue.total_prbs_this_sf = 0;
+    for (auto& [cell, model] : ue.channels) {
+      ue.ch_now[cell] = model.sample(loop_.now());
+    }
+  }
+
+  for (auto& cell : cells_) run_cell(cell);
+  update_explicit_rates();
+
+  // Carrier aggregation updates (take effect next subframe).
+  for (auto& [id, ue] : ues_) {
+    int serving_capacity = 0;
+    for (phy::CellId c : ue.ca.active_cells()) {
+      for (const auto& cc : cell_cfgs_) {
+        if (cc.id == c) serving_capacity += cc.n_prbs();
+      }
+    }
+    ue.ca.on_subframe(loop_.now(), ue.queue_bytes,
+                      ue.newest_secondary_prbs_this_sf, ue.total_prbs_this_sf,
+                      serving_capacity);
+  }
+
+  loop_.schedule_at(util::subframe_start(sf_index_ + 1), [this] { tick(); });
+}
+
+void BaseStation::run_cell(CellState& cell) {
+  const int total_prbs = cell.cfg.n_prbs();
+  int prbs_left = total_prbs;
+  int prb_cursor = 0;
+  phy::PdcchBuilder pdcch(cell.cfg, sf_index_);
+  AllocationRecord record;
+  record.cell = cell.cfg.id;
+  record.sf_index = sf_index_;
+
+  // --- 1. HARQ retransmissions due in this subframe.
+  struct PendingTx {
+    UeState* ue;
+    std::uint8_t harq_id;
+    bool is_retx;
+    TransportBlock tb;  // only for new TBs; retx uses the stored block
+  };
+  std::vector<PendingTx> transmissions;
+
+  for (auto& [id, ue] : ues_) {
+    auto hit = ue.harq.find(cell.cfg.id);
+    if (hit == ue.harq.end()) continue;
+    for (std::uint8_t proc : hit->second.retx_due(sf_index_)) {
+      const TransportBlock& tb = hit->second.block(proc);
+      if (tb.n_prbs > prbs_left) continue;  // postponed to next subframe
+      phy::Dci dci;
+      dci.rnti = ue.cfg.rnti;
+      dci.format = tb.mcs.n_streams == 2 ? phy::DciFormat::kFormat2
+                                         : phy::DciFormat::kFormat1;
+      dci.prb_start = static_cast<std::uint16_t>(prb_cursor);
+      dci.n_prbs = static_cast<std::uint16_t>(tb.n_prbs);
+      dci.mcs = tb.mcs;
+      dci.harq_id = proc;
+      dci.new_data = false;  // NDI not toggled: retransmission
+      const double sinr = ue.ch_now.at(cell.cfg.id).sinr_db;
+      if (!pdcch.add_escalating(dci, phy::aggregation_level_for_sinr(sinr))) continue;
+      prbs_left -= tb.n_prbs;
+      prb_cursor += tb.n_prbs;
+      record.retx_prbs += tb.n_prbs;
+      ue.total_prbs_this_sf += tb.n_prbs;
+      transmissions.push_back({&ue, proc, true, {}});
+    }
+  }
+
+  // --- 2. Control-plane grants.
+  for (const auto& grant : cell.control.tick(sf_index_)) {
+    if (grant.n_prbs > prbs_left) break;
+    phy::Dci dci;
+    dci.rnti = grant.rnti;
+    dci.format = phy::DciFormat::kFormat1A;
+    dci.prb_start = static_cast<std::uint16_t>(prb_cursor);
+    dci.n_prbs = static_cast<std::uint16_t>(grant.n_prbs);
+    dci.mcs = grant.mcs;
+    dci.harq_id = 0;
+    dci.new_data = true;
+    if (!pdcch.add_escalating(dci, 4)) break;  // robust AL for idle-state users
+    prbs_left -= grant.n_prbs;
+    prb_cursor += grant.n_prbs;
+    record.control_prbs += grant.n_prbs;
+  }
+
+  // --- 3. New data: scheduler divides the remaining PRBs.
+  std::vector<SchedRequest> requests;
+  for (auto& [id, ue] : ues_) {
+    const auto& active = ue.ca.active_cells();
+    if (std::find(active.begin(), active.end(), cell.cfg.id) == active.end()) continue;
+    if (backlog_bits(ue) <= 0) continue;
+    if (!ue.harq.at(cell.cfg.id).free_process().has_value()) continue;
+    const auto& ch = ue.ch_now.at(cell.cfg.id);
+    phy::Mcs mcs{ch.cqi, ch.sinr_db >= 14.0 ? 2 : 1};
+    requests.push_back(SchedRequest{id, (backlog_bits(ue) + 7) / 8,
+                                    mcs.bits_per_prb(),
+                                    ue.cfg.scheduling_weight});
+  }
+  const auto allocs = cell.scheduler->allocate(prbs_left, requests);
+
+  for (const auto& a : allocs) {
+    auto& ue = ues_.at(a.ue);
+    const auto& ch = ue.ch_now.at(cell.cfg.id);
+    phy::Mcs mcs{ch.cqi, ch.sinr_db >= 14.0 ? 2 : 1};
+    const auto proc = ue.harq.at(cell.cfg.id).free_process();
+    if (!proc) continue;
+
+    phy::Dci dci;
+    dci.rnti = ue.cfg.rnti;
+    dci.format = mcs.n_streams == 2 ? phy::DciFormat::kFormat2
+                                    : phy::DciFormat::kFormat1;
+    dci.prb_start = static_cast<std::uint16_t>(prb_cursor);
+    dci.n_prbs = static_cast<std::uint16_t>(a.n_prbs);
+    dci.mcs = mcs;
+    dci.harq_id = *proc;
+    dci.new_data = true;
+    if (!pdcch.add_escalating(dci, phy::aggregation_level_for_sinr(ch.sinr_db))) {
+      continue;  // PDCCH exhausted: user skipped this subframe
+    }
+
+    TransportBlock tb;
+    tb.tb_seq = ue.next_tb_seq++;
+    tb.ue = a.ue;
+    tb.cell = cell.cfg.id;
+    tb.n_prbs = a.n_prbs;
+    tb.mcs = mcs;
+    const double capacity_bits =
+        phy::transport_block_bits(a.n_prbs, mcs) * (1.0 - cfg_.protocol_overhead);
+    const double payload_bits = take_bits(ue, capacity_bits, tb.completed_packets);
+    // The TB error model sees the full on-air block, headers included.
+    tb.bits = payload_bits / (1.0 - cfg_.protocol_overhead);
+
+    prbs_left -= a.n_prbs;
+    prb_cursor += a.n_prbs;
+    record.data_allocs.push_back(a);
+    ue.total_prbs_this_sf += a.n_prbs;
+
+    // Track use of the newest secondary for deactivation decisions.
+    const auto& active = ue.ca.active_cells();
+    if (active.size() > 1 && active.back() == cell.cfg.id) {
+      ue.newest_secondary_prbs_this_sf += a.n_prbs;
+    }
+    ue.last_served[cell.cfg.id] = loop_.now();
+
+    transmissions.push_back({&ue, *proc, false, std::move(tb)});
+  }
+
+  record.idle_prbs = prbs_left;
+
+  // --- 4. Emit the control region to monitors.
+  if (!pdcch_observers_.empty()) {
+    const phy::PdcchSubframe sf = std::move(pdcch).build();
+    for (const auto& obs : pdcch_observers_) obs(sf);
+  }
+  if (alloc_observer_) alloc_observer_(record);
+
+  // --- 5. Air transmission: draw errors, deliver or schedule HARQ retx.
+  for (auto& tx : transmissions) {
+    if (tx.is_retx) {
+      transmit_tb(cell, *tx.ue, tx.harq_id, std::nullopt);
+    } else {
+      transmit_tb(cell, *tx.ue, tx.harq_id, std::move(tx.tb));
+    }
+  }
+}
+
+double BaseStation::take_bits(UeState& ue, double bits,
+                              std::vector<net::Packet>& completed) {
+  double taken = 0;
+  while (bits - taken >= 1.0 && !ue.queue.empty()) {
+    const double head_total = static_cast<double>(ue.queue.front().bytes) * 8.0;
+    const double head_left = head_total - static_cast<double>(ue.head_bits_sent);
+    if (head_left <= bits - taken) {
+      taken += head_left;
+      const std::int32_t head_bytes = ue.queue.front().bytes;
+      completed.push_back(std::move(ue.queue.front()));
+      ue.queue.pop_front();
+      ue.queue_bytes -= head_bytes;
+      ue.head_bits_sent = 0;
+    } else {
+      ue.head_bits_sent += static_cast<std::int64_t>(bits - taken);
+      taken = bits;
+    }
+  }
+  return taken;
+}
+
+void BaseStation::transmit_tb(CellState& cell, UeState& ue, std::uint8_t proc,
+                              std::optional<TransportBlock> new_tb) {
+  auto& harq = ue.harq.at(cell.cfg.id);
+  if (new_tb.has_value()) {
+    harq.start(proc, std::move(*new_tb), sf_index_);
+  }
+  // else: retransmission — the failed block already lives in the entity.
+
+  const TransportBlock& active_tb = harq.block(proc);
+  ++total_tbs_sent_;
+
+  const double p = ue.ch_now.at(cell.cfg.id).data_ber;
+  const double tber = phy::tb_error_rate(p, active_tb.bits);
+  const bool error = rng_.bernoulli(tber);
+
+  const util::Time decode_time = util::subframe_start(sf_index_ + 1);
+  if (!error) {
+    TransportBlock done = harq.complete(proc);
+    loop_.schedule_at(decode_time, [this, ue_id = ue.cfg.id, done = std::move(done)]() mutable {
+      ues_.at(ue_id).reorder->on_tb_decoded(std::move(done));
+    });
+    return;
+  }
+
+  ++total_tb_errors_;
+  if (!harq.fail(proc, sf_index_)) {
+    // Retransmissions exhausted: abandon; packets inside are lost.
+    ++total_tbs_abandoned_;
+    TransportBlock dead = harq.take_abandoned(proc);
+    loop_.schedule_at(decode_time, [this, ue_id = ue.cfg.id, seq = dead.tb_seq] {
+      ues_.at(ue_id).reorder->on_tb_abandoned(seq);
+    });
+  }
+}
+
+void BaseStation::update_explicit_rates() {
+  constexpr util::Duration kActive = 200 * util::kMillisecond;
+  const util::Time now = loop_.now();
+
+  // Per cell: how many users would the fair scheduler be dividing among?
+  std::map<phy::CellId, int> active_count;
+  auto is_active = [&](const UeState& ue, phy::CellId cell) {
+    if (ue.queue_bytes > 0) return true;
+    const auto it = ue.last_served.find(cell);
+    return it != ue.last_served.end() && now - it->second <= kActive;
+  };
+  for (const auto& [id, ue] : ues_) {
+    for (phy::CellId c : ue.ca.active_cells()) {
+      if (is_active(ue, c)) ++active_count[c];
+    }
+  }
+
+  for (auto& [id, ue] : ues_) {
+    double bits_per_sf = 0;
+    for (phy::CellId c : ue.ca.active_cells()) {
+      if (!is_active(ue, c)) continue;
+      const auto chit = ue.ch_now.find(c);
+      if (chit == ue.ch_now.end()) continue;
+      const phy::Mcs mcs{chit->second.cqi, chit->second.sinr_db >= 14.0 ? 2 : 1};
+      int prbs = 0;
+      for (const auto& cc : cell_cfgs_) {
+        if (cc.id == c) prbs = cc.n_prbs();
+      }
+      const int n = std::max(active_count[c], 1);
+      bits_per_sf += (static_cast<double>(prbs) / n) * mcs.bits_per_prb() *
+                     (1.0 - cfg_.protocol_overhead);
+    }
+    const double rate = bits_per_sf * 1000.0;  // bits per second
+    constexpr double alpha = 0.05;
+    ue.explicit_rate_bps += alpha * (rate - ue.explicit_rate_bps);
+  }
+}
+
+util::RateBps BaseStation::explicit_rate_bps(UeId ue) const {
+  return ues_.at(ue).explicit_rate_bps;
+}
+
+void BaseStation::handover(UeId ue_id, const std::vector<phy::CellId>& new_cells) {
+  if (new_cells.empty()) throw std::invalid_argument("handover needs >=1 cell");
+  for (phy::CellId c : new_cells) {
+    bool known = false;
+    for (const auto& cc : cell_cfgs_) known |= cc.id == c;
+    if (!known) throw std::invalid_argument("handover to unknown cell");
+  }
+  auto& ue = ues_.at(ue_id);
+
+  // Abandon in-flight HARQ blocks on the old serving cells (no forwarding).
+  for (auto& [cell, harq] : ue.harq) {
+    for (TransportBlock& dead : harq.abandon_all()) {
+      const auto seq = dead.tb_seq;
+      loop_.schedule_at(loop_.now(), [this, ue_id, seq] {
+        ues_.at(ue_id).reorder->on_tb_abandoned(seq);
+      });
+      ++total_tbs_abandoned_;
+    }
+  }
+
+  // Install the new cell set: fresh HARQ entities and channel models for
+  // cells the UE had not tracked before.
+  ue.cfg.aggregated_cells = new_cells;
+  for (phy::CellId c : new_cells) {
+    if (!ue.channels.contains(c)) {
+      phy::ChannelConfig chc = ue.cfg.channel;
+      chc.seed = ue.cfg.channel.seed * 1000003ULL + c;
+      ue.channels.emplace(c, phy::ChannelModel{chc});
+    }
+    if (!ue.harq.contains(c)) ue.harq.emplace(c, HarqEntity{});
+  }
+  ue.ca = CaManager{new_cells, ue.cfg.ca};
+}
+
+std::int64_t BaseStation::queue_bytes(UeId ue) const {
+  return ues_.at(ue).queue_bytes;
+}
+
+const CaManager& BaseStation::ca(UeId ue) const { return ues_.at(ue).ca; }
+
+phy::ChannelState BaseStation::channel_state(UeId ue, phy::CellId cell) const {
+  const auto& st = ues_.at(ue);
+  const auto it = st.ch_now.find(cell);
+  // Before the first subframe tick no sample exists yet; return a neutral
+  // default rather than forcing every caller to handle start-of-time.
+  if (it == st.ch_now.end()) return phy::ChannelState{};
+  return it->second;
+}
+
+}  // namespace pbecc::mac

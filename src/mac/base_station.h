@@ -1,0 +1,184 @@
+// The cellular downlink: a base station with one or more component
+// carriers, per-UE queues, fair scheduling, HARQ, carrier aggregation and
+// a synthetic PDCCH that monitors (the PBE-CC measurement module) can tap.
+//
+// Per subframe (1 ms), per cell:
+//   1. HARQ retransmissions due this subframe reserve PRBs first.
+//   2. Control-plane grants (paging / parameter updates) take a few PRBs.
+//   3. The scheduler divides the rest among backlogged users max-min
+//      fairly; each grant becomes a transport block + a DCI message.
+//   4. The control region (PDCCH) is emitted to observers; transport
+//      blocks fail with probability 1-(1-p)^L and either deliver one
+//      subframe later (through the in-order reordering buffer) or
+//      retransmit 8 subframes later, at most 3 times.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mac/carrier_aggregation.h"
+#include "mac/control_traffic.h"
+#include "mac/harq.h"
+#include "mac/reordering_buffer.h"
+#include "mac/scheduler.h"
+#include "mac/types.h"
+#include "net/event_loop.h"
+#include "net/packet.h"
+#include "phy/channel.h"
+#include "phy/pdcch.h"
+#include "util/rate.h"
+
+namespace pbecc::mac {
+
+struct UeConfig {
+  UeId id = 0;
+  phy::Rnti rnti = 0;
+  // Primary first; CA activates the rest sequentially.
+  std::vector<phy::CellId> aggregated_cells;
+  phy::ChannelConfig channel{};
+  CaConfig ca{};
+  // Scheduling weight under the cell's fairness policy (1.0 = equal share).
+  double scheduling_weight = 1.0;
+  // Per-user downlink buffer at the base station (the paper notes the BS
+  // keeps separate buffers per user, which underpins RTT fairness §4.3).
+  // ~1.5 MB is a few hundred ms at typical per-user rates, in line with
+  // the bufferbloat levels the paper measures under CUBIC/Verus.
+  std::int64_t queue_capacity_bytes = 1536 * 1024;
+};
+
+struct BaseStationConfig {
+  std::string scheduler = "fair-share";
+  ControlTrafficConfig control_traffic{};
+  // Fraction of every transport block consumed by RLC/PDCP/MAC headers and
+  // periodic control payloads — the paper's gamma = 6.8% (Fig 6a), which
+  // its Eqn 5 subtracts when translating physical capacity to goodput.
+  double protocol_overhead = 0.068;
+  std::uint64_t seed = 42;
+};
+
+// Ground-truth per-subframe allocation record (what the paper plots in
+// Figs 2 and 21 from its decoder; we also expose it directly for tests).
+struct AllocationRecord {
+  phy::CellId cell = 0;
+  std::int64_t sf_index = 0;
+  std::vector<SchedAllocation> data_allocs;  // real UEs
+  int control_prbs = 0;
+  int retx_prbs = 0;
+  int idle_prbs = 0;
+};
+
+class BaseStation {
+ public:
+  using DeliveryHandler = std::function<void(net::Packet)>;
+  using PdcchObserver = std::function<void(const phy::PdcchSubframe&)>;
+  using AllocationObserver = std::function<void(const AllocationRecord&)>;
+  using PacketDropHandler = std::function<void(UeId, const net::Packet&)>;
+
+  BaseStation(net::EventLoop& loop, std::vector<phy::CellConfig> cells,
+              BaseStationConfig cfg);
+
+  // Register a user. `deliver` receives packets in order as the mobile's
+  // RLC releases them.
+  void add_ue(const UeConfig& cfg, DeliveryHandler deliver);
+
+  // Downlink ingress (from the Internet path).
+  void enqueue(UeId ue, net::Packet pkt);
+
+  // Monitors (PBE-CC decoders) receive every cell's control region each
+  // subframe, before noise — each monitor applies its own channel noise.
+  void add_pdcch_observer(PdcchObserver obs) { pdcch_observers_.push_back(std::move(obs)); }
+  void set_allocation_observer(AllocationObserver obs) { alloc_observer_ = std::move(obs); }
+  void set_drop_handler(PacketDropHandler h) { drop_handler_ = std::move(h); }
+
+  // Begin ticking subframes on the event loop.
+  void start();
+
+  // Hand the UE over to a new aggregated-cell set (new primary first).
+  // HARQ state is not transferred between sites: transport blocks still in
+  // flight on the old cells are abandoned (their packets are lost upward,
+  // exactly the transient a real inter-site handover without data
+  // forwarding exhibits). The UE's queue and TB sequence continue.
+  void handover(UeId ue, const std::vector<phy::CellId>& new_cells);
+
+  // --- Introspection (used by tests, benches, and the UE "modem API") ---
+  std::int64_t queue_bytes(UeId ue) const;
+  const CaManager& ca(UeId ue) const;
+  // The UE's own radio measurement for a cell (physically made by the
+  // phone; lives here because the channel model is the radio link).
+  phy::ChannelState channel_state(UeId ue, phy::CellId cell) const;
+
+  // Explicit network feedback (the ABC / IETF-MTG design point of paper
+  // §2): the base station's own estimate of the user's fair-share
+  // transport rate across its active cells, smoothed. PBE-CC computes the
+  // same quantity from decoded control messages at the endpoint; this
+  // oracle exists for head-to-head ablations and as ground truth in tests.
+  util::RateBps explicit_rate_bps(UeId ue) const;
+  const std::vector<phy::CellConfig>& cells() const { return cell_cfgs_; }
+  std::int64_t current_subframe() const { return sf_index_; }
+  std::uint64_t total_tbs_sent() const { return total_tbs_sent_; }
+  std::uint64_t total_tb_errors() const { return total_tb_errors_; }
+  std::uint64_t total_tbs_abandoned() const { return total_tbs_abandoned_; }
+
+ private:
+  struct UeState {
+    UeConfig cfg;
+    std::deque<net::Packet> queue;
+    std::int64_t queue_bytes = 0;
+    std::int64_t head_bits_sent = 0;  // bits of the head packet already sent
+    std::uint64_t next_tb_seq = 0;
+    std::unique_ptr<ReorderingBuffer> reorder;
+    std::map<phy::CellId, HarqEntity> harq;
+    std::map<phy::CellId, phy::ChannelModel> channels;
+    std::map<phy::CellId, phy::ChannelState> ch_now;  // sampled this subframe
+    CaManager ca;
+    // PRBs the newest active secondary gave this UE this subframe.
+    int newest_secondary_prbs_this_sf = 0;
+    // PRBs across all serving cells this subframe (incl. retransmissions).
+    int total_prbs_this_sf = 0;
+    // Last data grant per cell; drives the explicit-feedback activity set.
+    std::map<phy::CellId, util::Time> last_served;
+    // Smoothed ABC-style explicit rate (see explicit_rate_bps()).
+    double explicit_rate_bps = 0;
+  };
+
+  struct CellState {
+    phy::CellConfig cfg;
+    std::unique_ptr<Scheduler> scheduler;
+    ControlTrafficGenerator control;
+  };
+
+  void tick();
+  void run_cell(CellState& cell);
+  void update_explicit_rates();
+  // Pop up to `bits` from the UE queue into a TB; returns actual bits taken
+  // and fills `completed`.
+  double take_bits(UeState& ue, double bits, std::vector<net::Packet>& completed);
+  // Sends the block on HARQ process `proc`; `new_tb` present for an initial
+  // transmission, absent for a retransmission (block already stored).
+  void transmit_tb(CellState& cell, UeState& ue, std::uint8_t proc,
+                   std::optional<TransportBlock> new_tb);
+  std::int64_t backlog_bits(const UeState& ue) const;
+
+  net::EventLoop& loop_;
+  BaseStationConfig cfg_;
+  std::vector<phy::CellConfig> cell_cfgs_;
+  std::vector<CellState> cells_;
+  std::map<UeId, UeState> ues_;
+  std::map<UeId, DeliveryHandler> delivery_;
+  std::vector<PdcchObserver> pdcch_observers_;
+  AllocationObserver alloc_observer_;
+  PacketDropHandler drop_handler_;
+  util::Rng rng_;
+  std::int64_t sf_index_ = 0;
+  bool started_ = false;
+
+  std::uint64_t total_tbs_sent_ = 0;
+  std::uint64_t total_tb_errors_ = 0;
+  std::uint64_t total_tbs_abandoned_ = 0;
+};
+
+}  // namespace pbecc::mac

@@ -1,0 +1,44 @@
+#include "mac/control_traffic.h"
+
+#include <algorithm>
+
+namespace pbecc::mac {
+
+ControlTrafficGenerator::ControlTrafficGenerator(ControlTrafficConfig cfg)
+    : cfg_(cfg), rng_(cfg.seed) {}
+
+std::vector<ControlGrant> ControlTrafficGenerator::tick(std::int64_t) {
+  std::vector<ControlGrant> grants;
+
+  // Continue multi-subframe sessions.
+  for (auto& s : ongoing_) {
+    grants.push_back({s.rnti, s.n_prbs, phy::Mcs{1, 1}});
+    --s.subframes_left;
+  }
+  std::erase_if(ongoing_, [](const Session& s) { return s.subframes_left <= 0; });
+
+  // Spawn new control users.
+  const auto n_new = rng_.poisson(cfg_.users_per_subframe);
+  for (std::int64_t i = 0; i < n_new; ++i) {
+    // Idle-state users get short-lived random C-RNTIs.
+    const auto span = static_cast<std::uint32_t>(phy::kMaxCRnti - phy::kMinCRnti);
+    const auto rnti = static_cast<phy::Rnti>(
+        phy::kMinCRnti + (rng_.next_u64() + next_rnti_salt_++) % span);
+
+    if (rng_.bernoulli(cfg_.canonical_fraction)) {
+      grants.push_back({rnti, 4, phy::Mcs{1, 1}});  // 4 PRBs, 1 subframe
+    } else {
+      // A minority run slightly longer or wider (RRC reconfigurations).
+      Session s;
+      s.rnti = rnti;
+      s.n_prbs = static_cast<int>(rng_.uniform_int(2, 6));
+      s.subframes_left = static_cast<int>(rng_.uniform_int(1, 3));
+      grants.push_back({s.rnti, s.n_prbs, phy::Mcs{1, 1}});
+      --s.subframes_left;
+      if (s.subframes_left > 0) ongoing_.push_back(s);
+    }
+  }
+  return grants;
+}
+
+}  // namespace pbecc::mac

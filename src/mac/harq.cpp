@@ -1,0 +1,87 @@
+#include "mac/harq.h"
+
+#include <stdexcept>
+
+namespace pbecc::mac {
+
+std::optional<std::uint8_t> HarqEntity::free_process() const {
+  for (std::uint8_t i = 0; i < kHarqProcesses; ++i) {
+    if (!procs_[i].busy) return i;
+  }
+  return std::nullopt;
+}
+
+void HarqEntity::start(std::uint8_t process, TransportBlock tb, std::int64_t sf) {
+  auto& p = procs_[process];
+  if (p.busy) throw std::logic_error("HARQ process already busy");
+  p.busy = true;
+  p.awaiting_retx = false;
+  p.retx_sf = sf;  // informational
+  p.tb = std::move(tb);
+  p.tb.harq_id = process;
+}
+
+TransportBlock HarqEntity::complete(std::uint8_t process) {
+  auto& p = procs_[process];
+  if (!p.busy) throw std::logic_error("completing idle HARQ process");
+  p.busy = false;
+  p.awaiting_retx = false;
+  return std::move(p.tb);
+}
+
+bool HarqEntity::fail(std::uint8_t process, std::int64_t sf) {
+  auto& p = procs_[process];
+  if (!p.busy) throw std::logic_error("failing idle HARQ process");
+  if (p.tb.attempt >= kMaxRetransmissions) {
+    // Out of retransmissions; process stays busy until the caller takes
+    // the abandoned block via take_abandoned().
+    p.awaiting_retx = false;
+    return false;
+  }
+  ++p.tb.attempt;
+  p.awaiting_retx = true;
+  p.retx_sf = sf + kHarqRttSubframes;
+  return true;
+}
+
+std::vector<std::uint8_t> HarqEntity::retx_due(std::int64_t sf) const {
+  std::vector<std::uint8_t> due;
+  for (std::uint8_t i = 0; i < kHarqProcesses; ++i) {
+    if (procs_[i].busy && procs_[i].awaiting_retx && procs_[i].retx_sf <= sf) {
+      due.push_back(i);
+    }
+  }
+  return due;
+}
+
+const TransportBlock& HarqEntity::block(std::uint8_t process) const {
+  if (!procs_[process].busy) throw std::logic_error("idle HARQ process");
+  return procs_[process].tb;
+}
+
+TransportBlock HarqEntity::take_abandoned(std::uint8_t process) {
+  auto& p = procs_[process];
+  if (!p.busy) throw std::logic_error("idle HARQ process");
+  p.busy = false;
+  p.awaiting_retx = false;
+  return std::move(p.tb);
+}
+
+std::vector<TransportBlock> HarqEntity::abandon_all() {
+  std::vector<TransportBlock> dropped;
+  for (auto& p : procs_) {
+    if (!p.busy) continue;
+    p.busy = false;
+    p.awaiting_retx = false;
+    dropped.push_back(std::move(p.tb));
+  }
+  return dropped;
+}
+
+int HarqEntity::busy_processes() const {
+  int n = 0;
+  for (const auto& p : procs_) n += p.busy ? 1 : 0;
+  return n;
+}
+
+}  // namespace pbecc::mac

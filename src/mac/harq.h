@@ -1,0 +1,62 @@
+// HARQ (hybrid ARQ) entity: per-user, per-cell stop-and-wait processes.
+//
+// The paper (§3, Fig 3): an erroneous transport block is retransmitted
+// eight subframes (8 ms) after the original transmission, at most three
+// times; each retransmission occupies PRBs in its subframe and appears on
+// the control channel with the new-data indicator (NDI) unset.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mac/types.h"
+
+namespace pbecc::mac {
+
+inline constexpr int kHarqProcesses = 8;
+inline constexpr int kHarqRttSubframes = 8;   // retx happens 8 sf later
+inline constexpr int kMaxRetransmissions = 3; // after 3 failed retx, drop
+
+class HarqEntity {
+ public:
+  // A free process id, or nullopt if all 8 are busy (blocks new TBs,
+  // as in a real MAC).
+  std::optional<std::uint8_t> free_process() const;
+
+  // Register a newly transmitted TB on `process` at subframe `sf`.
+  void start(std::uint8_t process, TransportBlock tb, std::int64_t sf);
+
+  // TB on `process` decoded successfully: frees the process and returns
+  // the block for upward delivery.
+  TransportBlock complete(std::uint8_t process);
+
+  // TB failed. If retransmissions remain, schedules one for
+  // sf + kHarqRttSubframes and returns true; otherwise frees the process
+  // and returns false (block abandoned — caller delivers a tombstone).
+  bool fail(std::uint8_t process, std::int64_t sf);
+
+  // TBs whose retransmission is due at subframe `sf` (does not free them;
+  // the caller re-attempts and then calls complete()/fail()).
+  std::vector<std::uint8_t> retx_due(std::int64_t sf) const;
+
+  const TransportBlock& block(std::uint8_t process) const;
+  TransportBlock take_abandoned(std::uint8_t process);
+
+  // Abandon every busy process (handover: HARQ state is not transferred
+  // between sites). Returns the dropped blocks.
+  std::vector<TransportBlock> abandon_all();
+
+  int busy_processes() const;
+
+ private:
+  struct Process {
+    bool busy = false;
+    bool awaiting_retx = false;   // failed, retx scheduled
+    std::int64_t retx_sf = 0;
+    TransportBlock tb{};
+  };
+  Process procs_[kHarqProcesses];
+};
+
+}  // namespace pbecc::mac

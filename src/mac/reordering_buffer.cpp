@@ -1,0 +1,28 @@
+#include "mac/reordering_buffer.h"
+
+namespace pbecc::mac {
+
+void ReorderingBuffer::on_tb_decoded(TransportBlock tb) {
+  if (tb.tb_seq < next_expected_) return;  // stale duplicate
+  Entry e;
+  e.packets = std::move(tb.completed_packets);
+  buffer_[tb.tb_seq] = std::move(e);
+  drain();
+}
+
+void ReorderingBuffer::on_tb_abandoned(std::uint64_t tb_seq) {
+  if (tb_seq < next_expected_) return;
+  buffer_[tb_seq].abandoned = true;
+  drain();
+}
+
+void ReorderingBuffer::drain() {
+  auto it = buffer_.begin();
+  while (it != buffer_.end() && it->first == next_expected_) {
+    for (auto& pkt : it->second.packets) deliver_(std::move(pkt));
+    it = buffer_.erase(it);
+    ++next_expected_;
+  }
+}
+
+}  // namespace pbecc::mac

@@ -1,0 +1,50 @@
+// In-order delivery buffer at the mobile (paper §3, Fig 3).
+//
+// Transport blocks carry a per-UE sequence number assigned at first
+// transmission (across all aggregated cells). The mobile holds
+// out-of-sequence TBs until the missing one is retransmitted and received,
+// which is what converts one HARQ retransmission into an 8 ms delay for
+// the erroneous block and 7..0 ms for the blocks behind it. A TB that
+// exhausts its retransmissions is skipped (its packets are lost upward).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "mac/types.h"
+
+namespace pbecc::mac {
+
+class ReorderingBuffer {
+ public:
+  // Sink for packets released in order.
+  using Deliver = std::function<void(net::Packet)>;
+
+  explicit ReorderingBuffer(Deliver deliver) : deliver_(std::move(deliver)) {}
+
+  // A TB decoded successfully.
+  void on_tb_decoded(TransportBlock tb);
+
+  // TB `tb_seq` was abandoned by HARQ: skip it and release anything that
+  // was waiting behind it.
+  void on_tb_abandoned(std::uint64_t tb_seq);
+
+  std::uint64_t next_expected() const { return next_expected_; }
+  std::size_t buffered_blocks() const { return buffer_.size(); }
+
+ private:
+  void drain();
+
+  Deliver deliver_;
+  std::uint64_t next_expected_ = 0;
+  // tb_seq -> completed packets (empty vector for abandoned TBs).
+  struct Entry {
+    bool abandoned = false;
+    std::vector<net::Packet> packets;
+  };
+  std::map<std::uint64_t, Entry> buffer_;
+};
+
+}  // namespace pbecc::mac

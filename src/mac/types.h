@@ -1,0 +1,47 @@
+// Shared MAC-layer types: user identity, scheduling requests/allocations,
+// and the transport block (the unit the cellular link actually moves).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.h"
+#include "phy/cell_config.h"
+#include "phy/mcs.h"
+
+namespace pbecc::mac {
+
+using UeId = std::uint32_t;
+
+// One user's scheduling demand in one cell for one subframe.
+struct SchedRequest {
+  UeId ue = 0;
+  std::int64_t backlog_bytes = 0;
+  double bits_per_prb = 1.0;  // at this user's current MCS
+  // Scheduling weight (paper §7: the fairness policy is the operator's;
+  // PBE-CC's control law adapts to whatever equilibrium it produces).
+  double weight = 1.0;
+};
+
+struct SchedAllocation {
+  UeId ue = 0;
+  int n_prbs = 0;
+};
+
+// A transport block in flight between base station and one UE.
+struct TransportBlock {
+  std::uint64_t tb_seq = 0;  // per-UE sequence across all aggregated cells
+  UeId ue = 0;
+  phy::CellId cell = 0;
+  int n_prbs = 0;
+  phy::Mcs mcs{};
+  double bits = 0;
+  std::uint8_t harq_id = 0;
+  int attempt = 0;  // 0 = initial transmission, 1..3 = HARQ retransmissions
+
+  // Transport packets whose final byte was carried in this TB; delivered
+  // upward (through the reordering buffer) when the TB decodes.
+  std::vector<net::Packet> completed_packets;
+};
+
+}  // namespace pbecc::mac

@@ -1,0 +1,31 @@
+#include "net/event_loop.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pbecc::net {
+
+void EventLoop::schedule_at(util::Time t, Callback cb) {
+  if (t < now_) throw std::logic_error("scheduling event in the past");
+  queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+bool EventLoop::run_one() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the callback must be moved out
+  // before pop, so copy the metadata and steal the callback.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ev.cb();
+  return true;
+}
+
+void EventLoop::run_until(util::Time end) {
+  while (!queue_.empty() && queue_.top().time <= end) {
+    run_one();
+  }
+  if (now_ < end) now_ = end;
+}
+
+}  // namespace pbecc::net

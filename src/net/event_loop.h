@@ -1,0 +1,57 @@
+// Discrete-event simulation core.
+//
+// A single binary heap of (time, sequence, callback). Everything in the
+// system — subframe ticks, packet arrivals, pacing timers — runs off this
+// one clock, so cellular and transport events interleave correctly at
+// microsecond granularity. Ties break by insertion order (FIFO), which
+// keeps runs deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/time.h"
+
+namespace pbecc::net {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  util::Time now() const { return now_; }
+
+  // Run `cb` at absolute time `t` (>= now).
+  void schedule_at(util::Time t, Callback cb);
+  // Run `cb` after `d` microseconds.
+  void schedule_in(util::Duration d, Callback cb) { schedule_at(now_ + d, std::move(cb)); }
+
+  // Execute the earliest pending event. Returns false if none remain.
+  bool run_one();
+
+  // Run events until the queue is empty or the clock would pass `end`;
+  // leaves now() == end (so periodic processes can resume cleanly).
+  void run_until(util::Time end);
+
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    util::Time time;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  util::Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace pbecc::net

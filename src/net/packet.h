@@ -1,0 +1,54 @@
+// Transport-layer packet and acknowledgement records.
+//
+// The prototype in the paper is UDP-based with its own ACK format: the
+// mobile client echoes timing information and piggybacks PBE-CC's
+// physical-layer feedback — a 32-bit word describing the estimated
+// capacity as an inter-packet interval, plus one bit flagging the current
+// bottleneck state (paper §5). We carry those fields verbatim.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace pbecc::net {
+
+using FlowId = std::uint32_t;
+
+inline constexpr int kDefaultMss = 1500;  // bytes, as in the paper's feedback definition
+
+struct Packet {
+  FlowId flow = 0;
+  std::uint64_t seq = 0;   // per-flow packet number, monotonically increasing
+  std::int32_t bytes = kDefaultMss;
+
+  util::Time sent_time = 0;        // stamped by the sender
+  util::Time bs_enqueue_time = 0;  // when it entered the base-station queue
+  util::Time recv_time = 0;        // when the mobile delivered it upward
+
+  // Sender-side delivery bookkeeping for BBR-style rate samples
+  // (delivered counter state at the moment this packet left).
+  std::uint64_t delivered_at_send = 0;
+  util::Time delivered_time_at_send = 0;
+};
+
+struct Ack {
+  FlowId flow = 0;
+  std::uint64_t seq = 0;           // the packet being acknowledged
+  std::int32_t acked_bytes = 0;
+  util::Time data_sent_time = 0;   // echo of Packet::sent_time
+  util::Time data_recv_time = 0;   // when the client received the data
+
+  std::uint64_t delivered_at_send = 0;          // echoes of sender state
+  util::Time delivered_time_at_send = 0;
+
+  // --- PBE-CC feedback fields ---
+  // Interval in microseconds between two 1500-byte packets that would
+  // exactly match the estimated bottleneck capacity; 0 = no estimate.
+  std::uint32_t pbe_rate_interval_us = 0;
+  // One bit: true when the client believes the bottleneck is in the
+  // Internet (switch the sender to cellular-tailored BBR).
+  bool pbe_internet_bottleneck = false;
+};
+
+}  // namespace pbecc::net

@@ -1,0 +1,110 @@
+#include "pbe/capacity_estimator.h"
+
+#include <algorithm>
+
+namespace pbecc::pbe {
+
+namespace {
+// A cell counts as active for this user if it granted us PRBs within the
+// last quarter second (a deactivated secondary stops granting; a lightly
+// loaded one may legitimately skip many subframes, so the window must be
+// generous or the active set flaps).
+constexpr util::Duration kCellActiveTimeout = 250 * util::kMillisecond;
+}  // namespace
+
+CapacityEstimator::CapacityEstimator(util::Duration initial_window)
+    : window_(initial_window) {}
+
+void CapacityEstimator::set_window(util::Duration rtprop) {
+  window_ = std::clamp<util::Duration>(rtprop, 20 * util::kMillisecond,
+                                       400 * util::kMillisecond);
+  for (auto& [id, c] : cells_) {
+    c.rw.set_window(window_);
+    c.pa.set_window(window_);
+    c.pidle.set_window(window_);
+    c.users.set_window(window_);
+  }
+}
+
+void CapacityEstimator::on_observations(
+    util::Time now, const std::vector<decoder::CellObservation>& obs,
+    const RwHint& own_rw_hint) {
+  last_update_ = now;
+  for (const auto& o : obs) {
+    auto it = cells_.find(o.cell);
+    if (it == cells_.end()) {
+      it = cells_.emplace(o.cell, CellState{window_}).first;
+      it->second.cell_prbs = o.cell_prbs;
+    }
+    CellState& c = it->second;
+    const auto& s = o.summary;
+
+    // Rw: from our own DCI when scheduled, else from our own CSI.
+    const double rw = s.own_bits_per_prb > 0
+                          ? s.own_bits_per_prb
+                          : (own_rw_hint ? own_rw_hint(o.cell) : 0.0);
+    if (rw > 0) c.rw.update(now, rw);
+    c.pa.update(now, s.own_prbs);
+    c.pidle.update(now, s.idle_prbs);
+    c.users.update(now, std::max(1, s.data_users));
+    if (s.own_prbs > 0) c.last_own_grant = now;
+  }
+}
+
+double CapacityEstimator::available_capacity(util::Time now) const {
+  double bits = 0;
+  for (auto& [id, c] : cells_) {
+    if (c.last_own_grant < 0 || now - c.last_own_grant > kCellActiveTimeout) {
+      continue;  // we are not being served on this cell right now
+    }
+    const double rw = c.rw.get(now, 0.0);
+    const double pa = c.pa.get(now, 0.0);
+    const double pidle = c.pidle.get(now, 0.0);
+    const double n = std::max(c.users.get(now, 1.0), 1.0);
+    bits += rw * (pa + pidle / n);  // Eqn 3
+  }
+  return bits;
+}
+
+double CapacityEstimator::fair_share_capacity(util::Time now) const {
+  double bits = 0;
+  bool any_active = false;
+  for (auto& [id, c] : cells_) {
+    const bool active =
+        c.last_own_grant >= 0 && now - c.last_own_grant <= kCellActiveTimeout;
+    if (!active) continue;
+    any_active = true;
+    const double rw = c.rw.get(now, 0.0);
+    const double n = std::max(c.users.get(now, 1.0), 1.0);
+    bits += rw * (static_cast<double>(c.cell_prbs) / n);  // Eqns 1-2
+  }
+  if (!any_active) {
+    // Connection start: no grant yet anywhere — use the primary (first
+    // registered) cell's full fair share so the ramp has a target.
+    for (auto& [id, c] : cells_) {
+      const double rw = c.rw.get(now, 0.0);
+      const double n = std::max(c.users.get(now, 1.0), 1.0);
+      bits += rw * (static_cast<double>(c.cell_prbs) / n);
+      break;
+    }
+  }
+  return bits;
+}
+
+int CapacityEstimator::active_cell_count(util::Time now) const {
+  int n = 0;
+  for (auto& [id, c] : cells_) {
+    if (c.last_own_grant >= 0 && now - c.last_own_grant <= kCellActiveTimeout) ++n;
+  }
+  return std::max(n, 1);
+}
+
+double CapacityEstimator::max_users() const {
+  double m = 1.0;
+  for (auto& [id, c] : cells_) {
+    m = std::max(m, c.users.get(last_update_, 1.0));
+  }
+  return m;
+}
+
+}  // namespace pbecc::pbe

@@ -1,0 +1,74 @@
+// PBE-CC capacity estimation (paper §4.1-4.2.1, Eqns 1-4).
+//
+// Consumes the per-subframe, per-cell observations produced by the decoder
+// monitor and maintains, per aggregated cell, sliding means (over the most
+// recent RTprop of subframes) of:
+//   Rw     — wireless physical data rate, bits per PRB,
+//   Pa     — PRBs allocated to this user,
+//   Pidle  — PRBs allocated to nobody,
+//   N      — data users sharing the cell (control traffic filtered).
+// From these it reports:
+//   Cp  = sum_i Rw_i * (Pa_i + Pidle_i / N_i)          (Eqn 3)
+//   Cf  = sum_i Rw_i * Pcell_i / N_i                   (Eqns 1-2)
+// in bits per subframe, each translated to transport-layer goodput by the
+// RateTranslator before being fed back.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "decoder/monitor.h"
+#include "util/time.h"
+#include "util/windowed_filter.h"
+
+namespace pbecc::pbe {
+
+class CapacityEstimator {
+ public:
+  explicit CapacityEstimator(util::Duration initial_window = 40 * util::kMillisecond);
+
+  // Ingest one fused subframe worth of observations. `own_rw_hint(cell)`
+  // returns the phone's own CSI-derived bits/PRB for a cell, used when it
+  // has no DCI of its own there this subframe (it always knows its own
+  // channel quality).
+  using RwHint = std::function<double(phy::CellId)>;
+  void on_observations(util::Time now,
+                       const std::vector<decoder::CellObservation>& obs,
+                       const RwHint& own_rw_hint);
+
+  // Averaging window follows the connection's RTprop (paper: "average the
+  // above parameters over the most recent 40 subframes if the RTT is 40ms").
+  void set_window(util::Duration rtprop);
+
+  // Eqn 3, bits per subframe, summed over cells active for this user.
+  double available_capacity(util::Time now) const;
+  // Eqns 1-2, bits per subframe.
+  double fair_share_capacity(util::Time now) const;
+
+  // Number of cells on which this user has recently been scheduled
+  // (activation tracking: a rise restarts the fair-share ramp, §4.1).
+  int active_cell_count(util::Time now) const;
+
+  // Largest smoothed N over the active cells (used for Fig 5-style
+  // diagnostics); 1 when no data yet.
+  double max_users() const;
+
+ private:
+  struct CellState {
+    util::WindowedMean rw;      // bits per PRB
+    util::WindowedMean pa;      // own PRBs per subframe
+    util::WindowedMean pidle;   // idle PRBs per subframe
+    util::WindowedMean users;   // filtered data users N
+    int cell_prbs = 0;
+    util::Time last_own_grant = -1;
+
+    explicit CellState(util::Duration w) : rw(w), pa(w), pidle(w), users(w) {}
+  };
+
+  util::Duration window_;
+  mutable std::map<phy::CellId, CellState> cells_;
+  util::Time last_update_ = 0;
+};
+
+}  // namespace pbecc::pbe

@@ -1,0 +1,45 @@
+#include "pbe/delay_monitor.h"
+
+namespace pbecc::pbe {
+
+DelayMonitor::DelayMonitor(DelayMonitorConfig cfg)
+    : cfg_(cfg), dprop_filter_(cfg.dprop_window) {}
+
+util::Duration DelayMonitor::dprop(util::Time now) const {
+  return dprop_filter_.get(now, 0);
+}
+
+util::Duration DelayMonitor::threshold(util::Time now) const {
+  return dprop(now) + cfg_.threshold_margin;
+}
+
+std::int64_t DelayMonitor::npkt(double ct_bits_per_sf) const {
+  // Eqn 6: packets carried in six subframes at the current rate.
+  const double pkts = 6.0 * ct_bits_per_sf / (cfg_.mss * 8.0);
+  return std::max<std::int64_t>(static_cast<std::int64_t>(pkts), cfg_.min_npkt);
+}
+
+void DelayMonitor::on_packet(util::Time now, util::Duration one_way_delay,
+                             double ct_bits_per_sf) {
+  dprop_filter_.update(now, one_way_delay);
+  const util::Duration dth = threshold(now);
+  const std::int64_t n = npkt(ct_bits_per_sf);
+
+  if (one_way_delay > dth) {
+    ++above_;
+    below_ = 0;
+    if (!internet_bottleneck_ && above_ >= n) {
+      internet_bottleneck_ = true;
+      above_ = 0;
+    }
+  } else {
+    ++below_;
+    above_ = 0;
+    if (internet_bottleneck_ && below_ >= n) {
+      internet_bottleneck_ = false;
+      below_ = 0;
+    }
+  }
+}
+
+}  // namespace pbecc::pbe

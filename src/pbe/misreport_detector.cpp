@@ -1,0 +1,38 @@
+#include "pbe/misreport_detector.h"
+
+#include <limits>
+
+namespace pbecc::pbe {
+
+MisreportDetector::MisreportDetector(MisreportDetectorConfig cfg)
+    : cfg_(cfg), achieved_(cfg.rate_window) {}
+
+util::RateBps MisreportDetector::achieved_rate(util::Time now) const {
+  return achieved_.get(now, 0.0);
+}
+
+void MisreportDetector::on_ack(const net::AckSample& s,
+                               util::RateBps reported_rate) {
+  if (s.delivery_rate > 0) achieved_.update(s.now, s.delivery_rate);
+  const util::RateBps achieved = achieved_.get(s.now, 0.0);
+  if (achieved <= 0 || reported_rate <= 0) return;
+
+  if (reported_rate > cfg_.suspicion_ratio * achieved) {
+    if (suspicious_since_ < 0) suspicious_since_ = s.now;
+    if (s.now - suspicious_since_ >= cfg_.flag_after) flagged_ = true;
+  } else {
+    suspicious_since_ = -1;
+    // A client that returns to honest reporting is unflagged — the cap is
+    // a protective measure, not a permanent ban.
+    flagged_ = false;
+  }
+}
+
+util::RateBps MisreportDetector::rate_cap(util::Time now) const {
+  if (!flagged_) return std::numeric_limits<double>::max();
+  const util::RateBps achieved = achieved_.get(now, 0.0);
+  return achieved > 0 ? cfg_.capped_gain * achieved
+                      : std::numeric_limits<double>::max();
+}
+
+}  // namespace pbecc::pbe

@@ -1,0 +1,53 @@
+// Misreported-congestion-feedback detection (paper §7, "Misreported
+// congestion feedback").
+//
+// PBE-CC trusts the mobile client's capacity reports; a malicious client
+// could advertise more than the network can carry and trigger a flood.
+// The paper's proposed defense, implemented here: the server runs a
+// BBR-like throughput estimator purely from send/ack timestamps and flags
+// any client that *consistently* reports a rate well above what the path
+// actually delivers. Once flagged, the sender caps its pacing at the
+// measured delivery rate instead of the reported one.
+#pragma once
+
+#include "net/congestion_controller.h"
+#include "util/windowed_filter.h"
+
+namespace pbecc::pbe {
+
+struct MisreportDetectorConfig {
+  // Reported rate must exceed this multiple of the achieved delivery rate
+  // to count as suspicious (delivery-rate samples are noisy; honest
+  // feedback routinely sits slightly above instantaneous delivery).
+  double suspicion_ratio = 1.5;
+  // ... continuously for this long before the client is flagged.
+  util::Duration flag_after = 2 * util::kSecond;
+  // Achieved-rate estimate: windowed max of delivery-rate samples.
+  util::Duration rate_window = util::kSecond;
+  // Once flagged, pacing is capped at measured rate times this headroom.
+  double capped_gain = 1.1;
+};
+
+class MisreportDetector {
+ public:
+  explicit MisreportDetector(MisreportDetectorConfig cfg = {});
+
+  // Feed every ACK along with the rate the client currently reports.
+  void on_ack(const net::AckSample& s, util::RateBps reported_rate);
+
+  bool flagged() const { return flagged_; }
+
+  // The server-side estimate of what the path actually delivers.
+  util::RateBps achieved_rate(util::Time now) const;
+
+  // Cap to apply to the client-reported rate (infinity when unflagged).
+  util::RateBps rate_cap(util::Time now) const;
+
+ private:
+  MisreportDetectorConfig cfg_;
+  mutable util::WindowedMax<double> achieved_;
+  util::Time suspicious_since_ = -1;
+  bool flagged_ = false;
+};
+
+}  // namespace pbecc::pbe

@@ -1,0 +1,99 @@
+// The PBE-CC mobile client (paper §4, §5, Fig 4): the module running on
+// the phone (here: beside the flow receiver) that
+//   * feeds the decoder monitor's per-subframe observations into the
+//     capacity estimator,
+//   * tracks one-way delay and the bottleneck state,
+//   * runs the connection-start fair-share ramp (§4.1) and restarts it
+//     when a new component carrier is activated,
+//   * stamps each ACK with the 32-bit rate-interval feedback word and the
+//     bottleneck-state bit (§5).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "decoder/monitor.h"
+#include "net/packet.h"
+#include "pbe/capacity_estimator.h"
+#include "pbe/delay_monitor.h"
+#include "pbe/rate_translator.h"
+#include "phy/channel.h"
+#include "util/time.h"
+
+namespace pbecc::pbe {
+
+struct PbeClientConfig {
+  phy::Rnti rnti = 0;
+  std::vector<phy::CellConfig> cells;  // the UE's aggregated cells
+  std::int32_t mss = net::kDefaultMss;
+  DelayMonitorConfig delay{};
+  decoder::UserTrackerConfig tracker{};
+  // Linear rate increase spans this many RTprop (paper: three RTTs).
+  double ramp_rtts = 3.0;
+  // Fraction of the fair share the receive rate must reach to declare the
+  // ramp complete / the wireless link re-bottlenecked.
+  double rate_attained_fraction = 0.9;
+  std::uint64_t seed = 21;
+};
+
+class PbeClient {
+ public:
+  enum class State { kStartup, kWireless, kInternet };
+
+  // `channel_query` is the modem API: the phone's own channel state on a
+  // given cell (CQI -> Rw hint, residual BER for Eqn 5).
+  using ChannelQuery = std::function<phy::ChannelState(phy::CellId)>;
+
+  PbeClient(PbeClientConfig cfg, ChannelQuery channel_query);
+
+  // Wire to BaseStation::add_pdcch_observer.
+  void on_pdcch(const phy::PdcchSubframe& sf);
+
+  // Wire to FlowReceiver::set_feedback_filler.
+  void fill_feedback(const net::Packet& pkt, util::Time now, net::Ack& ack);
+
+  State state() const { return state_; }
+  util::Duration rtprop_estimate() const { return rtprop_est_; }
+  double last_feedback_bps() const { return last_feedback_bps_; }
+  const CapacityEstimator& estimator() const { return estimator_; }
+  const DelayMonitor& delay_monitor() const { return delay_; }
+  const decoder::Monitor& monitor() const { return *monitor_; }
+
+  // Fraction of packets handled while in the Internet-bottleneck state
+  // (the paper's §6.3.1 "alternation between states" statistic).
+  double internet_state_fraction() const;
+
+ private:
+  double current_p() const;  // residual BER across active cells
+  double recv_rate_bps(util::Time now);
+  void update_state(util::Time now, double cf_bps);
+
+  PbeClientConfig cfg_;
+  ChannelQuery channel_;
+  CapacityEstimator estimator_;
+  RateTranslator translator_;
+  DelayMonitor delay_;
+  std::unique_ptr<decoder::Monitor> monitor_;
+
+  State state_ = State::kStartup;
+  util::Time ramp_start_ = -1;
+  double ramp_base_bps_ = 0;  // re-ramps start from the current rate
+  int last_cell_count_ = 1;
+  util::Time last_cell_increase_ = -(1LL << 60);
+  util::Time below_share_since_ = util::kNever;
+  util::Duration rtprop_est_ = 60 * util::kMillisecond;
+
+  // Receive-rate measurement over ~2 RTprop.
+  std::deque<std::pair<util::Time, std::int32_t>> recv_window_;
+  std::int64_t recv_window_bytes_ = 0;
+
+  double last_ct_bits_sf_ = 0;
+  double last_feedback_bps_ = 0;
+  std::uint64_t pkts_total_ = 0;
+  std::uint64_t pkts_internet_ = 0;
+};
+
+}  // namespace pbecc::pbe

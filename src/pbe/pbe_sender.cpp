@@ -1,0 +1,81 @@
+#include "pbe/pbe_sender.h"
+
+#include <algorithm>
+
+namespace pbecc::pbe {
+
+PbeSender::PbeSender(PbeSenderConfig cfg)
+    : cfg_(cfg), feedback_rate_(cfg.initial_rate),
+      btlbw_filter_(cfg.btlbw_window), misreport_(cfg.misreport) {}
+
+void PbeSender::decode_feedback(const net::AckSample& s) {
+  if (s.pbe_rate_interval_us == 0) return;
+  // Interval between two MSS-sized packets -> bits per second.
+  const double interval_sec = static_cast<double>(s.pbe_rate_interval_us) / 1e6;
+  feedback_rate_ = static_cast<double>(cfg_.mss) * 8.0 / interval_sec;
+}
+
+void PbeSender::on_ack(const net::AckSample& s) {
+  decode_feedback(s);
+
+  // Always-maintained estimates (paper §5: "The PBE-CC sender also updates
+  // its estimated RTprop and BtlBw with every received ACK, so it can
+  // immediately switch").
+  if (s.rtt > 0 &&
+      (s.rtt <= rtprop_ || s.now - rtprop_stamp_ > cfg_.rtprop_window)) {
+    rtprop_ = s.rtt;
+    rtprop_stamp_ = s.now;
+  }
+  if (s.delivery_rate > 0) btlbw_filter_.update(s.now, s.delivery_rate);
+  if (cfg_.detect_misreports) misreport_.on_ack(s, feedback_rate_);
+
+  if (s.pbe_internet_bottleneck && !bbr_) enter_internet_mode(s.now);
+  if (!s.pbe_internet_bottleneck && bbr_) leave_internet_mode();
+
+  if (bbr_) bbr_->on_ack(s);
+}
+
+void PbeSender::on_loss(const net::LossSample& s) {
+  if (bbr_) bbr_->on_loss(s);
+}
+
+void PbeSender::enter_internet_mode(util::Time now) {
+  baselines::BbrConfig bc;
+  bc.mss = cfg_.mss;
+  bc.enter_probe_bw_directly = true;  // entry drain at 0.5 BtlBw, then probe
+  bc.probe_cap = [this] { return feedback_rate_; };  // Cprobe cap = Cf (Eqn 7)
+  // Strictly less aggressive than stock BBR (paper §4.3): a tight window
+  // leaves no standing queue, so once the bottleneck queue drains the
+  // one-way delay falls below Dth and the client can switch back.
+  bc.cwnd_gain = 1.2;
+  bc.btlbw_window = util::kSecond;
+  bc.seed = cfg_.seed;
+  bbr_ = std::make_unique<baselines::Bbr>(bc);
+  // Seed conservatively: the pre-switch BtlBw maximum usually reflects the
+  // capacity that just vanished; the client's Cf feedback bounds what the
+  // path can currently carry.
+  const util::RateBps measured = btlbw_filter_.get(now, feedback_rate_);
+  bbr_->seed_estimates(now, std::min(measured, feedback_rate_), rtprop_);
+}
+
+void PbeSender::leave_internet_mode() { bbr_.reset(); }
+
+util::RateBps PbeSender::pacing_rate(util::Time now) const {
+  if (bbr_) return bbr_->pacing_rate(now);
+  util::RateBps rate = feedback_rate_;
+  if (cfg_.detect_misreports) {
+    rate = std::min(rate, misreport_.rate_cap(now));
+  }
+  return std::max(rate, 1e5);
+}
+
+double PbeSender::cwnd_bytes(util::Time now) const {
+  if (bbr_) return bbr_->cwnd_bytes(now);
+  // Inflight cap: cwnd_gain * BDP(feedback rate, RTprop) — §4's "limits the
+  // amount of inflight data to the bandwidth-delay product".
+  const double bdp_bytes = pacing_rate(now) / util::kBitsPerByte *
+                           util::to_seconds(rtprop_);
+  return std::max(cfg_.cwnd_gain * bdp_bytes, 4.0 * cfg_.mss);
+}
+
+}  // namespace pbecc::pbe

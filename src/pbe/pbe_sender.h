@@ -1,0 +1,72 @@
+// The PBE-CC sender (paper §4, §5): a rate-based congestion controller
+// that normally paces at exactly the capacity the mobile client feeds back
+// (precise congestion control), limits in-flight data to the
+// bandwidth-delay product so delayed feedback cannot overfill the pipe,
+// and switches to the cellular-tailored BBR (probing capped at the
+// wireless fair share, Eqn 7) whenever the client's ACKs flag an
+// Internet bottleneck.
+#pragma once
+
+#include <memory>
+
+#include "baselines/bbr.h"
+#include "net/congestion_controller.h"
+#include "pbe/misreport_detector.h"
+#include "util/windowed_filter.h"
+
+namespace pbecc::pbe {
+
+struct PbeSenderConfig {
+  std::int32_t mss = net::kDefaultMss;
+  // Display name: the same sender logic also serves the ABC-style
+  // explicit-network-feedback oracle (rates stamped by the base station
+  // instead of the PBE client).
+  std::string name = "pbe";
+  // Headroom on the BDP-based congestion window; >1 tolerates HARQ delay
+  // jitter without starving the paced rate, while still bounding the queue
+  // that can form before feedback reacts (paper §4: inflight limited to
+  // the BDP).
+  double cwnd_gain = 1.5;
+  util::RateBps initial_rate = 2e6;  // until the first feedback arrives
+  util::Duration rtprop_window = 10 * util::kSecond;
+  util::Duration btlbw_window = 2 * util::kSecond;
+  // §7 defense: cross-check the client's reported capacity against a
+  // server-side throughput estimate and cap flows that misreport.
+  bool detect_misreports = true;
+  MisreportDetectorConfig misreport{};
+  std::uint64_t seed = 5;
+};
+
+class PbeSender : public net::CongestionController {
+ public:
+  explicit PbeSender(PbeSenderConfig cfg = {});
+
+  void on_ack(const net::AckSample& s) override;
+  void on_loss(const net::LossSample& s) override;
+
+  util::RateBps pacing_rate(util::Time now) const override;
+  double cwnd_bytes(util::Time now) const override;
+  std::string name() const override { return cfg_.name; }
+
+  bool in_internet_mode() const { return bbr_ != nullptr; }
+  util::Duration rtprop() const { return rtprop_; }
+  util::RateBps feedback_rate() const { return feedback_rate_; }
+  const MisreportDetector& misreport_detector() const { return misreport_; }
+
+ private:
+  void decode_feedback(const net::AckSample& s);
+  void enter_internet_mode(util::Time now);
+  void leave_internet_mode();
+
+  PbeSenderConfig cfg_;
+  util::RateBps feedback_rate_;
+  util::Duration rtprop_ = 100 * util::kMillisecond;
+  util::Time rtprop_stamp_ = 0;
+  mutable util::WindowedMax<double> btlbw_filter_;
+
+  // Present only while the client reports an Internet bottleneck.
+  std::unique_ptr<baselines::Bbr> bbr_;
+  MisreportDetector misreport_;
+};
+
+}  // namespace pbecc::pbe

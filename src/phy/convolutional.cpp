@@ -1,0 +1,124 @@
+#include "phy/convolutional.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+namespace pbecc::phy {
+
+namespace {
+
+// 3GPP 36.212 generators, octal 133 / 171 / 165, MSB = current input bit.
+constexpr std::array<std::uint32_t, 3> kGenerators = {0b1011011, 0b1111001,
+                                                      0b1110101};
+constexpr int kNumStates = 1 << (kConvConstraint - 1);  // 64
+
+bool parity(std::uint32_t v) { return __builtin_popcount(v) & 1; }
+
+// Register layout: bit6 = current input, bits5..0 = previous six inputs
+// (newest at bit5). The successor state is reg >> 1.
+std::uint32_t make_reg(int input_bit, std::uint32_t state) {
+  return (static_cast<std::uint32_t>(input_bit) << 6) | state;
+}
+
+}  // namespace
+
+util::BitVec conv_encode(const util::BitVec& payload) {
+  util::BitVec out;
+  std::uint32_t state = 0;
+  const std::size_t total = payload.size() + kConvTailBits;
+  for (std::size_t i = 0; i < total; ++i) {
+    const int bit = i < payload.size() ? (payload.bit(i) ? 1 : 0) : 0;
+    const std::uint32_t reg = make_reg(bit, state);
+    for (const auto g : kGenerators) out.push_bit(parity(reg & g));
+    state = reg >> 1;
+  }
+  return out;
+}
+
+std::vector<int> rate_match_counts(std::size_t coded_bits,
+                                   std::size_t target_bits) {
+  // counts[i] = occurrences of mother-code bit i in the rate-matched
+  // block: floor((i+1)*T/N) - floor(i*T/N). Uniformly spreads punctures
+  // (T < N) and repetitions (T > N) — the effect of LTE's sub-block
+  // interleaver + circular buffer without modelling the interleaver.
+  std::vector<int> counts(coded_bits, 0);
+  for (std::size_t i = 0; i < coded_bits; ++i) {
+    const auto lo = (i * target_bits) / coded_bits;
+    const auto hi = ((i + 1) * target_bits) / coded_bits;
+    counts[i] = static_cast<int>(hi - lo);
+  }
+  return counts;
+}
+
+util::BitVec rate_match(const util::BitVec& coded, std::size_t target_bits) {
+  const auto counts = rate_match_counts(coded.size(), target_bits);
+  util::BitVec out;
+  for (std::size_t i = 0; i < coded.size(); ++i) {
+    for (int c = 0; c < counts[i]; ++c) out.push_bit(coded.bit(i));
+  }
+  return out;
+}
+
+util::BitVec conv_decode(const util::BitVec& received,
+                         std::size_t payload_bits) {
+  const std::size_t steps = payload_bits + kConvTailBits;
+  const std::size_t coded_bits = kConvRateInv * steps;
+
+  // Per-mother-bit log-likelihood from the (possibly repeated/punctured)
+  // received block: +count votes for 1, -count for 0, 0 = erasure.
+  std::vector<int> llr(coded_bits, 0);
+  {
+    const auto counts = rate_match_counts(coded_bits, received.size());
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < coded_bits; ++i) {
+      for (int c = 0; c < counts[i]; ++c) {
+        llr[i] += received.bit(j++) ? 1 : -1;
+      }
+    }
+  }
+
+  // Viterbi: maximize correlation between the path's coded bits and llr.
+  constexpr std::int32_t kNegInf = std::numeric_limits<std::int32_t>::min() / 4;
+  std::vector<std::int32_t> metric(kNumStates, kNegInf);
+  metric[0] = 0;  // encoder starts zeroed
+  std::vector<std::int32_t> next_metric(kNumStates);
+  // survivor[t][next_state] = input bit chosen on the best branch.
+  std::vector<std::array<std::uint8_t, kNumStates>> survivor(steps);
+  std::vector<std::array<std::uint8_t, kNumStates>> prev_state(steps);
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    std::fill(next_metric.begin(), next_metric.end(), kNegInf);
+    const int max_input = t < payload_bits ? 1 : 0;  // tail forces zeros
+    for (int s = 0; s < kNumStates; ++s) {
+      if (metric[static_cast<std::size_t>(s)] == kNegInf) continue;
+      for (int u = 0; u <= max_input; ++u) {
+        const std::uint32_t reg = make_reg(u, static_cast<std::uint32_t>(s));
+        std::int32_t gain = 0;
+        for (std::size_t k = 0; k < kGenerators.size(); ++k) {
+          const int v = llr[kConvRateInv * t + k];
+          gain += parity(reg & kGenerators[k]) ? v : -v;
+        }
+        const auto ns = static_cast<std::size_t>(reg >> 1);
+        const std::int32_t cand = metric[static_cast<std::size_t>(s)] + gain;
+        if (cand > next_metric[ns]) {
+          next_metric[ns] = cand;
+          survivor[t][ns] = static_cast<std::uint8_t>(u);
+          prev_state[t][ns] = static_cast<std::uint8_t>(s);
+        }
+      }
+    }
+    metric.swap(next_metric);
+  }
+
+  // The zero tail drives the encoder back to state 0: trace from there.
+  util::BitVec decoded(payload_bits);
+  std::size_t state = 0;
+  for (std::size_t t = steps; t-- > 0;) {
+    if (t < payload_bits) decoded.set_bit(t, survivor[t][state] != 0);
+    state = prev_state[t][state];
+  }
+  return decoded;
+}
+
+}  // namespace pbecc::phy

@@ -1,0 +1,46 @@
+// LTE-style convolutional coding for the control channel.
+//
+// The paper's prototype reuses srsLTE's convolutional decoder (§5); this
+// module provides the equivalent: the 3GPP 36.212 rate-1/3, constraint-
+// length-7 code (generators 133/171/165 octal) with circular-buffer rate
+// matching to the aggregation-level capacity, and a hard-decision Viterbi
+// decoder that treats punctured positions as erasures.
+//
+// Deviation from 36.212: we terminate the trellis with six zero tail bits
+// instead of tail-biting (documented in DESIGN.md) — decoding is simpler
+// and the behaviourally relevant property (coding gain growing with
+// aggregation level) is identical.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvec.h"
+
+namespace pbecc::phy {
+
+inline constexpr int kConvConstraint = 7;   // K: 6 memory bits
+inline constexpr int kConvRateInv = 3;      // rate 1/3
+inline constexpr int kConvTailBits = kConvConstraint - 1;
+
+// Encode `payload` (+ 6 zero tail bits) with the rate-1/3 code:
+// output length = 3 * (payload.size() + 6).
+util::BitVec conv_encode(const util::BitVec& payload);
+
+// Rate-match `coded` to exactly `target_bits` via a circular buffer:
+// repetition when target > coded size, uniform puncturing otherwise.
+util::BitVec rate_match(const util::BitVec& coded, std::size_t target_bits);
+
+// Which mother-code positions survive rate matching to `target_bits`
+// (inverse mapping used by the decoder to place received bits/erasures).
+std::vector<int> rate_match_counts(std::size_t coded_bits,
+                                   std::size_t target_bits);
+
+// Viterbi-decode `received` (a rate-matched block of `target_bits` bits)
+// back to `payload_bits` information bits. Punctured positions contribute
+// no branch metric; repeated positions vote. Always returns a best-effort
+// decision — callers validate with the CRC.
+util::BitVec conv_decode(const util::BitVec& received,
+                         std::size_t payload_bits);
+
+}  // namespace pbecc::phy

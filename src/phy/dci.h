@@ -1,0 +1,69 @@
+// Downlink Control Information (DCI) messages and their bit-level wire
+// format on the synthetic control channel.
+//
+// 3GPP defines ten DCI formats; the base station never announces which
+// format a message uses, so monitors (and the phone itself) blind-decode by
+// trying every format at every search-space candidate (paper §5, footnote 2).
+// We carry the fields PBE-CC's algorithm actually consumes — RNTI, PRB
+// allocation, MCS, spatial streams, HARQ process and new-data indicator —
+// in formats of genuinely different bit lengths so the blind search is real.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "phy/cell_config.h"
+#include "phy/mcs.h"
+#include "util/bitvec.h"
+
+namespace pbecc::phy {
+
+// A subset of 3GPP 36.212 DCI formats that differ in payload size.
+// Format0 is an uplink grant (present on the channel, ignored by the
+// downlink capacity monitor); 1A is the compact downlink allocation;
+// 1 the full bitmap allocation; 2/2A carry MIMO (2-stream) allocations.
+enum class DciFormat : std::uint8_t {
+  kFormat0 = 0,   // uplink grant
+  kFormat1A = 1,  // compact downlink, 1 stream
+  kFormat1 = 2,   // full downlink, 1 stream
+  kFormat2 = 3,   // downlink MIMO, up to 2 streams
+  kFormat2A = 4,  // downlink MIMO (open loop), up to 2 streams
+};
+
+inline constexpr int kNumDciFormats = 5;
+
+// Payload bit length of each format (excluding the 16-bit CRC). Distinct
+// lengths are what force a real blind search. All under the 70-bit bound
+// the paper cites for control messages (§7).
+int dci_payload_bits(DciFormat f);
+
+struct Dci {
+  Rnti rnti = 0;
+  DciFormat format = DciFormat::kFormat1A;
+  bool is_downlink() const { return format != DciFormat::kFormat0; }
+
+  // Resource allocation: contiguous for our scheduler.
+  std::uint16_t prb_start = 0;
+  std::uint16_t n_prbs = 0;
+
+  Mcs mcs{};                    // CQI-equivalent MCS + stream count
+  std::uint8_t harq_id = 0;     // 0..7
+  bool new_data = true;         // NDI: toggled for new TBs, kept for retx
+
+  bool operator==(const Dci&) const = default;
+};
+
+// Serialize to payload bits (MSB-first fields) + 16-bit RNTI-masked CRC.
+// Total on-air bits = dci_payload_bits(format) + 16.
+util::BitVec encode_dci(const Dci& d);
+
+// Attempt to parse `bits` as a `format` message. Checks structural
+// validity (field ranges vs `n_cell_prbs`) and returns the message with the
+// RNTI recovered from the CRC mask; returns nullopt if the CRC residue is
+// not a plausible C-RNTI or fields are out of range. The caller layers
+// further RNTI plausibility filtering on top (see decoder::RntiTracker).
+std::optional<Dci> decode_dci(const util::BitVec& bits, DciFormat format,
+                              int n_cell_prbs);
+
+}  // namespace pbecc::phy

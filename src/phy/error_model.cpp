@@ -1,0 +1,33 @@
+#include "phy/error_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pbecc::phy {
+
+double residual_ber_from_rssi(double rssi_dbm) {
+  // Log-linear interpolation through the paper's anchors:
+  //   (-98 dBm, 1e-6) and (-113 dBm, 5e-6).
+  // slope = log10(5) / 15 dB of attenuation.
+  constexpr double kAnchorRssi = -98.0;
+  constexpr double kAnchorBer = 1e-6;
+  constexpr double kSlopePerDb = 0.69897 / 15.0;  // log10(5)/15
+  const double exponent = (kAnchorRssi - rssi_dbm) * kSlopePerDb;
+  const double p = kAnchorBer * std::pow(10.0, exponent);
+  return std::clamp(p, 1e-8, 1e-3);
+}
+
+double tb_error_rate(double p, double tb_bits) {
+  if (p <= 0.0 || tb_bits <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+  // 1 - (1-p)^L via expm1/log1p for numerical stability at small p.
+  return -std::expm1(tb_bits * std::log1p(-p));
+}
+
+double qpsk_ber(double sinr_db) {
+  const double snr = std::pow(10.0, sinr_db / 10.0);
+  // Q(sqrt(2*snr)) = 0.5 * erfc(sqrt(snr))
+  return 0.5 * std::erfc(std::sqrt(std::max(snr, 0.0)));
+}
+
+}  // namespace pbecc::phy

@@ -1,0 +1,61 @@
+#include "phy/mcs.h"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+
+namespace pbecc::phy {
+
+namespace {
+
+// 3GPP 36.213 Table 7.2.3-1. Index 0 means "out of range" (no transmission).
+constexpr std::array<CqiEntry, kNumCqi> kCqiTable = {{
+    {0, 0.0},       // 0: out of range
+    {2, 78.0 / 1024.0},
+    {2, 120.0 / 1024.0},
+    {2, 193.0 / 1024.0},
+    {2, 308.0 / 1024.0},
+    {2, 449.0 / 1024.0},
+    {2, 602.0 / 1024.0},
+    {4, 378.0 / 1024.0},
+    {4, 490.0 / 1024.0},
+    {4, 616.0 / 1024.0},
+    {6, 466.0 / 1024.0},
+    {6, 567.0 / 1024.0},
+    {6, 666.0 / 1024.0},
+    {6, 772.0 / 1024.0},
+    {6, 873.0 / 1024.0},
+    {6, 948.0 / 1024.0},
+}};
+
+// SINR (dB) thresholds at which each CQI becomes sustainable, from the
+// standard AWGN link-level curves at the 10% BLER operating point.
+constexpr std::array<double, kNumCqi> kCqiSinrThresholdDb = {{
+    -10.0,  // CQI 0 placeholder
+    -6.7, -4.7, -2.3, 0.2, 2.4, 4.3, 5.9, 8.1, 10.3, 11.7,
+    14.1, 16.3, 18.7, 21.0, 22.7,
+}};
+
+}  // namespace
+
+const CqiEntry& cqi_entry(int cqi) {
+  if (cqi < 0 || cqi >= kNumCqi) throw std::out_of_range("cqi");
+  return kCqiTable[static_cast<std::size_t>(cqi)];
+}
+
+double bits_per_prb(int cqi, int n_streams) {
+  const auto& e = cqi_entry(cqi);
+  n_streams = std::clamp(n_streams, 1, 2);
+  return kResourceElementsPerPrb * e.modulation_order * e.code_rate *
+         static_cast<double>(n_streams);
+}
+
+int cqi_from_sinr_db(double sinr_db) {
+  int cqi = 0;
+  for (int i = 1; i < kNumCqi; ++i) {
+    if (sinr_db >= kCqiSinrThresholdDb[static_cast<std::size_t>(i)]) cqi = i;
+  }
+  return cqi;
+}
+
+}  // namespace pbecc::phy

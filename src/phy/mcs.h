@@ -1,0 +1,49 @@
+// Link adaptation: CQI <-> MCS <-> spectral efficiency.
+//
+// The base station picks a modulation-and-coding scheme from the user's
+// reported channel quality indicator (CQI); the DCI announces the MCS and
+// number of spatial streams, from which both the scheduled user and a
+// PBE-CC monitor compute the wireless physical data rate Rw (bits per PRB
+// per subframe, paper Eqn 2).
+#pragma once
+
+#include <cstdint>
+
+namespace pbecc::phy {
+
+// 3GPP 36.213 Table 7.2.3-1 (4-bit CQI table).
+struct CqiEntry {
+  int modulation_order;  // bits per symbol: 2 = QPSK, 4 = 16QAM, 6 = 64QAM
+  double code_rate;      // effective channel code rate
+};
+
+inline constexpr int kNumCqi = 16;  // CQI 0 (out of range) .. 15
+
+const CqiEntry& cqi_entry(int cqi);
+
+// Resource elements usable for data per PRB pair per subframe
+// (12 subcarriers x 14 OFDM symbols = 168; reference-signal and control
+// overhead is accounted separately via the paper's protocol overhead gamma).
+inline constexpr int kResourceElementsPerPrb = 168;
+
+// Physical data rate in bits per PRB per subframe for a given CQI and
+// number of spatial streams (1 or 2). Max ~1.87 kbit/PRB/subframe
+// = 1.87 Mbit/s/PRB, matching the paper's 1.8 Mbit/s/PRB ceiling (Fig 11b).
+double bits_per_prb(int cqi, int n_streams);
+
+// Map a post-equalization SINR (dB) to the highest CQI whose code rate the
+// channel supports (standard BLER<=10% operating point approximation).
+int cqi_from_sinr_db(double sinr_db);
+
+// 5-bit MCS index carried in the DCI. We use a direct CQI<->MCS identity
+// mapping plus the stream count; real deployments use a finer 29-entry
+// table but the information content is the same.
+struct Mcs {
+  int cqi = 1;        // 1..15
+  int n_streams = 1;  // 1..2 spatial streams
+
+  double bits_per_prb() const { return phy::bits_per_prb(cqi, n_streams); }
+  bool operator==(const Mcs&) const = default;
+};
+
+}  // namespace pbecc::phy

@@ -1,0 +1,109 @@
+#include "phy/pdcch.h"
+
+#include <stdexcept>
+
+namespace pbecc::phy {
+
+int aggregation_level_for_sinr(double sinr_db) {
+  // Conservative link adaptation for the control channel: losing a DCI is
+  // far costlier than the extra CCEs (an unseen grant looks like idle
+  // spectrum to monitors and stalls the scheduled user), so cells move to
+  // high aggregation well before the cell edge.
+  if (sinr_db >= 13.0) return 1;
+  if (sinr_db >= 8.0) return 2;
+  if (sinr_db >= 2.0) return 4;
+  return 8;
+}
+
+int repetitions_that_fit(int msg_bits, int agg_level) {
+  if (msg_bits <= 0) return 0;
+  return (agg_level * kBitsPerCce) / msg_bits;
+}
+
+PdcchBuilder::PdcchBuilder(const CellConfig& cfg, std::int64_t sf_index)
+    : coding_(cfg.pdcch_coding) {
+  sf_.cell_id = cfg.id;
+  sf_.sf_index = sf_index;
+  sf_.n_cces = cfg.n_cces();
+  sf_.coding = coding_;
+  sf_.bits = util::BitVec(static_cast<std::size_t>(sf_.n_cces) * kBitsPerCce);
+  sf_.cce_used.assign(static_cast<std::size_t>(sf_.n_cces), false);
+}
+
+int PdcchBuilder::cces_free() const {
+  int free = 0;
+  for (bool used : sf_.cce_used) free += used ? 0 : 1;
+  return free;
+}
+
+bool PdcchBuilder::add(const Dci& dci, int aggregation_level) {
+  const int al = aggregation_level;
+  if (al != 1 && al != 2 && al != 4 && al != 8) {
+    throw std::invalid_argument("aggregation level must be 1/2/4/8");
+  }
+  const util::BitVec msg = encode_dci(dci);
+  const auto region_bits = static_cast<std::size_t>(al) * kBitsPerCce;
+
+  util::BitVec block;
+  if (coding_ == PdcchCoding::kRepetition) {
+    if (repetitions_that_fit(static_cast<int>(msg.size()), al) == 0) {
+      return false;
+    }
+  } else {
+    // Convolutional: the rate-matched block must leave actual redundancy
+    // (effective rate well below 1) or the Viterbi decoder cannot recover
+    // the punctured positions. Long formats therefore need AL >= 2.
+    const std::size_t steps = msg.size() + kConvTailBits;
+    if (region_bits < 2 * steps) return false;
+    block = rate_match(conv_encode(msg), region_bits);
+  }
+
+  // First-fit over AL-aligned candidates (the LTE search space structure).
+  for (int start = 0; start + al <= sf_.n_cces; start += al) {
+    bool free = true;
+    for (int c = start; c < start + al; ++c) {
+      if (sf_.cce_used[static_cast<std::size_t>(c)]) { free = false; break; }
+    }
+    if (!free) continue;
+
+    const auto base = static_cast<std::size_t>(start) * kBitsPerCce;
+    if (coding_ == PdcchCoding::kRepetition) {
+      // Repetition-code the message across the aggregated CCEs; leftover
+      // bits keep their (zero) filler value.
+      const int reps = repetitions_that_fit(static_cast<int>(msg.size()), al);
+      for (int r = 0; r < reps; ++r) {
+        for (std::size_t i = 0; i < msg.size(); ++i) {
+          sf_.bits.set_bit(base + static_cast<std::size_t>(r) * msg.size() + i,
+                           msg.bit(i));
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < region_bits; ++i) {
+        sf_.bits.set_bit(base + i, block.bit(i));
+      }
+    }
+    for (int c = start; c < start + al; ++c) {
+      sf_.cce_used[static_cast<std::size_t>(c)] = true;
+    }
+    return true;
+  }
+  return false;
+}
+
+bool PdcchBuilder::add_escalating(const Dci& dci, int aggregation_level) {
+  for (int al = aggregation_level; al <= 8; al *= 2) {
+    if (add(dci, al)) return true;
+  }
+  return false;
+}
+
+PdcchSubframe PdcchBuilder::build() && { return std::move(sf_); }
+
+void apply_bit_noise(PdcchSubframe& sf, double ber, util::Rng& rng) {
+  if (ber <= 0.0) return;
+  for (std::size_t i = 0; i < sf.bits.size(); ++i) {
+    if (rng.bernoulli(ber)) sf.bits.flip_bit(i);
+  }
+}
+
+}  // namespace pbecc::phy

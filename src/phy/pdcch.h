@@ -1,0 +1,71 @@
+// Synthetic physical downlink control channel (PDCCH).
+//
+// This is the encode side of the SDR substitution: instead of live I/Q
+// samples, each cell emits one PdcchSubframe per millisecond — a control
+// region of CCEs (control channel elements, 72 bits each) into which DCI
+// messages are packed at an aggregation level of 1/2/4/8 CCEs with
+// repetition coding. A channel then flips bits at the monitor's control
+// BER, and the blind decoder (src/decoder) searches candidates exactly the
+// way the paper's srsLTE-based decoder does.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "phy/cell_config.h"
+#include "phy/convolutional.h"
+#include "phy/dci.h"
+#include "util/bitvec.h"
+#include "util/rng.h"
+
+namespace pbecc::phy {
+
+inline constexpr int kBitsPerCce = 72;
+inline constexpr int kAggregationLevels[] = {1, 2, 4, 8};
+
+// Pick the aggregation level the base station would use for a user at the
+// given control-channel SINR: poorer channels get more CCEs.
+int aggregation_level_for_sinr(double sinr_db);
+
+struct PdcchSubframe {
+  CellId cell_id = 0;
+  std::int64_t sf_index = 0;
+  int n_cces = 0;
+  PdcchCoding coding = PdcchCoding::kRepetition;
+  util::BitVec bits;           // n_cces * kBitsPerCce bits
+  std::vector<bool> cce_used;  // encoder-side occupancy (ground truth)
+};
+
+// Packs DCI messages into one subframe's control region.
+class PdcchBuilder {
+ public:
+  PdcchBuilder(const CellConfig& cfg, std::int64_t sf_index);
+
+  // Place `dci` at the first free aggregation-aligned candidate.
+  // Returns false if the control region is full (message dropped, as in a
+  // real cell whose PDCCH is exhausted).
+  bool add(const Dci& dci, int aggregation_level);
+
+  // As add(), but escalates the aggregation level (doubling up to 8) when
+  // the requested one cannot carry the message — e.g. a long DCI under
+  // convolutional coding needs at least the AL whose rate-matched block
+  // keeps the code rate below 1/2.
+  bool add_escalating(const Dci& dci, int aggregation_level);
+
+  int cces_free() const;
+  PdcchSubframe build() &&;
+
+ private:
+  PdcchCoding coding_;
+  PdcchSubframe sf_;
+};
+
+// Flip each bit independently with probability `ber` — the monitor-side
+// reception noise. (The scheduled user itself sees the same channel.)
+void apply_bit_noise(PdcchSubframe& sf, double ber, util::Rng& rng);
+
+// Number of repetitions of a (payload+CRC) message of `msg_bits` bits that
+// fit in `agg_level` CCEs; 0 if it does not fit at all.
+int repetitions_that_fit(int msg_bits, int agg_level);
+
+}  // namespace pbecc::phy

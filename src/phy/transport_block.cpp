@@ -1,0 +1,17 @@
+#include "phy/transport_block.h"
+
+#include <stdexcept>
+
+namespace pbecc::phy {
+
+double transport_block_bits(int n_prbs, const Mcs& mcs) {
+  if (n_prbs < 0) throw std::invalid_argument("negative PRB count");
+  return static_cast<double>(n_prbs) * mcs.bits_per_prb();
+}
+
+double transport_block_bits(const Dci& dci) {
+  if (!dci.is_downlink()) throw std::invalid_argument("uplink DCI has no downlink TB");
+  return transport_block_bits(dci.n_prbs, dci.mcs);
+}
+
+}  // namespace pbecc::phy

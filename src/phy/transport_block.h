@@ -1,0 +1,21 @@
+// Transport-block sizing and the per-subframe downlink grant.
+//
+// One transport block (TB) carries the data scheduled for one user in one
+// subframe; its size is n_prbs * bits_per_prb(MCS). TBs fail as a whole
+// with probability 1-(1-p)^L (paper Fig 6b) and are then HARQ-retransmitted
+// 8 subframes later (paper Fig 3).
+#pragma once
+
+#include <cstdint>
+
+#include "phy/dci.h"
+
+namespace pbecc::phy {
+
+// Usable TB payload bits for an allocation.
+double transport_block_bits(int n_prbs, const Mcs& mcs);
+
+// As above but from a decoded DCI (downlink formats only).
+double transport_block_bits(const Dci& dci);
+
+}  // namespace pbecc::phy

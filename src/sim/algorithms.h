@@ -1,0 +1,24 @@
+// Factory for the congestion-control algorithms under test (paper §6.1:
+// PBE-CC vs Sprout, Verus, BBR, CUBIC, Copa, PCC and PCC-Vivace).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/congestion_controller.h"
+
+namespace pbecc::sim {
+
+// The eight algorithms of the paper's evaluation, in its display order.
+const std::vector<std::string>& all_algorithms();
+
+// True for "pbe" — the scenario must attach a PbeClient to the receiver.
+bool needs_pbe_client(const std::string& name);
+
+// Construct a controller by name ("pbe", "bbr", "cubic", "copa", "verus",
+// "sprout", "pcc", "vivace"). Throws std::invalid_argument on unknown name.
+std::unique_ptr<net::CongestionController> make_controller(
+    const std::string& name, std::uint64_t seed);
+
+}  // namespace pbecc::sim

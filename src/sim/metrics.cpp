@@ -1,0 +1,45 @@
+#include "sim/metrics.h"
+
+namespace pbecc::sim {
+
+void FlowStats::roll_windows(util::Time now) {
+  while (now - window_start_ >= window_) {
+    window_tputs_.add(static_cast<double>(window_bytes_) * 8.0 /
+                      util::to_seconds(window_) / 1e6);
+    window_bytes_ = 0;
+    window_start_ += window_;
+  }
+}
+
+void FlowStats::on_delivery(const net::Packet& pkt, util::Time now) {
+  if (finished_) return;
+  if (first_ < 0) {
+    first_ = now;
+    window_start_ = now;
+  }
+  last_ = now;
+  ++packets_;
+  bytes_ += static_cast<std::uint64_t>(pkt.bytes);
+
+  delays_ms_.add(util::to_millis(now - pkt.sent_time));
+
+  roll_windows(now);
+  window_bytes_ += pkt.bytes;
+}
+
+void FlowStats::finish(util::Time now) {
+  if (finished_ || first_ < 0) return;
+  finished_ = true;
+  if (window_bytes_ > 0 && now > window_start_) {
+    // Flush the final partial window at its actual length.
+    window_tputs_.add(static_cast<double>(window_bytes_) * 8.0 /
+                      util::to_seconds(now - window_start_) / 1e6);
+  }
+}
+
+double FlowStats::avg_tput_mbps() const {
+  if (first_ < 0 || last_ <= first_) return 0;
+  return static_cast<double>(bytes_) * 8.0 / util::to_seconds(last_ - first_) / 1e6;
+}
+
+}  // namespace pbecc::sim

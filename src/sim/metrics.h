@@ -1,0 +1,57 @@
+// Per-flow measurement collection, mirroring the paper's methodology
+// (§6.1): per-packet one-way delay, and throughput averaged over
+// 100-millisecond windows, from which order statistics are reported.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.h"
+#include "util/stats.h"
+#include "util/time.h"
+
+namespace pbecc::sim {
+
+class FlowStats {
+ public:
+  explicit FlowStats(util::Duration window = 100 * util::kMillisecond)
+      : window_(window) {}
+
+  void on_delivery(const net::Packet& pkt, util::Time now);
+
+  // Mark the end of measurement (flushes the last partial window).
+  void finish(util::Time now);
+
+  // --- Delay (milliseconds) ---
+  const util::SampleSet& delays_ms() const { return delays_ms_; }
+  double avg_delay_ms() const { return delays_ms_.mean(); }
+  double p95_delay_ms() const { return delays_ms_.percentile(95); }
+  double median_delay_ms() const { return delays_ms_.percentile(50); }
+
+  // --- Throughput (Mbit/s), per window and overall ---
+  const util::SampleSet& window_tputs_mbps() const { return window_tputs_; }
+  double avg_tput_mbps() const;
+
+  std::uint64_t packets() const { return packets_; }
+  std::uint64_t bytes() const { return bytes_; }
+  util::Time first_delivery() const { return first_; }
+  util::Time last_delivery() const { return last_; }
+
+ private:
+  void roll_windows(util::Time now);
+
+  util::Duration window_;
+  util::SampleSet delays_ms_;
+  util::SampleSet window_tputs_;
+
+  util::Time window_start_ = -1;
+  std::int64_t window_bytes_ = 0;
+
+  std::uint64_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+  util::Time first_ = -1;
+  util::Time last_ = -1;
+  bool finished_ = false;
+};
+
+}  // namespace pbecc::sim

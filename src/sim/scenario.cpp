@@ -1,0 +1,229 @@
+#include "sim/scenario.h"
+
+#include <stdexcept>
+
+#include "pbe/pbe_sender.h"
+#include "sim/algorithms.h"
+
+namespace pbecc::sim {
+
+Scenario::Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)), rng_(cfg_.seed) {
+  for (std::size_t i = 0; i < cfg_.cells.size(); ++i) {
+    phy::CellConfig cc;
+    cc.id = static_cast<phy::CellId>(i + 1);
+    cc.bandwidth_mhz = cfg_.cells[i].bandwidth_mhz;
+    cc.pdcch_coding = cfg_.cells[i].convolutional_pdcch
+                          ? phy::PdcchCoding::kConvolutional
+                          : phy::PdcchCoding::kRepetition;
+    cell_cfgs_.push_back(cc);
+  }
+  mac::BaseStationConfig bs_cfg;
+  bs_cfg.scheduler = cfg_.scheduler;
+  bs_cfg.seed = rng_.next_u64();
+  // Per-cell control-traffic intensity is folded into one generator config;
+  // BaseStation forks seeds per cell. Use the first cell's figure for all
+  // (location profiles keep them equal).
+  bs_cfg.control_traffic.users_per_subframe =
+      cfg_.cells.front().control_users_per_subframe;
+  bs_ = std::make_unique<mac::BaseStation>(loop_, cell_cfgs_, bs_cfg);
+}
+
+phy::Rnti Scenario::rnti_for(mac::UeId ue) const {
+  return static_cast<phy::Rnti>(0x100 + ue);
+}
+
+void Scenario::add_ue(const UeSpec& spec) {
+  mac::UeConfig cfg;
+  cfg.id = spec.id;
+  cfg.rnti = rnti_for(spec.id);
+  for (std::size_t idx : spec.cell_indices) {
+    cfg.aggregated_cells.push_back(cell_cfgs_.at(idx).id);
+  }
+  cfg.channel.trace = spec.trace;
+  cfg.channel.noise_floor_dbm = spec.noise_floor_dbm;
+  cfg.channel.seed = rng_.next_u64();
+  cfg.ca = spec.ca;
+  cfg.scheduling_weight = spec.scheduling_weight;
+
+  ue_specs_[spec.id] = spec;
+  const mac::UeId id = spec.id;
+  bs_->add_ue(cfg, [this, id](net::Packet pkt) {
+    auto& receivers = ue_receivers_[id];
+    const auto it = receivers.find(pkt.flow);
+    if (it != receivers.end()) it->second->on_packet(std::move(pkt));
+    // Unknown flow (background session payload): discarded at the UE.
+  });
+}
+
+int Scenario::add_flow(const FlowSpec& spec) {
+  if (!ue_specs_.contains(spec.ue)) {
+    throw std::invalid_argument("add_flow: UE not registered");
+  }
+  auto ctx = std::make_unique<FlowCtx>();
+  ctx->spec = spec;
+  ctx->stats = std::make_unique<FlowStats>();
+  const auto flow_id = static_cast<net::FlowId>(flows_.size() + 1);
+
+  // --- Controller (and PBE client when needed).
+  std::unique_ptr<net::CongestionController> cc;
+  if (spec.algo == "fixed") {
+    if (spec.fixed_rate <= 0) throw std::invalid_argument("fixed flow needs rate");
+    cc = std::make_unique<net::FixedRateController>(spec.fixed_rate);
+  } else if (spec.algo == "pbe" && spec.pbe_cwnd_gain > 0) {
+    pbe::PbeSenderConfig pscfg;
+    pscfg.cwnd_gain = spec.pbe_cwnd_gain;
+    pscfg.seed = rng_.next_u64();
+    cc = std::make_unique<pbe::PbeSender>(pscfg);
+  } else {
+    cc = make_controller(spec.algo, rng_.next_u64());
+  }
+
+  // --- Downlink path: sender -> [Internet bottleneck] -> delay -> BS queue.
+  const mac::UeId ue = spec.ue;
+  ctx->downlink = std::make_unique<net::DelayLink>(
+      loop_, spec.path.one_way_delay,
+      [this, ue](net::Packet pkt) { bs_->enqueue(ue, std::move(pkt)); },
+      spec.path.jitter, rng_.next_u64());
+
+  net::PacketHandler egress;
+  if (spec.path.internet_rate > 0) {
+    net::BottleneckLink::Config bl;
+    bl.rate = spec.path.internet_rate;
+    bl.buffer_bytes = spec.path.internet_buffer_bytes;
+    bl.propagation_delay = 0;  // delay applied by the DelayLink stage
+    ctx->bottleneck = std::make_unique<net::BottleneckLink>(
+        loop_, bl, [d = ctx->downlink.get()](net::Packet pkt) { d->send(std::move(pkt)); });
+    egress = [b = ctx->bottleneck.get()](net::Packet pkt) { b->send(std::move(pkt)); };
+  } else {
+    egress = [d = ctx->downlink.get()](net::Packet pkt) { d->send(std::move(pkt)); };
+  }
+
+  // --- Sender.
+  net::FlowSender::Config scfg;
+  scfg.id = flow_id;
+  scfg.start_time = spec.start;
+  scfg.stop_time = spec.stop;
+  ctx->sender = std::make_unique<net::FlowSender>(loop_, scfg, std::move(cc),
+                                                  std::move(egress));
+
+  // --- Receiver; ACKs return over a symmetric fixed-delay uplink.
+  auto* sender_ptr = ctx->sender.get();
+  const util::Duration up_delay = spec.path.one_way_delay;
+  ctx->receiver = std::make_unique<net::FlowReceiver>(
+      loop_, flow_id, [this, sender_ptr, up_delay](net::Ack ack) {
+        loop_.schedule_in(up_delay, [sender_ptr, ack] { sender_ptr->on_ack(ack); });
+      });
+  ctx->receiver->set_delivery_observer(
+      [st = ctx->stats.get()](const net::Packet& pkt, util::Time now) {
+        st->on_delivery(pkt, now);
+      });
+
+  // --- ABC-style oracle: the base station stamps each ACK with its own
+  // fair-share estimate for this user (no endpoint measurement involved).
+  if (spec.algo == "abc") {
+    ctx->receiver->set_feedback_filler(
+        [this, ue](const net::Packet&, util::Time, net::Ack& ack) {
+          const util::RateBps rate = bs_->explicit_rate_bps(ue);
+          if (rate > 1000.0) {
+            ack.pbe_rate_interval_us = static_cast<std::uint32_t>(
+                std::clamp(1500.0 * 8.0 / rate * 1e6, 1.0, 4e9));
+          }
+        });
+  }
+
+  // --- PBE-CC client: decoder monitor + feedback filler.
+  if (needs_pbe_client(spec.algo)) {
+    pbe::PbeClientConfig pcfg;
+    pcfg.rnti = rnti_for(spec.ue);
+    for (std::size_t idx : ue_specs_.at(spec.ue).cell_indices) {
+      pcfg.cells.push_back(cell_cfgs_.at(idx));
+    }
+    pcfg.seed = rng_.next_u64();
+    if (!spec.pbe_control_filter) {
+      pcfg.tracker.min_active_subframes = 0;
+      pcfg.tracker.min_average_prbs = 0;
+    }
+    const double extra_ber = spec.pbe_monitor_extra_ber;
+    ctx->client = std::make_unique<pbe::PbeClient>(
+        pcfg, [this, ue, extra_ber](phy::CellId cell) {
+          auto ch = bs_->channel_state(ue, cell);
+          ch.control_ber += extra_ber;
+          return ch;
+        });
+    bs_->add_pdcch_observer(
+        [c = ctx->client.get()](const phy::PdcchSubframe& sf) { c->on_pdcch(sf); });
+    ctx->receiver->set_feedback_filler(
+        [c = ctx->client.get()](const net::Packet& pkt, util::Time now, net::Ack& ack) {
+          c->fill_feedback(pkt, now, ack);
+        });
+  }
+
+  ue_receivers_[spec.ue][flow_id] = ctx->receiver.get();
+  flows_.push_back(std::move(ctx));
+  return static_cast<int>(flows_.size()) - 1;
+}
+
+void Scenario::add_background(const BackgroundSpec& spec) {
+  std::vector<mac::UeId> users;
+  for (int i = 0; i < spec.n_users; ++i) {
+    const mac::UeId id = next_bg_ue_++;
+    mac::UeConfig cfg;
+    cfg.id = id;
+    cfg.rnti = rnti_for(id);
+    cfg.aggregated_cells = {cell_cfgs_.at(spec.cell_index).id};
+    const double rssi = rng_.normal(spec.rssi_mean_dbm, spec.rssi_sigma_db);
+    cfg.channel.trace = phy::MobilityTrace::stationary(rssi);
+    cfg.channel.seed = rng_.next_u64();
+    bs_->add_ue(cfg, [](net::Packet) { /* background payload: discard */ });
+    users.push_back(id);
+  }
+  schedule_bg_sessions(spec, std::move(users));
+}
+
+void Scenario::schedule_bg_sessions(const BackgroundSpec& spec,
+                                    std::vector<mac::UeId> users) {
+  if (users.empty() || spec.sessions_per_sec <= 0) return;
+  // Recurring Poisson session arrivals. Each session trickles fixed-rate
+  // packets straight into its user's base-station queue (the wired leg of
+  // background flows is irrelevant to the cell under study).
+  const auto arrival = [this, spec, users](const auto& self) -> void {
+    const auto gap = static_cast<util::Duration>(
+        rng_.exponential(1.0 / spec.sessions_per_sec) * util::kSecond);
+    loop_.schedule_in(std::max<util::Duration>(gap, util::kMillisecond), [this, spec, users, self] {
+      const mac::UeId ue =
+          users[static_cast<std::size_t>(rng_.uniform_int(0, static_cast<std::int64_t>(users.size()) - 1))];
+      const double rate = rng_.uniform(spec.rate_lo, spec.rate_hi);
+      const auto duration = static_cast<util::Duration>(
+          rng_.exponential(util::to_seconds(spec.mean_duration)) * util::kSecond);
+      const util::Time end = loop_.now() + std::max<util::Duration>(duration, 10 * util::kMillisecond);
+      const auto flow = static_cast<net::FlowId>(bg_flow_seq_++);
+      const util::Duration interval =
+          util::transmission_delay(net::kDefaultMss, rate);
+
+      // Per-session packet pump.
+      const auto pump = [this, ue, end, flow, interval](const auto& pump_self) -> void {
+        if (loop_.now() >= end) return;
+        net::Packet pkt;
+        pkt.flow = flow;
+        pkt.seq = 0;
+        pkt.bytes = net::kDefaultMss;
+        pkt.sent_time = loop_.now();
+        bs_->enqueue(ue, std::move(pkt));
+        loop_.schedule_in(std::max<util::Duration>(interval, 50), [pump_self] { pump_self(pump_self); });
+      };
+      pump(pump);
+      self(self);  // schedule the next session arrival
+    });
+  };
+  arrival(arrival);
+}
+
+void Scenario::run_until(util::Time t) {
+  if (!started_) {
+    started_ = true;
+    bs_->start();
+  }
+  loop_.run_until(t);
+}
+
+}  // namespace pbecc::sim

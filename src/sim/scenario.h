@@ -1,0 +1,143 @@
+// Scenario: assembles end-to-end experiments — content servers behind
+// Internet paths, the cellular base station with its component carriers,
+// mobile users (optionally with PBE-CC clients attached to their
+// receivers), and stochastic background traffic — mirroring the paper's
+// testbed (Fig 10) in simulation.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mac/base_station.h"
+#include "net/event_loop.h"
+#include "net/flow.h"
+#include "net/link.h"
+#include "pbe/pbe_client.h"
+#include "sim/metrics.h"
+#include "util/rng.h"
+
+namespace pbecc::sim {
+
+struct CellSpec {
+  double bandwidth_mhz = 10.0;
+  // Control-plane (paging/parameter) users per subframe; ~0.4 on the
+  // paper's busy cell, near zero late at night.
+  double control_users_per_subframe = 0.05;
+  // Use the 36.212 convolutional code on the control channel instead of
+  // the (cheaper to simulate) repetition code.
+  bool convolutional_pdcch = false;
+};
+
+struct UeSpec {
+  mac::UeId id = 1;
+  // Indices into the scenario's cell list; primary first.
+  std::vector<std::size_t> cell_indices = {0};
+  phy::MobilityTrace trace = phy::MobilityTrace::stationary(-92.0);
+  double noise_floor_dbm = -108.0;
+  mac::CaConfig ca{};
+  // Weight under the cell's fairness policy (ablations, §7).
+  double scheduling_weight = 1.0;
+};
+
+struct PathSpec {
+  util::Duration one_way_delay = 25 * util::kMillisecond;
+  // 0 = unconstrained Internet (wireless is the only bottleneck).
+  util::RateBps internet_rate = 0;
+  std::int64_t internet_buffer_bytes = 384 * 1024;
+  util::Duration jitter = util::kMillisecond;  // wired-segment jitter
+};
+
+struct FlowSpec {
+  std::string algo = "bbr";  // "pbe", "abc", baselines, or "fixed"
+  mac::UeId ue = 1;
+  PathSpec path{};
+  util::Time start = 50 * util::kMillisecond;
+  util::Time stop = util::kNever;
+  util::RateBps fixed_rate = 0;  // for algo == "fixed"
+
+  // --- PBE ablation knobs (ignored for other algorithms) ---
+  // Disable the control-traffic filter (Ta>1, Pa>4): every decoded RNTI
+  // counts toward N in Eqns 1-3.
+  bool pbe_control_filter = true;
+  // Override the sender's cwnd gain (0 = library default). §7's
+  // delay-for-throughput buffering knob.
+  double pbe_cwnd_gain = 0;
+  // Extra control-channel BER at the monitor (decoder robustness ablation).
+  double pbe_monitor_extra_ber = 0;
+};
+
+struct BackgroundSpec {
+  std::size_t cell_index = 0;
+  int n_users = 6;
+  double sessions_per_sec = 0.5;
+  util::Duration mean_duration = 2 * util::kSecond;
+  util::RateBps rate_lo = 2e6;
+  util::RateBps rate_hi = 12e6;
+  double rssi_mean_dbm = -95.0;
+  double rssi_sigma_db = 6.0;
+};
+
+struct ScenarioConfig {
+  std::uint64_t seed = 1;
+  std::vector<CellSpec> cells = {{}};
+  std::string scheduler = "fair-share";
+};
+
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig cfg);
+
+  // Registration (all before run_until).
+  void add_ue(const UeSpec& spec);
+  int add_flow(const FlowSpec& spec);  // returns flow index
+  void add_background(const BackgroundSpec& spec);
+
+  void run_until(util::Time t);
+
+  // --- Accessors ---
+  net::EventLoop& loop() { return loop_; }
+  mac::BaseStation& bs() { return *bs_; }
+  FlowStats& stats(int flow) { return *flows_.at(static_cast<std::size_t>(flow))->stats; }
+  net::FlowSender& sender(int flow) { return *flows_.at(static_cast<std::size_t>(flow))->sender; }
+  // Null for non-PBE flows.
+  pbe::PbeClient* pbe_client(int flow) {
+    return flows_.at(static_cast<std::size_t>(flow))->client.get();
+  }
+  std::size_t num_flows() const { return flows_.size(); }
+
+ private:
+  struct FlowCtx {
+    FlowSpec spec;
+    std::unique_ptr<net::FlowSender> sender;
+    std::unique_ptr<net::FlowReceiver> receiver;
+    std::unique_ptr<net::BottleneckLink> bottleneck;
+    std::unique_ptr<net::DelayLink> downlink;
+    std::unique_ptr<pbe::PbeClient> client;
+    std::unique_ptr<FlowStats> stats;
+  };
+
+  struct BgSession;
+
+  void schedule_bg_sessions(const BackgroundSpec& spec,
+                            std::vector<mac::UeId> users);
+  phy::Rnti rnti_for(mac::UeId ue) const;
+
+  ScenarioConfig cfg_;
+  net::EventLoop loop_;
+  std::vector<phy::CellConfig> cell_cfgs_;
+  std::unique_ptr<mac::BaseStation> bs_;
+  util::Rng rng_;
+
+  std::vector<std::unique_ptr<FlowCtx>> flows_;
+  // Per UE: receivers indexed by flow id (a device can run several
+  // concurrent connections, paper §6.3.4).
+  std::map<mac::UeId, std::map<net::FlowId, net::FlowReceiver*>> ue_receivers_;
+  std::map<mac::UeId, UeSpec> ue_specs_;
+  mac::UeId next_bg_ue_ = 10000;
+  std::uint64_t bg_flow_seq_ = 1u << 20;
+  bool started_ = false;
+};
+
+}  // namespace pbecc::sim

@@ -1,0 +1,53 @@
+// A small append/read bit vector used for DCI message payloads and the
+// synthetic PDCCH control region. Bits are stored MSB-first per message,
+// matching how 3GPP describes DCI field packing.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace pbecc::util {
+
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t nbits, bool value = false) : bits_(nbits, value) {}
+
+  std::size_t size() const { return bits_.size(); }
+  bool empty() const { return bits_.empty(); }
+
+  void push_bit(bool b) { bits_.push_back(b); }
+
+  // Append the low `nbits` of `value`, most-significant bit first.
+  void push_uint(std::uint64_t value, std::size_t nbits) {
+    for (std::size_t i = nbits; i-- > 0;) {
+      bits_.push_back(((value >> i) & 1ULL) != 0);
+    }
+  }
+
+  bool bit(std::size_t i) const { return bits_.at(i); }
+  void set_bit(std::size_t i, bool b) { bits_.at(i) = b; }
+  void flip_bit(std::size_t i) { bits_.at(i) = !bits_.at(i); }
+
+  // Read `nbits` starting at `pos`, MSB-first. Throws if out of range.
+  std::uint64_t read_uint(std::size_t pos, std::size_t nbits) const {
+    if (pos + nbits > bits_.size()) throw std::out_of_range("BitVec::read_uint");
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < nbits; ++i) {
+      v = (v << 1) | (bits_[pos + i] ? 1ULL : 0ULL);
+    }
+    return v;
+  }
+
+  void append(const BitVec& other) {
+    bits_.insert(bits_.end(), other.bits_.begin(), other.bits_.end());
+  }
+
+  bool operator==(const BitVec&) const = default;
+
+ private:
+  std::vector<bool> bits_;
+};
+
+}  // namespace pbecc::util

@@ -1,0 +1,15 @@
+#include "util/crc.h"
+
+namespace pbecc::util {
+
+std::uint16_t crc16(const BitVec& bits) {
+  std::uint16_t crc = 0xFFFF;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    const bool msb = (crc & 0x8000) != 0;
+    crc = static_cast<std::uint16_t>(crc << 1);
+    if (msb != bits.bit(i)) crc ^= 0x1021;
+  }
+  return crc;
+}
+
+}  // namespace pbecc::util

@@ -1,0 +1,21 @@
+// CRC-16/CCITT over bit strings, used to protect DCI payloads in the
+// synthetic control channel. LTE scrambles the DCI CRC with the target
+// user's RNTI so only that user (or a PBE-CC-style monitor trying every
+// RNTI hypothesis) validates it; we reproduce that masking.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bitvec.h"
+
+namespace pbecc::util {
+
+// CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF) over the bits of `bits`.
+std::uint16_t crc16(const BitVec& bits);
+
+// CRC masked (xor-ed) with a 16-bit RNTI, as LTE does for DCI.
+inline std::uint16_t crc16_rnti(const BitVec& bits, std::uint16_t rnti) {
+  return crc16(bits) ^ rnti;
+}
+
+}  // namespace pbecc::util

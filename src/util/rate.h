@@ -1,0 +1,34 @@
+// Data-rate helpers. The paper mixes three rate units:
+//   * bits per second          (end-to-end send rates),
+//   * bits per subframe        (Eqns 2-3: wireless capacity per 1 ms),
+//   * bits per PRB             (Rw, the physical data rate).
+// Keeping conversions in one place avoids unit slips.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.h"
+
+namespace pbecc::util {
+
+// Bits per second, as a plain double (rates get multiplied by gains etc.).
+using RateBps = double;
+
+inline constexpr double kBitsPerByte = 8.0;
+
+constexpr RateBps bits_per_subframe_to_bps(double bits_per_sf) {
+  return bits_per_sf * 1000.0;  // 1000 subframes per second
+}
+
+constexpr double bps_to_bits_per_subframe(RateBps bps) { return bps / 1000.0; }
+
+constexpr RateBps mbps(double m) { return m * 1e6; }
+constexpr double to_mbps(RateBps r) { return r / 1e6; }
+
+// Time to serialize `bytes` at rate `r` (returns 0 for non-positive rates).
+constexpr Duration transmission_delay(std::int64_t bytes, RateBps r) {
+  if (r <= 0) return 0;
+  return static_cast<Duration>(static_cast<double>(bytes) * kBitsPerByte / r * kSecond);
+}
+
+}  // namespace pbecc::util

@@ -1,0 +1,59 @@
+// Deterministic random number generation for reproducible simulations.
+//
+// xoshiro256** — fast, high-quality, and stable across platforms (unlike
+// std::normal_distribution etc., whose output is implementation-defined).
+// Every stochastic component takes an explicit Rng (or a seed) so that a
+// whole experiment is a pure function of its configuration.
+#pragma once
+
+#include <cstdint>
+#include <cmath>
+
+namespace pbecc::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  // Uniform on the full 64-bit range.
+  std::uint64_t next_u64();
+
+  // Uniform double in [0, 1).
+  double uniform();
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  // Exponential with given mean (mean > 0).
+  double exponential(double mean) {
+    double u = uniform();
+    // Guard against log(0).
+    if (u <= 0.0) u = 1e-18;
+    return -mean * std::log(u);
+  }
+
+  // Standard normal via Box–Muller (deterministic, platform-stable).
+  double normal();
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  // Poisson-distributed count with given mean (Knuth for small means,
+  // normal approximation above 64 to stay O(1)).
+  std::int64_t poisson(double mean);
+
+  // Derive an independent stream (e.g. per-cell, per-user sub-RNGs).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace pbecc::util

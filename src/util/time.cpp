@@ -1,0 +1,19 @@
+#include "util/time.h"
+
+#include <cstdio>
+
+namespace pbecc::util {
+
+std::string format_duration(Duration d) {
+  char buf[64];
+  if (d >= kSecond || d <= -kSecond) {
+    std::snprintf(buf, sizeof buf, "%.3fs", to_seconds(d));
+  } else if (d >= kMillisecond || d <= -kMillisecond) {
+    std::snprintf(buf, sizeof buf, "%.3fms", to_millis(d));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldus", static_cast<long long>(d));
+  }
+  return buf;
+}
+
+}  // namespace pbecc::util

@@ -1,0 +1,114 @@
+// Windowed extremum filters, in the style BBR uses for BtlBw (windowed max
+// over ~10 RTTs) and RTprop (windowed min over 10 s). PBE-CC reuses both
+// (§4.2.2–4.2.3 of the paper).
+//
+// Implementation: monotonic deque over (time, value) samples; O(1) amortized
+// update, O(1) query.
+#pragma once
+
+#include <deque>
+
+#include "util/time.h"
+
+namespace pbecc::util {
+
+template <typename V, typename Compare>
+class WindowedExtremum {
+ public:
+  explicit WindowedExtremum(Duration window) : window_(window) {}
+
+  void set_window(Duration window) { window_ = window; }
+  Duration window() const { return window_; }
+
+  void update(Time now, V value) {
+    // Drop samples that are no longer extremal once `value` arrives.
+    while (!samples_.empty() && !cmp_(samples_.back().value, value)) {
+      samples_.pop_back();
+    }
+    samples_.push_back({now, value});
+    expire(now);
+  }
+
+  // Extremum over samples newer than now - window. Returns `fallback` when
+  // no sample survives.
+  V get(Time now, V fallback = V{}) {
+    expire(now);
+    return samples_.empty() ? fallback : samples_.front().value;
+  }
+
+  bool empty() const { return samples_.empty(); }
+  void clear() { samples_.clear(); }
+
+ private:
+  struct Sample {
+    Time time;
+    V value;
+  };
+
+  void expire(Time now) {
+    while (!samples_.empty() && samples_.front().time < now - window_) {
+      samples_.pop_front();
+    }
+  }
+
+  Duration window_;
+  Compare cmp_{};
+  std::deque<Sample> samples_;
+};
+
+template <typename V>
+struct StrictlyGreater {
+  bool operator()(const V& a, const V& b) const { return a > b; }
+};
+template <typename V>
+struct StrictlyLess {
+  bool operator()(const V& a, const V& b) const { return a < b; }
+};
+
+template <typename V>
+using WindowedMax = WindowedExtremum<V, StrictlyGreater<V>>;
+template <typename V>
+using WindowedMin = WindowedExtremum<V, StrictlyLess<V>>;
+
+// Sliding-window mean over timestamped samples (used to average Rw, Pa and
+// Pidle over the most recent RTprop subframes, paper §4.2.1).
+class WindowedMean {
+ public:
+  explicit WindowedMean(Duration window) : window_(window) {}
+
+  void set_window(Duration window) { window_ = window; }
+
+  void update(Time now, double value) {
+    samples_.push_back({now, value});
+    sum_ += value;
+    expire(now);
+  }
+
+  // Mean over the window; `fallback` when empty.
+  double get(Time now, double fallback = 0.0) {
+    expire(now);
+    if (samples_.empty()) return fallback;
+    return sum_ / static_cast<double>(samples_.size());
+  }
+
+  std::size_t size() const { return samples_.size(); }
+
+ private:
+  struct Sample {
+    Time time;
+    double value;
+  };
+
+  void expire(Time now) {
+    while (!samples_.empty() && samples_.front().time < now - window_) {
+      sum_ -= samples_.front().value;
+      samples_.pop_front();
+    }
+  }
+
+  Duration window_;
+  double sum_ = 0.0;
+  std::deque<Sample> samples_;
+};
+
+}  // namespace pbecc::util

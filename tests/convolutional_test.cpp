@@ -1,0 +1,174 @@
+// Tests for the 36.212-style convolutional code and the convolutional
+// PDCCH mode (the srsLTE-equivalent path of the paper's decoder).
+#include <gtest/gtest.h>
+
+#include "decoder/blind_decoder.h"
+#include "phy/convolutional.h"
+#include "phy/pdcch.h"
+#include "util/rng.h"
+
+namespace pbecc::phy {
+namespace {
+
+util::BitVec random_payload(util::Rng& rng, std::size_t n) {
+  util::BitVec b;
+  for (std::size_t i = 0; i < n; ++i) b.push_bit(rng.bernoulli(0.5));
+  return b;
+}
+
+TEST(Convolutional, EncodeLength) {
+  util::BitVec payload(40);
+  const auto coded = conv_encode(payload);
+  EXPECT_EQ(coded.size(), 3u * (40 + kConvTailBits));
+}
+
+TEST(Convolutional, CleanRoundtrip) {
+  util::Rng rng{5};
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto payload = random_payload(rng, 20 + trial % 60);
+    const auto coded = conv_encode(payload);
+    EXPECT_EQ(conv_decode(coded, payload.size()), payload) << trial;
+  }
+}
+
+TEST(Convolutional, RateMatchRepetitionRoundtrip) {
+  util::Rng rng{7};
+  const auto payload = random_payload(rng, 62);
+  const auto coded = conv_encode(payload);
+  // Expand to 2x: every mother bit appears twice.
+  const auto block = rate_match(coded, 2 * coded.size());
+  EXPECT_EQ(block.size(), 2 * coded.size());
+  EXPECT_EQ(conv_decode(block, payload.size()), payload);
+}
+
+TEST(Convolutional, PuncturedRoundtrip) {
+  util::Rng rng{9};
+  const auto payload = random_payload(rng, 62);  // 78+tail: 252 mother bits
+  const auto coded = conv_encode(payload);
+  // Keep only ~57%: still decodes cleanly (effective rate ~0.58).
+  const auto block = rate_match(coded, 144);
+  EXPECT_EQ(conv_decode(block, payload.size()), payload);
+}
+
+TEST(Convolutional, RateMatchCountsConserve) {
+  for (std::size_t target : {72u, 144u, 288u, 576u}) {
+    const auto counts = rate_match_counts(252, target);
+    std::size_t total = 0;
+    for (int c : counts) {
+      EXPECT_GE(c, 0);
+      total += static_cast<std::size_t>(c);
+    }
+    EXPECT_EQ(total, target);
+  }
+}
+
+TEST(Convolutional, CorrectsBitErrors) {
+  util::Rng rng{11};
+  const auto payload = random_payload(rng, 62);
+  const auto coded = conv_encode(payload);
+  auto block = rate_match(coded, 288);  // AL4-equivalent redundancy
+  int corrected = 0;
+  const int trials = 50;
+  for (int t = 0; t < trials; ++t) {
+    auto noisy = block;
+    for (std::size_t i = 0; i < noisy.size(); ++i) {
+      if (rng.bernoulli(0.04)) noisy.flip_bit(i);
+    }
+    corrected += conv_decode(noisy, payload.size()) == payload ? 1 : 0;
+  }
+  // 4% BER over 288 bits = ~11 flipped; the code recovers almost always.
+  EXPECT_GT(corrected, trials * 8 / 10);
+}
+
+TEST(Convolutional, BeatsRepetitionAtSameRedundancy) {
+  // Same region budget (AL4 = 288 bits), same 4% BER: the convolutional
+  // code should decode at least as often as majority-vote repetition.
+  util::Rng rng{13};
+  CellConfig rep_cell{1, 20.0};
+  CellConfig conv_cell{1, 20.0};
+  conv_cell.pdcch_coding = PdcchCoding::kConvolutional;
+
+  int rep_ok = 0, conv_ok = 0;
+  const int trials = 60;
+  for (int t = 0; t < trials; ++t) {
+    for (const bool conv : {false, true}) {
+      const auto& cell = conv ? conv_cell : rep_cell;
+      PdcchBuilder b(cell, t);
+      Dci d;
+      d.rnti = 0x321;
+      d.format = DciFormat::kFormat1;
+      d.n_prbs = 30;
+      d.mcs = {10, 1};
+      ASSERT_TRUE(b.add(d, 4));
+      auto sf = std::move(b).build();
+      phy::apply_bit_noise(sf, 0.04, rng);
+      decoder::BlindDecoder dec{cell};
+      const auto msgs = dec.decode(sf);
+      const bool ok = msgs.size() == 1 && msgs[0].rnti == 0x321;
+      (conv ? conv_ok : rep_ok) += ok ? 1 : 0;
+    }
+  }
+  EXPECT_GE(conv_ok, rep_ok);
+  EXPECT_GT(conv_ok, trials * 3 / 4);
+}
+
+TEST(ConvolutionalPdcch, BlindDecodeAllFormats) {
+  CellConfig cell{1, 20.0};
+  cell.pdcch_coding = PdcchCoding::kConvolutional;
+  for (int f = 0; f < kNumDciFormats; ++f) {
+    const auto fmt = static_cast<DciFormat>(f);
+    PdcchBuilder b(cell, 0);
+    Dci d;
+    d.rnti = 0x234;
+    d.format = fmt;
+    d.n_prbs = f == 0 ? 4 : 25;
+    const bool mimo = fmt == DciFormat::kFormat2 || fmt == DciFormat::kFormat2A;
+    d.mcs = {9, mimo ? 2 : 1};
+    // Smallest AL with >= 2x redundancy for this format's length.
+    const int steps = dci_payload_bits(fmt) + 16 + kConvTailBits;
+    const int al = 2 * steps <= 2 * kBitsPerCce ? 2 : 4;
+    ASSERT_TRUE(b.add(d, al)) << f;
+    const auto sf = std::move(b).build();
+    decoder::BlindDecoder dec{cell};
+    const auto msgs = dec.decode(sf);
+    ASSERT_EQ(msgs.size(), 1u) << "format " << f;
+    EXPECT_EQ(msgs[0].format, fmt);
+    EXPECT_EQ(msgs[0].rnti, 0x234);
+    EXPECT_EQ(msgs[0].n_prbs, d.n_prbs);
+  }
+}
+
+TEST(ConvolutionalPdcch, Al1InfeasibleForLongFormats) {
+  CellConfig cell{1, 20.0};
+  cell.pdcch_coding = PdcchCoding::kConvolutional;
+  PdcchBuilder b(cell, 0);
+  Dci d;
+  d.rnti = 0x234;
+  d.format = DciFormat::kFormat2;  // longest format
+  d.n_prbs = 25;
+  d.mcs = {9, 2};
+  // 69+16 bits + tail ~ 91 steps: needs >= 182 coded bits, so neither AL1
+  // (72) nor AL2 (144) suffices.
+  EXPECT_FALSE(b.add(d, 1));
+  EXPECT_FALSE(b.add(d, 2));
+  EXPECT_TRUE(b.add(d, 4));
+}
+
+TEST(ConvolutionalPdcch, NoFalsePositivesOnNoise) {
+  CellConfig cell{1, 20.0};
+  cell.pdcch_coding = PdcchCoding::kConvolutional;
+  util::Rng rng{17};
+  decoder::BlindDecoder dec{cell};
+  int phantom = 0;
+  for (int t = 0; t < 100; ++t) {
+    PdcchBuilder b(cell, t);
+    auto sf = std::move(b).build();
+    std::fill(sf.cce_used.begin(), sf.cce_used.end(), true);
+    phy::apply_bit_noise(sf, 0.5, rng);
+    phantom += static_cast<int>(dec.decode(sf).size());
+  }
+  EXPECT_LE(phantom, 1);
+}
+
+}  // namespace
+}  // namespace pbecc::phy

@@ -1,0 +1,560 @@
+// Unit tests for src/mac: schedulers, HARQ, reordering, carrier
+// aggregation, control traffic, and the integrated base station.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "decoder/blind_decoder.h"
+#include "mac/base_station.h"
+#include "mac/carrier_aggregation.h"
+#include "mac/control_traffic.h"
+#include "mac/harq.h"
+#include "mac/reordering_buffer.h"
+#include "mac/scheduler.h"
+#include "util/stats.h"
+
+namespace pbecc::mac {
+namespace {
+
+SchedRequest req(UeId ue, std::int64_t bytes, double bits_per_prb = 1000.0) {
+  return SchedRequest{ue, bytes, bits_per_prb};
+}
+
+int granted(const std::vector<SchedAllocation>& allocs, UeId ue) {
+  for (const auto& a : allocs) {
+    if (a.ue == ue) return a.n_prbs;
+  }
+  return 0;
+}
+
+int total(const std::vector<SchedAllocation>& allocs) {
+  int t = 0;
+  for (const auto& a : allocs) t += a.n_prbs;
+  return t;
+}
+
+// -------------------------------------------------------------- scheduler
+
+TEST(FairShare, EqualSplitWhenSaturated) {
+  FairShareScheduler s;
+  const auto allocs = s.allocate(90, {req(1, 1'000'000), req(2, 1'000'000),
+                                      req(3, 1'000'000)});
+  EXPECT_EQ(granted(allocs, 1), 30);
+  EXPECT_EQ(granted(allocs, 2), 30);
+  EXPECT_EQ(granted(allocs, 3), 30);
+}
+
+TEST(FairShare, SurplusRedistributed) {
+  FairShareScheduler s;
+  // User 1 wants only 10 PRBs (10 * 1000 bits = 1250 bytes).
+  const auto allocs = s.allocate(90, {req(1, 1250), req(2, 1'000'000),
+                                      req(3, 1'000'000)});
+  EXPECT_EQ(granted(allocs, 1), 10);
+  EXPECT_EQ(granted(allocs, 2), 40);
+  EXPECT_EQ(granted(allocs, 3), 40);
+}
+
+TEST(FairShare, DemandLimited) {
+  FairShareScheduler s;
+  const auto allocs = s.allocate(100, {req(1, 1250), req(2, 2500)});
+  EXPECT_EQ(granted(allocs, 1), 10);
+  EXPECT_EQ(granted(allocs, 2), 20);
+  EXPECT_EQ(total(allocs), 30);
+}
+
+TEST(FairShare, MorePrbsNeverAllocatedThanAvailable) {
+  FairShareScheduler s;
+  const auto allocs = s.allocate(7, {req(1, 1e6), req(2, 1e6), req(3, 1e6),
+                                     req(4, 1e6), req(5, 1e6)});
+  EXPECT_LE(total(allocs), 7);
+  EXPECT_GE(total(allocs), 5);  // everyone gets at least one when possible
+}
+
+TEST(FairShare, ZeroDemandSkipped) {
+  FairShareScheduler s;
+  const auto allocs = s.allocate(50, {req(1, 0), req(2, 1e6)});
+  EXPECT_EQ(granted(allocs, 1), 0);
+  EXPECT_EQ(granted(allocs, 2), 50);
+}
+
+TEST(FairShare, EmptyRequests) {
+  FairShareScheduler s;
+  EXPECT_TRUE(s.allocate(50, {}).empty());
+}
+
+TEST(DemandPrbs, Rounding) {
+  EXPECT_EQ(demand_prbs(req(1, 125, 1000.0)), 1);   // 1000 bits exactly
+  EXPECT_EQ(demand_prbs(req(1, 126, 1000.0)), 2);   // 1008 bits
+  EXPECT_EQ(demand_prbs(req(1, 0, 1000.0)), 0);
+  EXPECT_EQ(demand_prbs(SchedRequest{1, 100, 0.0}), 0);
+}
+
+TEST(ProportionalFair, ConvergesNearEqualForEqualRates) {
+  ProportionalFairScheduler s;
+  std::map<UeId, long> totals;
+  for (int sf = 0; sf < 500; ++sf) {
+    for (const auto& a : s.allocate(48, {req(1, 1e6), req(2, 1e6), req(3, 1e6)})) {
+      totals[a.ue] += a.n_prbs;
+    }
+  }
+  const double avg = (totals[1] + totals[2] + totals[3]) / 3.0;
+  for (const auto& [ue, t] : totals) {
+    EXPECT_NEAR(static_cast<double>(t), avg, avg * 0.1) << "ue " << ue;
+  }
+}
+
+TEST(ProportionalFair, FavoursBetterChannelInstantaneously) {
+  ProportionalFairScheduler s;
+  // First-ever allocation: both users at equal average, user 2 has double
+  // the spectral efficiency -> gets served first.
+  const auto allocs = s.allocate(4, {req(1, 1e6, 500.0), req(2, 1e6, 1000.0)});
+  EXPECT_EQ(granted(allocs, 2), 4);
+}
+
+TEST(RoundRobin, Rotates) {
+  RoundRobinScheduler s;
+  const auto a1 = s.allocate(10, {req(1, 1e6), req(2, 1e6)});
+  const auto a2 = s.allocate(10, {req(1, 1e6), req(2, 1e6)});
+  // Each turn one user is served to the PRB limit; the next turn starts
+  // after the previously served user.
+  EXPECT_EQ(total(a1), 10);
+  EXPECT_EQ(total(a2), 10);
+  EXPECT_NE(a1.front().ue, a2.front().ue);
+}
+
+TEST(SchedulerFactory, Names) {
+  EXPECT_EQ(make_scheduler("fair-share")->name(), "fair-share");
+  EXPECT_EQ(make_scheduler("proportional-fair")->name(), "proportional-fair");
+  EXPECT_EQ(make_scheduler("round-robin")->name(), "round-robin");
+  EXPECT_THROW(make_scheduler("nope"), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------- harq
+
+TransportBlock tb(std::uint64_t seq) {
+  TransportBlock t;
+  t.tb_seq = seq;
+  t.n_prbs = 10;
+  t.bits = 1000;
+  return t;
+}
+
+TEST(Harq, ProcessLifecycle) {
+  HarqEntity h;
+  EXPECT_EQ(h.busy_processes(), 0);
+  const auto p = h.free_process();
+  ASSERT_TRUE(p.has_value());
+  h.start(*p, tb(1), 100);
+  EXPECT_EQ(h.busy_processes(), 1);
+  EXPECT_FALSE(h.retx_due(100).size());
+  const auto done = h.complete(*p);
+  EXPECT_EQ(done.tb_seq, 1u);
+  EXPECT_EQ(h.busy_processes(), 0);
+}
+
+TEST(Harq, RetxScheduledEightSubframesLater) {
+  HarqEntity h;
+  h.start(0, tb(1), 100);
+  EXPECT_TRUE(h.fail(0, 100));
+  EXPECT_TRUE(h.retx_due(107).empty());
+  const auto due = h.retx_due(108);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0], 0);
+  EXPECT_EQ(h.block(0).attempt, 1);
+}
+
+TEST(Harq, MaxThreeRetransmissions) {
+  HarqEntity h;
+  h.start(3, tb(9), 0);
+  EXPECT_TRUE(h.fail(3, 0));    // attempt 1
+  EXPECT_TRUE(h.fail(3, 8));    // attempt 2
+  EXPECT_TRUE(h.fail(3, 16));   // attempt 3
+  EXPECT_FALSE(h.fail(3, 24));  // exhausted
+  const auto dead = h.take_abandoned(3);
+  EXPECT_EQ(dead.tb_seq, 9u);
+  EXPECT_EQ(h.busy_processes(), 0);
+}
+
+TEST(Harq, AllProcessesBusyBlocksNewTbs) {
+  HarqEntity h;
+  for (int i = 0; i < kHarqProcesses; ++i) {
+    const auto p = h.free_process();
+    ASSERT_TRUE(p.has_value());
+    h.start(*p, tb(static_cast<std::uint64_t>(i)), 0);
+  }
+  EXPECT_FALSE(h.free_process().has_value());
+}
+
+TEST(Harq, MisuseThrows) {
+  HarqEntity h;
+  EXPECT_THROW(h.complete(0), std::logic_error);
+  EXPECT_THROW(h.fail(0, 0), std::logic_error);
+  h.start(0, tb(1), 0);
+  EXPECT_THROW(h.start(0, tb(2), 0), std::logic_error);
+}
+
+// ------------------------------------------------------------- reordering
+
+TEST(Reorder, InOrderPassesThrough) {
+  std::vector<std::uint64_t> out;
+  ReorderingBuffer rb([&](net::Packet p) { out.push_back(p.seq); });
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    auto t = tb(i);
+    net::Packet pkt;
+    pkt.seq = i;
+    t.completed_packets.push_back(pkt);
+    rb.on_tb_decoded(std::move(t));
+  }
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{0, 1, 2}));
+  EXPECT_EQ(rb.buffered_blocks(), 0u);
+}
+
+TEST(Reorder, HoldsUntilGapFilled) {
+  std::vector<std::uint64_t> out;
+  ReorderingBuffer rb([&](net::Packet p) { out.push_back(p.seq); });
+  auto mk = [](std::uint64_t tbseq, std::uint64_t pktseq) {
+    auto t = tb(tbseq);
+    net::Packet p;
+    p.seq = pktseq;
+    t.completed_packets.push_back(p);
+    return t;
+  };
+  rb.on_tb_decoded(mk(1, 11));  // TB 0 missing (being retransmitted)
+  rb.on_tb_decoded(mk(2, 12));
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(rb.buffered_blocks(), 2u);
+  rb.on_tb_decoded(mk(0, 10));  // retransmission arrives
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{10, 11, 12}));
+}
+
+TEST(Reorder, AbandonedTbSkipped) {
+  std::vector<std::uint64_t> out;
+  ReorderingBuffer rb([&](net::Packet p) { out.push_back(p.seq); });
+  auto t1 = tb(1);
+  net::Packet p;
+  p.seq = 21;
+  t1.completed_packets.push_back(p);
+  rb.on_tb_decoded(std::move(t1));
+  EXPECT_TRUE(out.empty());
+  rb.on_tb_abandoned(0);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{21}));
+  EXPECT_EQ(rb.next_expected(), 2u);
+}
+
+TEST(Reorder, StaleDuplicatesIgnored) {
+  int delivered = 0;
+  ReorderingBuffer rb([&](net::Packet) { ++delivered; });
+  auto mk = [](std::uint64_t tbseq) {
+    auto t = tb(tbseq);
+    t.completed_packets.push_back(net::Packet{});
+    return t;
+  };
+  rb.on_tb_decoded(mk(0));
+  rb.on_tb_decoded(mk(0));  // duplicate
+  rb.on_tb_abandoned(0);    // stale abandon
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(rb.next_expected(), 1u);
+}
+
+// --------------------------------------------------- carrier aggregation
+
+TEST(CarrierAggregation, QueueTriggeredActivation) {
+  CaConfig cfg;
+  cfg.activation_queue_bytes = 1000;
+  cfg.activation_delay = 10 * util::kMillisecond;
+  CaManager ca({1, 2, 3}, cfg);
+  EXPECT_EQ(ca.num_active(), 1u);
+  util::Time t = 0;
+  bool activated = false;
+  for (int i = 0; i < 30; ++i) {
+    t += util::kSubframe;
+    activated |= ca.on_subframe(t, 5000, 0, 0, 50).activated;
+  }
+  EXPECT_TRUE(activated);
+  EXPECT_EQ(ca.num_active(), 2u);
+  EXPECT_TRUE(ca.ever_aggregated());
+  EXPECT_EQ(ca.active_cells()[1], 2u);
+}
+
+TEST(CarrierAggregation, UtilizationTriggeredActivation) {
+  // No queue at all, but the user holds ~90% of the serving cell.
+  CaConfig cfg;
+  cfg.utilization_delay = 50 * util::kMillisecond;
+  CaManager ca({1, 2}, cfg);
+  util::Time t = 0;
+  bool activated = false;
+  for (int i = 0; i < 400 && !activated; ++i) {
+    t += util::kSubframe;
+    activated = ca.on_subframe(t, 0, 0, 45, 50).activated;
+  }
+  EXPECT_TRUE(activated);
+}
+
+TEST(CarrierAggregation, IdleSecondaryDeactivated) {
+  CaConfig cfg;
+  cfg.activation_queue_bytes = 1000;
+  cfg.activation_delay = 5 * util::kMillisecond;
+  cfg.deactivation_delay = 100 * util::kMillisecond;
+  CaManager ca({1, 2}, cfg);
+  util::Time t = 0;
+  while (ca.num_active() == 1) {
+    t += util::kSubframe;
+    ca.on_subframe(t, 5000, 20, 40, 50);
+    ASSERT_LT(t, util::kSecond);
+  }
+  // Queue gone, secondary unused.
+  bool deactivated = false;
+  for (int i = 0; i < 2000 && !deactivated; ++i) {
+    t += util::kSubframe;
+    deactivated = ca.on_subframe(t, 0, 0, 5, 100).deactivated;
+  }
+  EXPECT_TRUE(deactivated);
+  EXPECT_EQ(ca.num_active(), 1u);
+}
+
+TEST(CarrierAggregation, NeverExceedsConfiguredCells) {
+  CaConfig cfg;
+  cfg.activation_queue_bytes = 1;
+  cfg.activation_delay = util::kMillisecond;
+  cfg.activation_cooldown = util::kMillisecond;
+  CaManager ca({7}, cfg);
+  util::Time t = 0;
+  for (int i = 0; i < 100; ++i) {
+    t += util::kSubframe;
+    EXPECT_FALSE(ca.on_subframe(t, 1 << 20, 0, 50, 50).activated);
+  }
+  EXPECT_EQ(ca.num_active(), 1u);
+  EXPECT_FALSE(ca.ever_aggregated());
+}
+
+TEST(CarrierAggregation, EmptyCellListThrows) {
+  EXPECT_THROW(CaManager({}, CaConfig{}), std::invalid_argument);
+}
+
+// --------------------------------------------------------- control traffic
+
+TEST(ControlTraffic, RateMatchesConfig) {
+  ControlTrafficConfig cfg;
+  cfg.users_per_subframe = 0.4;
+  cfg.seed = 5;
+  ControlTrafficGenerator gen{cfg};
+  double grants = 0;
+  const int n = 20000;
+  for (int sf = 0; sf < n; ++sf) grants += static_cast<double>(gen.tick(sf).size());
+  // Slightly above 0.4/sf because a minority of sessions span subframes.
+  EXPECT_NEAR(grants / n, 0.42, 0.05);
+}
+
+TEST(ControlTraffic, MostGrantsAreCanonical) {
+  ControlTrafficConfig cfg;
+  cfg.users_per_subframe = 1.0;
+  cfg.canonical_fraction = 0.9;
+  ControlTrafficGenerator gen{cfg};
+  int canonical = 0, totalg = 0;
+  for (int sf = 0; sf < 5000; ++sf) {
+    for (const auto& g : gen.tick(sf)) {
+      ++totalg;
+      canonical += g.n_prbs == 4 ? 1 : 0;
+      EXPECT_GE(g.rnti, phy::kMinCRnti);
+      EXPECT_LE(g.rnti, phy::kMaxCRnti);
+      EXPECT_GT(g.n_prbs, 0);
+    }
+  }
+  EXPECT_GT(static_cast<double>(canonical) / totalg, 0.8);
+}
+
+// ------------------------------------------------------------ base station
+
+struct BsHarness {
+  net::EventLoop loop;
+  std::unique_ptr<BaseStation> bs;
+  std::vector<net::Packet> delivered;
+
+  explicit BsHarness(std::vector<phy::CellConfig> cells = {{1, 10.0}},
+                     BaseStationConfig cfg = {}) {
+    cfg.control_traffic.users_per_subframe = 0;  // quiet unless asked
+    bs = std::make_unique<BaseStation>(loop, std::move(cells), cfg);
+  }
+
+  void add_default_ue(UeId id = 1, double rssi = -92.0,
+                      std::vector<phy::CellId> cells = {1}) {
+    UeConfig cfg;
+    cfg.id = id;
+    cfg.rnti = static_cast<phy::Rnti>(0x100 + id);
+    cfg.aggregated_cells = std::move(cells);
+    cfg.channel.trace = phy::MobilityTrace::stationary(rssi);
+    cfg.channel.seed = 17 + id;
+    bs->add_ue(cfg, [this](net::Packet p) { delivered.push_back(p); });
+  }
+
+  void enqueue_n(UeId ue, int n, std::uint64_t first_seq = 0) {
+    for (int i = 0; i < n; ++i) {
+      net::Packet p;
+      p.flow = 1;
+      p.seq = first_seq + static_cast<std::uint64_t>(i);
+      p.sent_time = loop.now();
+      bs->enqueue(ue, p);
+    }
+  }
+};
+
+TEST(BaseStation, DeliversInOrder) {
+  BsHarness h;
+  h.add_default_ue();
+  h.bs->start();
+  h.loop.schedule_at(10 * util::kMillisecond, [&] { h.enqueue_n(1, 200); });
+  h.loop.run_until(util::kSecond);
+  ASSERT_EQ(h.delivered.size(), 200u);
+  for (std::uint64_t i = 0; i < 200; ++i) EXPECT_EQ(h.delivered[i].seq, i);
+}
+
+TEST(BaseStation, DeliveryTakesAtLeastOneSubframe) {
+  BsHarness h;
+  h.add_default_ue();
+  h.bs->start();
+  h.loop.schedule_at(10 * util::kMillisecond + 500, [&] { h.enqueue_n(1, 1); });
+  h.loop.run_until(util::kSecond);
+  ASSERT_EQ(h.delivered.size(), 1u);
+  // Enqueued mid-subframe 10; scheduled in subframe 11; decoded at 12 ms.
+  EXPECT_GE(h.delivered[0].recv_time, 0);  // recv_time set by receiver layer
+  EXPECT_GE(h.loop.now(), 12 * util::kMillisecond);
+}
+
+TEST(BaseStation, QueueDropsWhenFull) {
+  BsHarness h;
+  UeConfig cfg;
+  cfg.id = 1;
+  cfg.rnti = 0x101;
+  cfg.aggregated_cells = {1};
+  cfg.queue_capacity_bytes = 10 * 1500;
+  cfg.channel.trace = phy::MobilityTrace::stationary(-92);
+  int drops = 0;
+  h.bs->set_drop_handler([&](UeId, const net::Packet&) { ++drops; });
+  h.bs->add_ue(cfg, [&](net::Packet p) { h.delivered.push_back(p); });
+  h.bs->start();
+  h.loop.schedule_at(5 * util::kMillisecond, [&] { h.enqueue_n(1, 50); });
+  h.loop.run_until(util::kSecond);
+  EXPECT_EQ(drops, 40);
+  EXPECT_EQ(h.delivered.size(), 10u);
+}
+
+TEST(BaseStation, AllocationRecordsConsistent) {
+  BsHarness h;
+  h.add_default_ue();
+  std::vector<AllocationRecord> records;
+  h.bs->set_allocation_observer([&](const AllocationRecord& r) {
+    records.push_back(r);
+  });
+  h.bs->start();
+  h.loop.schedule_at(5 * util::kMillisecond, [&] { h.enqueue_n(1, 500); });
+  h.loop.run_until(200 * util::kMillisecond);
+  ASSERT_FALSE(records.empty());
+  const int cell_prbs = phy::CellConfig{1, 10.0}.n_prbs();
+  bool saw_data = false;
+  for (const auto& r : records) {
+    int used = r.control_prbs + r.retx_prbs;
+    for (const auto& a : r.data_allocs) used += a.n_prbs;
+    EXPECT_EQ(used + r.idle_prbs, cell_prbs);
+    saw_data |= !r.data_allocs.empty();
+  }
+  EXPECT_TRUE(saw_data);
+}
+
+TEST(BaseStation, PdcchObserverSeesOwnDci) {
+  BsHarness h;
+  h.add_default_ue();
+  decoder::BlindDecoder probe{phy::CellConfig{1, 10.0}};
+  int own_msgs = 0;
+  h.bs->add_pdcch_observer([&](const phy::PdcchSubframe& sf) {
+    for (const auto& dci : probe.decode(sf)) {
+      own_msgs += dci.rnti == 0x101 ? 1 : 0;
+    }
+  });
+  h.bs->start();
+  h.loop.schedule_at(5 * util::kMillisecond, [&] { h.enqueue_n(1, 500); });
+  h.loop.run_until(300 * util::kMillisecond);
+  EXPECT_GT(own_msgs, 50);
+}
+
+TEST(BaseStation, FairAcrossBackloggedUsers) {
+  BsHarness h;
+  h.add_default_ue(1);
+  h.add_default_ue(2);
+  std::map<UeId, long> prbs;
+  h.bs->set_allocation_observer([&](const AllocationRecord& r) {
+    for (const auto& a : r.data_allocs) prbs[a.ue] += a.n_prbs;
+  });
+  h.bs->start();
+  // Keep both users permanently backlogged.
+  for (int ms = 5; ms < 2000; ms += 10) {
+    h.loop.schedule_at(ms * util::kMillisecond, [&] {
+      h.enqueue_n(1, 30);
+      h.enqueue_n(2, 30);
+    });
+  }
+  h.loop.run_until(2 * util::kSecond);
+  const double a = static_cast<double>(prbs[1]);
+  const double b = static_cast<double>(prbs[2]);
+  const double alloc_arr[] = {a, b};
+  EXPECT_GT(util::jain_index(alloc_arr), 0.99);
+}
+
+TEST(BaseStation, CarrierAggregationEndToEnd) {
+  BsHarness h{{{1, 10.0}, {2, 10.0}}};
+  UeConfig cfg;
+  cfg.id = 1;
+  cfg.rnti = 0x101;
+  cfg.aggregated_cells = {1, 2};
+  cfg.channel.trace = phy::MobilityTrace::stationary(-92);
+  cfg.channel.seed = 3;
+  h.bs->add_ue(cfg, [&](net::Packet p) { h.delivered.push_back(p); });
+  h.bs->start();
+  EXPECT_EQ(h.bs->ca(1).num_active(), 1u);
+  // Saturating load -> deep queue -> secondary activates.
+  for (int ms = 5; ms < 1000; ms += 2) {
+    h.loop.schedule_at(ms * util::kMillisecond, [&] { h.enqueue_n(1, 20); });
+  }
+  h.loop.run_until(util::kSecond);
+  EXPECT_EQ(h.bs->ca(1).num_active(), 2u);
+  EXPECT_TRUE(h.bs->ca(1).ever_aggregated());
+}
+
+TEST(BaseStation, RetransmissionsHappen) {
+  BsHarness h;
+  h.add_default_ue(1, -110.0);  // weak signal: high residual BER
+  h.bs->start();
+  for (int ms = 5; ms < 3000; ms += 5) {
+    h.loop.schedule_at(ms * util::kMillisecond, [&] { h.enqueue_n(1, 15); });
+  }
+  h.loop.run_until(3 * util::kSecond);
+  EXPECT_GT(h.bs->total_tbs_sent(), 100u);
+  EXPECT_GT(h.bs->total_tb_errors(), 0u);
+  // Packets survive via HARQ: deliveries continue despite the errors.
+  // (-110 dBm leaves only ~CQI 3-4: roughly 3 kbit/subframe of capacity.)
+  EXPECT_GT(h.delivered.size(), 400u);
+}
+
+TEST(BaseStation, ChannelStateDefaultBeforeFirstTick) {
+  BsHarness h;
+  h.add_default_ue();
+  const auto s = h.bs->channel_state(1, 1);
+  EXPECT_GT(s.cqi, 0);  // neutral default, no throw
+}
+
+TEST(BaseStation, InvalidConfigThrows) {
+  net::EventLoop loop;
+  EXPECT_THROW(BaseStation(loop, {}, BaseStationConfig{}), std::invalid_argument);
+  BsHarness h;
+  UeConfig bad;
+  bad.id = 9;
+  bad.aggregated_cells = {};
+  EXPECT_THROW(h.bs->add_ue(bad, [](net::Packet) {}), std::invalid_argument);
+  h.add_default_ue(1);
+  UeConfig dup;
+  dup.id = 1;
+  dup.aggregated_cells = {1};
+  EXPECT_THROW(h.bs->add_ue(dup, [](net::Packet) {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pbecc::mac

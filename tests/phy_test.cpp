@@ -1,0 +1,386 @@
+// Unit tests for src/phy: cell geometry, MCS tables, error models, DCI
+// wire format, the synthetic PDCCH, and the wireless channel model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "phy/cell_config.h"
+#include "phy/channel.h"
+#include "phy/dci.h"
+#include "phy/error_model.h"
+#include "phy/mcs.h"
+#include "phy/pdcch.h"
+#include "phy/transport_block.h"
+
+namespace pbecc::phy {
+namespace {
+
+// ----------------------------------------------------------- cell config
+
+TEST(CellConfig, PrbsPerBandwidth) {
+  EXPECT_EQ(prbs_for_bandwidth_mhz(5.0), 25);
+  EXPECT_EQ(prbs_for_bandwidth_mhz(10.0), 50);
+  EXPECT_EQ(prbs_for_bandwidth_mhz(20.0), 100);
+  EXPECT_EQ(prbs_for_bandwidth_mhz(1.4), 6);
+  EXPECT_THROW(prbs_for_bandwidth_mhz(7.0), std::invalid_argument);
+}
+
+TEST(CellConfig, CceScalesWithBandwidth) {
+  CellConfig c10{1, 10.0};
+  CellConfig c20{2, 20.0};
+  EXPECT_EQ(c10.n_cces() * 2, c20.n_cces());
+  EXPECT_GT(c10.n_cces(), 0);
+}
+
+// ------------------------------------------------------------------- mcs
+
+TEST(Mcs, TableShape) {
+  EXPECT_EQ(cqi_entry(0).modulation_order, 0);
+  EXPECT_EQ(cqi_entry(1).modulation_order, 2);   // QPSK
+  EXPECT_EQ(cqi_entry(7).modulation_order, 4);   // 16QAM
+  EXPECT_EQ(cqi_entry(15).modulation_order, 6);  // 64QAM
+  EXPECT_THROW(cqi_entry(16), std::out_of_range);
+  EXPECT_THROW(cqi_entry(-1), std::out_of_range);
+}
+
+TEST(Mcs, SpectralEfficiencyMonotonic) {
+  for (int cqi = 2; cqi < kNumCqi; ++cqi) {
+    EXPECT_GT(bits_per_prb(cqi, 1), bits_per_prb(cqi - 1, 1)) << "cqi " << cqi;
+  }
+}
+
+TEST(Mcs, TwoStreamsDouble) {
+  EXPECT_DOUBLE_EQ(bits_per_prb(10, 2), 2 * bits_per_prb(10, 1));
+  // Stream counts clamp to [1, 2].
+  EXPECT_DOUBLE_EQ(bits_per_prb(10, 5), bits_per_prb(10, 2));
+  EXPECT_DOUBLE_EQ(bits_per_prb(10, 0), bits_per_prb(10, 1));
+}
+
+TEST(Mcs, PaperRateCeiling) {
+  // Max ~1.8-1.9 kbit per PRB per subframe = 1.8-1.9 Mbit/s/PRB: the
+  // paper's Fig 11(b) ceiling.
+  const double peak = bits_per_prb(15, 2);
+  EXPECT_GT(peak, 1700.0);
+  EXPECT_LT(peak, 1950.0);
+}
+
+TEST(Mcs, CqiFromSinrMonotonicAndBounded) {
+  int prev = 0;
+  for (double s = -12; s <= 30; s += 0.5) {
+    const int c = cqi_from_sinr_db(s);
+    EXPECT_GE(c, prev);
+    EXPECT_LE(c, 15);
+    prev = c;
+  }
+  EXPECT_EQ(cqi_from_sinr_db(-20), 0);
+  EXPECT_EQ(cqi_from_sinr_db(30), 15);
+}
+
+// ----------------------------------------------------------- error model
+
+TEST(ErrorModel, TbErrorRateFormula) {
+  // Matches 1-(1-p)^L computed directly.
+  const double p = 1e-6, L = 40000;
+  EXPECT_NEAR(tb_error_rate(p, L), 1.0 - std::pow(1.0 - p, L), 1e-10);
+}
+
+TEST(ErrorModel, TbErrorRateEdges) {
+  EXPECT_DOUBLE_EQ(tb_error_rate(0.0, 1e5), 0.0);
+  EXPECT_DOUBLE_EQ(tb_error_rate(1e-6, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(tb_error_rate(1.0, 10), 1.0);
+}
+
+TEST(ErrorModel, TbErrorRateMonotonic) {
+  double prev = 0;
+  for (double L = 1e3; L <= 2e5; L += 1e3) {
+    const double e = tb_error_rate(3e-6, L);
+    EXPECT_GE(e, prev);
+    EXPECT_LE(e, 1.0);
+    prev = e;
+  }
+}
+
+TEST(ErrorModel, ResidualBerPaperAnchors) {
+  // The paper's measured anchors (Fig 6): p ~ 1e-6 at -98 dBm and
+  // ~5e-6 at -113 dBm.
+  EXPECT_NEAR(residual_ber_from_rssi(-98.0), 1e-6, 1e-8);
+  EXPECT_NEAR(residual_ber_from_rssi(-113.0), 5e-6, 5e-8);
+  // Monotonically worse with weaker signal.
+  EXPECT_GT(residual_ber_from_rssi(-110), residual_ber_from_rssi(-100));
+  // Clamped.
+  EXPECT_LE(residual_ber_from_rssi(-200), 1e-3);
+  EXPECT_GE(residual_ber_from_rssi(-10), 1e-8);
+}
+
+TEST(ErrorModel, QpskBer) {
+  // ~0.5 at very low SINR, vanishing at high SINR, monotone.
+  EXPECT_NEAR(qpsk_ber(-30), 0.5, 0.05);
+  EXPECT_LT(qpsk_ber(10), 1e-5);
+  EXPECT_GT(qpsk_ber(0), qpsk_ber(5));
+}
+
+// ------------------------------------------------------------------- dci
+
+TEST(Dci, FormatLengthsDistinctAndSmall) {
+  for (int a = 0; a < kNumDciFormats; ++a) {
+    for (int b = a + 1; b < kNumDciFormats; ++b) {
+      EXPECT_NE(dci_payload_bits(static_cast<DciFormat>(a)),
+                dci_payload_bits(static_cast<DciFormat>(b)));
+    }
+    // Paper §7: control messages are less than 70 bits.
+    EXPECT_LT(dci_payload_bits(static_cast<DciFormat>(a)) + 16, 70 + 16);
+  }
+}
+
+TEST(Dci, EncodeDecodeRoundtrip) {
+  Dci d;
+  d.rnti = 0x1234;
+  d.format = DciFormat::kFormat1;
+  d.prb_start = 17;
+  d.n_prbs = 33;
+  d.mcs = {11, 1};
+  d.harq_id = 5;
+  d.new_data = false;
+  const auto bits = encode_dci(d);
+  EXPECT_EQ(bits.size(),
+            static_cast<std::size_t>(dci_payload_bits(d.format)) + 16);
+  const auto back = decode_dci(bits, DciFormat::kFormat1, 100);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, d);
+}
+
+TEST(Dci, MimoRoundtrip) {
+  Dci d;
+  d.rnti = 0x0777;
+  d.format = DciFormat::kFormat2;
+  d.prb_start = 0;
+  d.n_prbs = 100;
+  d.mcs = {15, 2};
+  d.harq_id = 7;
+  const auto back = decode_dci(encode_dci(d), DciFormat::kFormat2, 100);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, d);
+}
+
+TEST(Dci, TwoStreamsRequireMimoFormat) {
+  Dci d;
+  d.rnti = 0x200;
+  d.format = DciFormat::kFormat1;
+  d.n_prbs = 4;
+  d.mcs = {9, 2};
+  EXPECT_THROW(encode_dci(d), std::invalid_argument);
+}
+
+TEST(Dci, WrongFormatRejectedByTag) {
+  Dci d;
+  d.rnti = 0x1111;
+  d.format = DciFormat::kFormat1;
+  d.n_prbs = 10;
+  d.mcs = {8, 1};
+  const auto bits = encode_dci(d);
+  // Same bit string deliberately parsed as every other format must fail
+  // (length mismatch or tag mismatch) — this is what kills the phantom
+  // decodes that plagued format-blind monitors.
+  for (int f = 0; f < kNumDciFormats; ++f) {
+    if (static_cast<DciFormat>(f) == d.format) continue;
+    EXPECT_FALSE(decode_dci(bits, static_cast<DciFormat>(f), 100).has_value());
+  }
+}
+
+TEST(Dci, CorruptionDetected) {
+  Dci d;
+  d.rnti = 0x0456;
+  d.format = DciFormat::kFormat1A;
+  d.n_prbs = 8;
+  d.mcs = {6, 1};
+  auto bits = encode_dci(d);
+  int rejected = 0, accepted_wrong = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    auto c = bits;
+    c.flip_bit(i);
+    const auto back = decode_dci(c, d.format, 100);
+    if (!back.has_value()) {
+      ++rejected;
+    } else if (!(*back == d)) {
+      // A flipped CRC bit re-targets the message to rnti^mask — LTE
+      // monitors accept it; it just belongs to another (phantom) user.
+      ++accepted_wrong;
+    }
+  }
+  // All corruptions are either rejected or at least never mistaken for the
+  // original message.
+  EXPECT_EQ(rejected + accepted_wrong, static_cast<int>(bits.size()));
+  EXPECT_GT(rejected, 0);
+}
+
+TEST(Dci, StructuralValidation) {
+  Dci d;
+  d.rnti = 0x0456;
+  d.format = DciFormat::kFormat1;
+  d.prb_start = 40;
+  d.n_prbs = 20;
+  d.mcs = {6, 1};
+  const auto bits = encode_dci(d);
+  // Fits a 100-PRB cell, not a 50-PRB cell.
+  EXPECT_TRUE(decode_dci(bits, d.format, 100).has_value());
+  EXPECT_FALSE(decode_dci(bits, d.format, 50).has_value());
+}
+
+TEST(Dci, InvalidRntiRangeRejected) {
+  Dci d;
+  d.rnti = 0x0010;  // below the C-RNTI floor
+  d.format = DciFormat::kFormat1A;
+  d.n_prbs = 4;
+  d.mcs = {5, 1};
+  EXPECT_FALSE(decode_dci(encode_dci(d), d.format, 100).has_value());
+}
+
+// ----------------------------------------------------------------- pdcch
+
+TEST(Pdcch, AggregationLevelFromSinr) {
+  EXPECT_EQ(aggregation_level_for_sinr(15.0), 1);
+  EXPECT_EQ(aggregation_level_for_sinr(10.0), 2);
+  EXPECT_EQ(aggregation_level_for_sinr(4.0), 4);
+  EXPECT_EQ(aggregation_level_for_sinr(0.0), 8);
+}
+
+TEST(Pdcch, RepetitionsThatFit) {
+  EXPECT_EQ(repetitions_that_fit(72, 1), 1);
+  EXPECT_EQ(repetitions_that_fit(73, 1), 0);
+  EXPECT_EQ(repetitions_that_fit(60, 4), 4);
+  EXPECT_EQ(repetitions_that_fit(0, 4), 0);
+}
+
+TEST(Pdcch, PlacementConsumesCces) {
+  CellConfig cell{1, 10.0};
+  PdcchBuilder b(cell, 5);
+  const int total = cell.n_cces();
+  EXPECT_EQ(b.cces_free(), total);
+
+  Dci d;
+  d.rnti = 0x300;
+  d.format = DciFormat::kFormat1A;
+  d.n_prbs = 4;
+  d.mcs = {5, 1};
+  ASSERT_TRUE(b.add(d, 4));
+  EXPECT_EQ(b.cces_free(), total - 4);
+  const auto sf = std::move(b).build();
+  EXPECT_EQ(sf.sf_index, 5);
+  EXPECT_EQ(sf.cell_id, 1u);
+  int used = 0;
+  for (bool u : sf.cce_used) used += u;
+  EXPECT_EQ(used, 4);
+}
+
+TEST(Pdcch, RegionExhaustion) {
+  CellConfig cell{1, 5.0};  // 21 CCEs
+  PdcchBuilder b(cell, 0);
+  Dci d;
+  d.rnti = 0x300;
+  d.format = DciFormat::kFormat1A;
+  d.n_prbs = 1;
+  d.mcs = {5, 1};
+  int placed = 0;
+  while (b.add(d, 8)) ++placed;
+  EXPECT_EQ(placed, 2);  // 21 / 8 = 2 aligned slots
+  // Smaller aggregation still fits in the leftovers.
+  EXPECT_TRUE(b.add(d, 1));
+}
+
+TEST(Pdcch, InvalidAggregationThrows) {
+  CellConfig cell{1, 10.0};
+  PdcchBuilder b(cell, 0);
+  Dci d;
+  d.rnti = 0x300;
+  d.format = DciFormat::kFormat1A;
+  d.n_prbs = 1;
+  d.mcs = {5, 1};
+  EXPECT_THROW(b.add(d, 3), std::invalid_argument);
+}
+
+TEST(Pdcch, NoiseFlipsBitsDeterministically) {
+  CellConfig cell{1, 10.0};
+  PdcchBuilder b1(cell, 0);
+  auto sf1 = std::move(b1).build();
+  auto sf2 = sf1;
+  util::Rng r1{5}, r2{5};
+  apply_bit_noise(sf1, 0.1, r1);
+  apply_bit_noise(sf2, 0.1, r2);
+  EXPECT_EQ(sf1.bits, sf2.bits);
+  int flips = 0;
+  for (std::size_t i = 0; i < sf1.bits.size(); ++i) flips += sf1.bits.bit(i);
+  EXPECT_NEAR(flips / static_cast<double>(sf1.bits.size()), 0.1, 0.02);
+}
+
+// --------------------------------------------------------------- channel
+
+TEST(Channel, MobilityTraceInterpolation) {
+  MobilityTrace t({{0, -85}, {1000, -105}});
+  EXPECT_DOUBLE_EQ(t.rssi_at(-5), -85);
+  EXPECT_DOUBLE_EQ(t.rssi_at(0), -85);
+  EXPECT_DOUBLE_EQ(t.rssi_at(500), -95);
+  EXPECT_DOUBLE_EQ(t.rssi_at(1000), -105);
+  EXPECT_DOUBLE_EQ(t.rssi_at(99999), -105);
+}
+
+TEST(Channel, TraceValidation) {
+  EXPECT_THROW(MobilityTrace({}), std::invalid_argument);
+  EXPECT_THROW(MobilityTrace({{10, -80}, {5, -90}}), std::invalid_argument);
+}
+
+TEST(Channel, StationarySampleBounded) {
+  ChannelConfig cfg;
+  cfg.trace = MobilityTrace::stationary(-92);
+  cfg.seed = 3;
+  ChannelModel m{cfg};
+  for (util::Time t = 0; t < 2 * util::kSecond; t += util::kSubframe) {
+    const auto s = m.sample(t);
+    EXPECT_NEAR(s.rssi_dbm, -92, 8.0);
+    EXPECT_GE(s.cqi, 1);
+    EXPECT_LE(s.cqi, 15);
+    EXPECT_GT(s.data_ber, 0);
+    EXPECT_GE(s.control_ber, 0);
+  }
+}
+
+TEST(Channel, MobilityDegradesCqi) {
+  ChannelConfig cfg;
+  cfg.trace = MobilityTrace({{0, -85}, {util::kSecond, -110}});
+  cfg.seed = 9;
+  ChannelModel m{cfg};
+  const auto strong = m.sample(0);
+  const auto weak = m.sample(util::kSecond);
+  EXPECT_GT(strong.cqi, weak.cqi);
+  EXPECT_LT(strong.data_ber, weak.data_ber);
+}
+
+TEST(Channel, Deterministic) {
+  ChannelConfig cfg;
+  cfg.seed = 77;
+  ChannelModel a{cfg}, b{cfg};
+  for (util::Time t = 0; t < 200 * util::kMillisecond; t += util::kSubframe) {
+    EXPECT_DOUBLE_EQ(a.sample(t).sinr_db, b.sample(t).sinr_db);
+  }
+}
+
+// --------------------------------------------------------- transport block
+
+TEST(TransportBlock, Sizing) {
+  const Mcs mcs{10, 1};
+  EXPECT_DOUBLE_EQ(transport_block_bits(10, mcs), 10 * mcs.bits_per_prb());
+  EXPECT_DOUBLE_EQ(transport_block_bits(0, mcs), 0.0);
+  EXPECT_THROW(transport_block_bits(-1, mcs), std::invalid_argument);
+}
+
+TEST(TransportBlock, FromDci) {
+  Dci d;
+  d.format = DciFormat::kFormat1;
+  d.n_prbs = 25;
+  d.mcs = {9, 1};
+  EXPECT_DOUBLE_EQ(transport_block_bits(d), 25 * d.mcs.bits_per_prb());
+  d.format = DciFormat::kFormat0;  // uplink grant
+  EXPECT_THROW(transport_block_bits(d), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pbecc::phy

@@ -1,0 +1,350 @@
+// Unit tests for src/util: time, RNG, statistics, windowed filters,
+// bit vectors and CRC.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/bitvec.h"
+#include "util/crc.h"
+#include "util/rate.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/time.h"
+#include "util/windowed_filter.h"
+
+namespace pbecc::util {
+namespace {
+
+// ---------------------------------------------------------------- time
+
+TEST(Time, SubframeIndexing) {
+  EXPECT_EQ(subframe_index(0), 0);
+  EXPECT_EQ(subframe_index(999), 0);
+  EXPECT_EQ(subframe_index(1000), 1);
+  EXPECT_EQ(subframe_index(123456), 123);
+  EXPECT_EQ(subframe_start(5), 5000);
+}
+
+TEST(Time, Conversions) {
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_millis(kMillisecond), 1.0);
+  EXPECT_EQ(from_seconds(0.5), 500 * kMillisecond);
+  EXPECT_EQ(from_millis(2.5), 2500);
+  EXPECT_EQ(kSlot * 2, kSubframe);
+}
+
+TEST(Time, FormatDuration) {
+  EXPECT_EQ(format_duration(1500000), "1.500s");
+  EXPECT_EQ(format_duration(2500), "2.500ms");
+  EXPECT_EQ(format_duration(7), "7us");
+}
+
+// ---------------------------------------------------------------- rate
+
+TEST(Rate, Conversions) {
+  EXPECT_DOUBLE_EQ(bits_per_subframe_to_bps(1000.0), 1e6);
+  EXPECT_DOUBLE_EQ(bps_to_bits_per_subframe(1e6), 1000.0);
+  EXPECT_DOUBLE_EQ(mbps(3.5), 3.5e6);
+  EXPECT_DOUBLE_EQ(to_mbps(3.5e6), 3.5);
+}
+
+TEST(Rate, TransmissionDelay) {
+  // 1500 bytes at 12 Mbit/s = 1 ms.
+  EXPECT_EQ(transmission_delay(1500, 12e6), kMillisecond);
+  EXPECT_EQ(transmission_delay(1500, 0), 0);
+  EXPECT_EQ(transmission_delay(0, 1e6), 0);
+}
+
+// ---------------------------------------------------------------- rng
+
+TEST(Rng, Deterministic) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1}, b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next_u64() == b.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRange) {
+  Rng r{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng r{7};
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.uniform_int(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r{11};
+  OnlineStats s;
+  for (int i = 0; i < 20000; ++i) s.add(r.normal(5.0, 2.0));
+  EXPECT_NEAR(s.mean(), 5.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r{13};
+  OnlineStats s;
+  for (int i = 0; i < 20000; ++i) s.add(r.exponential(3.0));
+  EXPECT_NEAR(s.mean(), 3.0, 0.15);
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge) {
+  Rng r{17};
+  OnlineStats small, large;
+  for (int i = 0; i < 20000; ++i) small.add(static_cast<double>(r.poisson(0.4)));
+  for (int i = 0; i < 5000; ++i) large.add(static_cast<double>(r.poisson(100.0)));
+  EXPECT_NEAR(small.mean(), 0.4, 0.03);
+  EXPECT_NEAR(large.mean(), 100.0, 1.5);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng r{19};
+  EXPECT_EQ(r.poisson(0.0), 0);
+  EXPECT_EQ(r.poisson(-1.0), 0);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng r{23};
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng a{42};
+  Rng b = a.fork();
+  // Forked stream should not replay the parent.
+  int same = 0;
+  Rng a2{42};
+  a2.next_u64();  // align with post-fork parent state
+  for (int i = 0; i < 32; ++i) same += b.next_u64() == a2.next_u64();
+  EXPECT_LT(same, 2);
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(OnlineStatsTest, Basics) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  s.add(2);
+  s.add(4);
+  s.add(6);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 12.0);
+}
+
+TEST(SampleSetTest, Percentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 100.0);
+  EXPECT_NEAR(s.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.percentile(95), 95.05, 1e-9);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 100.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+}
+
+TEST(SampleSetTest, EmptyIsZero) {
+  SampleSet s;
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SampleSetTest, SingleSample) {
+  SampleSet s;
+  s.add(7.5);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 7.5);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 7.5);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 7.5);
+}
+
+TEST(CdfTest, Fractions) {
+  const double vals[] = {3, 1, 2, 2};
+  const auto cdf = empirical_cdf(vals);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1);
+  EXPECT_DOUBLE_EQ(cdf[0].fraction, 0.25);
+  EXPECT_DOUBLE_EQ(cdf[1].value, 2);
+  EXPECT_DOUBLE_EQ(cdf[1].fraction, 0.75);
+  EXPECT_DOUBLE_EQ(cdf[2].value, 3);
+  EXPECT_DOUBLE_EQ(cdf[2].fraction, 1.0);
+}
+
+TEST(HistogramTest, Binning) {
+  Histogram h(0, 10, 5);
+  h.add(-1);   // underflow
+  h.add(0);    // bin 0
+  h.add(1.9);  // bin 0
+  h.add(5);    // bin 2
+  h.add(10);   // overflow
+  h.add(99);   // overflow
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(HistogramTest, InvalidRangeThrows) {
+  EXPECT_THROW(Histogram(5, 5, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram(0, 10, 0), std::invalid_argument);
+}
+
+TEST(JainTest, PerfectFairness) {
+  const double equal[] = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(jain_index(equal), 1.0);
+}
+
+TEST(JainTest, WorstCase) {
+  const double unfair[] = {1, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(jain_index(unfair), 0.25);
+}
+
+TEST(JainTest, Degenerate) {
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  const double zeros[] = {0, 0};
+  EXPECT_DOUBLE_EQ(jain_index(zeros), 1.0);
+}
+
+// ------------------------------------------------------- windowed filters
+
+TEST(WindowedMaxTest, TracksAndExpires) {
+  WindowedMax<double> f{100};
+  f.update(0, 5);
+  f.update(50, 3);
+  EXPECT_DOUBLE_EQ(f.get(50), 5.0);
+  // t=120: the 5 at t=0 is older than 120-100=20 -> expired.
+  EXPECT_DOUBLE_EQ(f.get(120), 3.0);
+  EXPECT_DOUBLE_EQ(f.get(500, -1.0), -1.0);  // everything expired
+}
+
+TEST(WindowedMinTest, TracksMin) {
+  WindowedMin<std::int64_t> f{1000};
+  f.update(0, 50);
+  f.update(10, 70);
+  f.update(20, 40);
+  EXPECT_EQ(f.get(20), 40);
+  f.update(30, 60);
+  EXPECT_EQ(f.get(30), 40);
+}
+
+TEST(WindowedMaxTest, BruteForceEquivalence) {
+  Rng rng{31};
+  WindowedMax<double> f{200};
+  std::vector<std::pair<Time, double>> samples;
+  Time t = 0;
+  for (int i = 0; i < 500; ++i) {
+    t += rng.uniform_int(1, 30);
+    const double v = rng.uniform(0, 100);
+    samples.emplace_back(t, v);
+    f.update(t, v);
+    double expect = -1;
+    for (const auto& [st, sv] : samples) {
+      if (st >= t - 200) expect = std::max(expect, sv);
+    }
+    ASSERT_DOUBLE_EQ(f.get(t, -1), expect) << "at step " << i;
+  }
+}
+
+TEST(WindowedMeanTest, Window) {
+  WindowedMean m{100};
+  m.update(0, 10);
+  m.update(50, 20);
+  EXPECT_DOUBLE_EQ(m.get(50), 15.0);
+  EXPECT_DOUBLE_EQ(m.get(120), 20.0);  // first sample expired
+  EXPECT_DOUBLE_EQ(m.get(500, 42.0), 42.0);
+}
+
+// ---------------------------------------------------------------- bitvec
+
+TEST(BitVecTest, PushReadRoundtrip) {
+  BitVec b;
+  b.push_uint(0b1011, 4);
+  b.push_uint(0xABCD, 16);
+  b.push_bit(true);
+  EXPECT_EQ(b.size(), 21u);
+  EXPECT_EQ(b.read_uint(0, 4), 0b1011u);
+  EXPECT_EQ(b.read_uint(4, 16), 0xABCDu);
+  EXPECT_TRUE(b.bit(20));
+}
+
+TEST(BitVecTest, ReadOutOfRangeThrows) {
+  BitVec b(8);
+  EXPECT_THROW(b.read_uint(5, 4), std::out_of_range);
+  EXPECT_THROW(b.bit(8), std::out_of_range);
+}
+
+TEST(BitVecTest, FlipAndSet) {
+  BitVec b(4);
+  b.set_bit(2, true);
+  EXPECT_TRUE(b.bit(2));
+  b.flip_bit(2);
+  EXPECT_FALSE(b.bit(2));
+}
+
+TEST(BitVecTest, Append) {
+  BitVec a, b;
+  a.push_uint(0b101, 3);
+  b.push_uint(0b11, 2);
+  a.append(b);
+  EXPECT_EQ(a.size(), 5u);
+  EXPECT_EQ(a.read_uint(0, 5), 0b10111u);
+}
+
+// ------------------------------------------------------------------ crc
+
+TEST(CrcTest, SensitiveToEveryBit) {
+  BitVec b;
+  b.push_uint(0xDEADBEEF, 32);
+  const auto base = crc16(b);
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    BitVec c = b;
+    c.flip_bit(i);
+    EXPECT_NE(crc16(c), base) << "bit " << i;
+  }
+}
+
+TEST(CrcTest, RntiMasking) {
+  BitVec b;
+  b.push_uint(0x1234, 16);
+  EXPECT_EQ(crc16_rnti(b, 0), crc16(b));
+  EXPECT_EQ(crc16_rnti(b, 0xFFFF), static_cast<std::uint16_t>(crc16(b) ^ 0xFFFF));
+  // Unmasking with the right RNTI recovers the plain CRC.
+  EXPECT_EQ(static_cast<std::uint16_t>(crc16_rnti(b, 0x5A5A) ^ 0x5A5A), crc16(b));
+}
+
+TEST(CrcTest, EmptyIsInit) {
+  BitVec b;
+  EXPECT_EQ(crc16(b), 0xFFFF);
+}
+
+}  // namespace
+}  // namespace pbecc::util
