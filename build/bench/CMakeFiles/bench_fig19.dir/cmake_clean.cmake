@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19.dir/bench_fig19.cpp.o"
+  "CMakeFiles/bench_fig19.dir/bench_fig19.cpp.o.d"
+  "bench_fig19"
+  "bench_fig19.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

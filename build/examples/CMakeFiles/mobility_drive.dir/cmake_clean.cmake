@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_drive.dir/mobility_drive.cpp.o"
+  "CMakeFiles/mobility_drive.dir/mobility_drive.cpp.o.d"
+  "mobility_drive"
+  "mobility_drive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_drive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_user_fairness.dir/multi_user_fairness.cpp.o"
+  "CMakeFiles/multi_user_fairness.dir/multi_user_fairness.cpp.o.d"
+  "multi_user_fairness"
+  "multi_user_fairness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_user_fairness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

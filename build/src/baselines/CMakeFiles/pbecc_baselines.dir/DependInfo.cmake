@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bbr.cpp" "src/baselines/CMakeFiles/pbecc_baselines.dir/bbr.cpp.o" "gcc" "src/baselines/CMakeFiles/pbecc_baselines.dir/bbr.cpp.o.d"
+  "/root/repo/src/baselines/copa.cpp" "src/baselines/CMakeFiles/pbecc_baselines.dir/copa.cpp.o" "gcc" "src/baselines/CMakeFiles/pbecc_baselines.dir/copa.cpp.o.d"
+  "/root/repo/src/baselines/cubic.cpp" "src/baselines/CMakeFiles/pbecc_baselines.dir/cubic.cpp.o" "gcc" "src/baselines/CMakeFiles/pbecc_baselines.dir/cubic.cpp.o.d"
+  "/root/repo/src/baselines/pcc.cpp" "src/baselines/CMakeFiles/pbecc_baselines.dir/pcc.cpp.o" "gcc" "src/baselines/CMakeFiles/pbecc_baselines.dir/pcc.cpp.o.d"
+  "/root/repo/src/baselines/sprout.cpp" "src/baselines/CMakeFiles/pbecc_baselines.dir/sprout.cpp.o" "gcc" "src/baselines/CMakeFiles/pbecc_baselines.dir/sprout.cpp.o.d"
+  "/root/repo/src/baselines/verus.cpp" "src/baselines/CMakeFiles/pbecc_baselines.dir/verus.cpp.o" "gcc" "src/baselines/CMakeFiles/pbecc_baselines.dir/verus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/pbecc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pbecc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbecc_baselines.dir/bbr.cpp.o"
+  "CMakeFiles/pbecc_baselines.dir/bbr.cpp.o.d"
+  "CMakeFiles/pbecc_baselines.dir/copa.cpp.o"
+  "CMakeFiles/pbecc_baselines.dir/copa.cpp.o.d"
+  "CMakeFiles/pbecc_baselines.dir/cubic.cpp.o"
+  "CMakeFiles/pbecc_baselines.dir/cubic.cpp.o.d"
+  "CMakeFiles/pbecc_baselines.dir/pcc.cpp.o"
+  "CMakeFiles/pbecc_baselines.dir/pcc.cpp.o.d"
+  "CMakeFiles/pbecc_baselines.dir/sprout.cpp.o"
+  "CMakeFiles/pbecc_baselines.dir/sprout.cpp.o.d"
+  "CMakeFiles/pbecc_baselines.dir/verus.cpp.o"
+  "CMakeFiles/pbecc_baselines.dir/verus.cpp.o.d"
+  "libpbecc_baselines.a"
+  "libpbecc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbecc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpbecc_baselines.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/decoder/blind_decoder.cpp" "src/decoder/CMakeFiles/pbecc_decoder.dir/blind_decoder.cpp.o" "gcc" "src/decoder/CMakeFiles/pbecc_decoder.dir/blind_decoder.cpp.o.d"
+  "/root/repo/src/decoder/message_fusion.cpp" "src/decoder/CMakeFiles/pbecc_decoder.dir/message_fusion.cpp.o" "gcc" "src/decoder/CMakeFiles/pbecc_decoder.dir/message_fusion.cpp.o.d"
+  "/root/repo/src/decoder/monitor.cpp" "src/decoder/CMakeFiles/pbecc_decoder.dir/monitor.cpp.o" "gcc" "src/decoder/CMakeFiles/pbecc_decoder.dir/monitor.cpp.o.d"
+  "/root/repo/src/decoder/user_tracker.cpp" "src/decoder/CMakeFiles/pbecc_decoder.dir/user_tracker.cpp.o" "gcc" "src/decoder/CMakeFiles/pbecc_decoder.dir/user_tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phy/CMakeFiles/pbecc_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pbecc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

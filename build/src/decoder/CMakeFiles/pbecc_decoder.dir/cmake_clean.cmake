@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbecc_decoder.dir/blind_decoder.cpp.o"
+  "CMakeFiles/pbecc_decoder.dir/blind_decoder.cpp.o.d"
+  "CMakeFiles/pbecc_decoder.dir/message_fusion.cpp.o"
+  "CMakeFiles/pbecc_decoder.dir/message_fusion.cpp.o.d"
+  "CMakeFiles/pbecc_decoder.dir/monitor.cpp.o"
+  "CMakeFiles/pbecc_decoder.dir/monitor.cpp.o.d"
+  "CMakeFiles/pbecc_decoder.dir/user_tracker.cpp.o"
+  "CMakeFiles/pbecc_decoder.dir/user_tracker.cpp.o.d"
+  "libpbecc_decoder.a"
+  "libpbecc_decoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbecc_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

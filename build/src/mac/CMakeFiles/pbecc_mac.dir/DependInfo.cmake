@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mac/base_station.cpp" "src/mac/CMakeFiles/pbecc_mac.dir/base_station.cpp.o" "gcc" "src/mac/CMakeFiles/pbecc_mac.dir/base_station.cpp.o.d"
+  "/root/repo/src/mac/carrier_aggregation.cpp" "src/mac/CMakeFiles/pbecc_mac.dir/carrier_aggregation.cpp.o" "gcc" "src/mac/CMakeFiles/pbecc_mac.dir/carrier_aggregation.cpp.o.d"
+  "/root/repo/src/mac/control_traffic.cpp" "src/mac/CMakeFiles/pbecc_mac.dir/control_traffic.cpp.o" "gcc" "src/mac/CMakeFiles/pbecc_mac.dir/control_traffic.cpp.o.d"
+  "/root/repo/src/mac/harq.cpp" "src/mac/CMakeFiles/pbecc_mac.dir/harq.cpp.o" "gcc" "src/mac/CMakeFiles/pbecc_mac.dir/harq.cpp.o.d"
+  "/root/repo/src/mac/reordering_buffer.cpp" "src/mac/CMakeFiles/pbecc_mac.dir/reordering_buffer.cpp.o" "gcc" "src/mac/CMakeFiles/pbecc_mac.dir/reordering_buffer.cpp.o.d"
+  "/root/repo/src/mac/scheduler.cpp" "src/mac/CMakeFiles/pbecc_mac.dir/scheduler.cpp.o" "gcc" "src/mac/CMakeFiles/pbecc_mac.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phy/CMakeFiles/pbecc_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pbecc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pbecc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

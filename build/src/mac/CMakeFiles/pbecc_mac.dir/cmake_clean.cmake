@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbecc_mac.dir/base_station.cpp.o"
+  "CMakeFiles/pbecc_mac.dir/base_station.cpp.o.d"
+  "CMakeFiles/pbecc_mac.dir/carrier_aggregation.cpp.o"
+  "CMakeFiles/pbecc_mac.dir/carrier_aggregation.cpp.o.d"
+  "CMakeFiles/pbecc_mac.dir/control_traffic.cpp.o"
+  "CMakeFiles/pbecc_mac.dir/control_traffic.cpp.o.d"
+  "CMakeFiles/pbecc_mac.dir/harq.cpp.o"
+  "CMakeFiles/pbecc_mac.dir/harq.cpp.o.d"
+  "CMakeFiles/pbecc_mac.dir/reordering_buffer.cpp.o"
+  "CMakeFiles/pbecc_mac.dir/reordering_buffer.cpp.o.d"
+  "CMakeFiles/pbecc_mac.dir/scheduler.cpp.o"
+  "CMakeFiles/pbecc_mac.dir/scheduler.cpp.o.d"
+  "libpbecc_mac.a"
+  "libpbecc_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbecc_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

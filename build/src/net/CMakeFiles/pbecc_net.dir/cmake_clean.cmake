@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbecc_net.dir/event_loop.cpp.o"
+  "CMakeFiles/pbecc_net.dir/event_loop.cpp.o.d"
+  "CMakeFiles/pbecc_net.dir/flow.cpp.o"
+  "CMakeFiles/pbecc_net.dir/flow.cpp.o.d"
+  "CMakeFiles/pbecc_net.dir/link.cpp.o"
+  "CMakeFiles/pbecc_net.dir/link.cpp.o.d"
+  "libpbecc_net.a"
+  "libpbecc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbecc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pbe/capacity_estimator.cpp" "src/pbe/CMakeFiles/pbecc_pbe.dir/capacity_estimator.cpp.o" "gcc" "src/pbe/CMakeFiles/pbecc_pbe.dir/capacity_estimator.cpp.o.d"
+  "/root/repo/src/pbe/delay_monitor.cpp" "src/pbe/CMakeFiles/pbecc_pbe.dir/delay_monitor.cpp.o" "gcc" "src/pbe/CMakeFiles/pbecc_pbe.dir/delay_monitor.cpp.o.d"
+  "/root/repo/src/pbe/misreport_detector.cpp" "src/pbe/CMakeFiles/pbecc_pbe.dir/misreport_detector.cpp.o" "gcc" "src/pbe/CMakeFiles/pbecc_pbe.dir/misreport_detector.cpp.o.d"
+  "/root/repo/src/pbe/pbe_client.cpp" "src/pbe/CMakeFiles/pbecc_pbe.dir/pbe_client.cpp.o" "gcc" "src/pbe/CMakeFiles/pbecc_pbe.dir/pbe_client.cpp.o.d"
+  "/root/repo/src/pbe/pbe_sender.cpp" "src/pbe/CMakeFiles/pbecc_pbe.dir/pbe_sender.cpp.o" "gcc" "src/pbe/CMakeFiles/pbecc_pbe.dir/pbe_sender.cpp.o.d"
+  "/root/repo/src/pbe/rate_translator.cpp" "src/pbe/CMakeFiles/pbecc_pbe.dir/rate_translator.cpp.o" "gcc" "src/pbe/CMakeFiles/pbecc_pbe.dir/rate_translator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/decoder/CMakeFiles/pbecc_decoder.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/pbecc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pbecc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/pbecc_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pbecc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

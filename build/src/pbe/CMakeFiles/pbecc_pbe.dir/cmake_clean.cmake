@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbecc_pbe.dir/capacity_estimator.cpp.o"
+  "CMakeFiles/pbecc_pbe.dir/capacity_estimator.cpp.o.d"
+  "CMakeFiles/pbecc_pbe.dir/delay_monitor.cpp.o"
+  "CMakeFiles/pbecc_pbe.dir/delay_monitor.cpp.o.d"
+  "CMakeFiles/pbecc_pbe.dir/misreport_detector.cpp.o"
+  "CMakeFiles/pbecc_pbe.dir/misreport_detector.cpp.o.d"
+  "CMakeFiles/pbecc_pbe.dir/pbe_client.cpp.o"
+  "CMakeFiles/pbecc_pbe.dir/pbe_client.cpp.o.d"
+  "CMakeFiles/pbecc_pbe.dir/pbe_sender.cpp.o"
+  "CMakeFiles/pbecc_pbe.dir/pbe_sender.cpp.o.d"
+  "CMakeFiles/pbecc_pbe.dir/rate_translator.cpp.o"
+  "CMakeFiles/pbecc_pbe.dir/rate_translator.cpp.o.d"
+  "libpbecc_pbe.a"
+  "libpbecc_pbe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbecc_pbe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

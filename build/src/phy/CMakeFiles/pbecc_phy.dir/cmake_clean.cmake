@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbecc_phy.dir/channel.cpp.o"
+  "CMakeFiles/pbecc_phy.dir/channel.cpp.o.d"
+  "CMakeFiles/pbecc_phy.dir/convolutional.cpp.o"
+  "CMakeFiles/pbecc_phy.dir/convolutional.cpp.o.d"
+  "CMakeFiles/pbecc_phy.dir/dci.cpp.o"
+  "CMakeFiles/pbecc_phy.dir/dci.cpp.o.d"
+  "CMakeFiles/pbecc_phy.dir/error_model.cpp.o"
+  "CMakeFiles/pbecc_phy.dir/error_model.cpp.o.d"
+  "CMakeFiles/pbecc_phy.dir/mcs.cpp.o"
+  "CMakeFiles/pbecc_phy.dir/mcs.cpp.o.d"
+  "CMakeFiles/pbecc_phy.dir/pdcch.cpp.o"
+  "CMakeFiles/pbecc_phy.dir/pdcch.cpp.o.d"
+  "CMakeFiles/pbecc_phy.dir/transport_block.cpp.o"
+  "CMakeFiles/pbecc_phy.dir/transport_block.cpp.o.d"
+  "libpbecc_phy.a"
+  "libpbecc_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbecc_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

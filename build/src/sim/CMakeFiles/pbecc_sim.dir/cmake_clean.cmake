@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbecc_sim.dir/algorithms.cpp.o"
+  "CMakeFiles/pbecc_sim.dir/algorithms.cpp.o.d"
+  "CMakeFiles/pbecc_sim.dir/location.cpp.o"
+  "CMakeFiles/pbecc_sim.dir/location.cpp.o.d"
+  "CMakeFiles/pbecc_sim.dir/metrics.cpp.o"
+  "CMakeFiles/pbecc_sim.dir/metrics.cpp.o.d"
+  "CMakeFiles/pbecc_sim.dir/scenario.cpp.o"
+  "CMakeFiles/pbecc_sim.dir/scenario.cpp.o.d"
+  "libpbecc_sim.a"
+  "libpbecc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbecc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbecc_util.dir/crc.cpp.o"
+  "CMakeFiles/pbecc_util.dir/crc.cpp.o.d"
+  "CMakeFiles/pbecc_util.dir/rng.cpp.o"
+  "CMakeFiles/pbecc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/pbecc_util.dir/stats.cpp.o"
+  "CMakeFiles/pbecc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/pbecc_util.dir/time.cpp.o"
+  "CMakeFiles/pbecc_util.dir/time.cpp.o.d"
+  "libpbecc_util.a"
+  "libpbecc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbecc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convolutional_test.dir/convolutional_test.cpp.o"
+  "CMakeFiles/convolutional_test.dir/convolutional_test.cpp.o.d"
+  "convolutional_test"
+  "convolutional_test.pdb"
+  "convolutional_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convolutional_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbe_test.dir/pbe_test.cpp.o"
+  "CMakeFiles/pbe_test.dir/pbe_test.cpp.o.d"
+  "pbe_test"
+  "pbe_test.pdb"
+  "pbe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/property_test.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/property_test.dir/property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pbecc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pbe/CMakeFiles/pbecc_pbe.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/pbecc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/pbecc_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pbecc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/decoder/CMakeFiles/pbecc_decoder.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/pbecc_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pbecc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
