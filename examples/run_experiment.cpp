@@ -10,14 +10,25 @@
 //     --seed N           override the location's seed
 //     --csv FILE         append one summary row per run to FILE
 //     --timeseries FILE  write 100 ms window throughput series to FILE
+//     --trace FILE         write the pbecc::obs event timeline as JSONL
+//     --chrome-trace FILE  same timeline in Chrome trace_event format
+//                          (load via chrome://tracing or ui.perfetto.dev)
+//     --metrics FILE       write the counter/gauge/histogram registry as
+//                          JSON; also enables the wall-clock profiler so
+//                          prof.* histograms (blind decode, Viterbi, ...)
+//                          are populated
+//     --trace-sample N     keep 1 in N high-frequency events (default 1)
 //
 //   ./build/examples/run_experiment --algo all --location 31 --csv out.csv
+//   ./build/examples/run_experiment --algo pbe --trace out.jsonl \
+//       --metrics metrics.json
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "obs/obs.h"
 #include "sim/algorithms.h"
 #include "sim/location.h"
 
@@ -32,6 +43,10 @@ struct Options {
   std::uint64_t seed = 0;  // 0 = location default
   std::string csv;
   std::string timeseries;
+  std::string trace_jsonl;
+  std::string trace_chrome;
+  std::string metrics_json;
+  std::uint32_t trace_sample = 1;
 };
 
 Options parse(int argc, char** argv) {
@@ -56,6 +71,14 @@ Options parse(int argc, char** argv) {
       o.csv = need("--csv");
     } else if (!std::strcmp(argv[i], "--timeseries")) {
       o.timeseries = need("--timeseries");
+    } else if (!std::strcmp(argv[i], "--trace")) {
+      o.trace_jsonl = need("--trace");
+    } else if (!std::strcmp(argv[i], "--chrome-trace")) {
+      o.trace_chrome = need("--chrome-trace");
+    } else if (!std::strcmp(argv[i], "--metrics")) {
+      o.metrics_json = need("--metrics");
+    } else if (!std::strcmp(argv[i], "--trace-sample")) {
+      o.trace_sample = static_cast<std::uint32_t>(std::atoi(need("--trace-sample")));
     } else {
       std::fprintf(stderr, "unknown option %s\n", argv[i]);
       std::exit(2);
@@ -118,10 +141,48 @@ void run_one(const Options& o, const std::string& algo) {
 
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
+
+  const bool tracing = !o.trace_jsonl.empty() || !o.trace_chrome.empty();
+  const bool want_obs = tracing || !o.metrics_json.empty();
+  if (want_obs && !obs::kCompiled) {
+    std::fprintf(stderr, "warning: built with -DPBECC_TRACE=OFF; "
+                         "--trace/--metrics output will be empty\n");
+  }
+  if (tracing) {
+    obs::TraceConfig tc;
+    tc.sample_every = std::max<std::uint32_t>(o.trace_sample, 1);
+    obs::Trace::instance().start(tc);
+  }
+  // The profiler feeds prof.* histograms in the metrics report.
+  if (!o.metrics_json.empty()) obs::set_profiling(true);
+
   if (o.algo == "all") {
     for (const auto& a : sim::all_algorithms()) run_one(o, a);
   } else {
     run_one(o, o.algo);
+  }
+
+  if (tracing) {
+    obs::Trace& tr = obs::Trace::instance();
+    tr.stop();
+    if (!o.trace_jsonl.empty() && !tr.write_jsonl(o.trace_jsonl)) {
+      std::fprintf(stderr, "failed to write %s\n", o.trace_jsonl.c_str());
+      return 1;
+    }
+    if (!o.trace_chrome.empty() && !tr.write_chrome(o.trace_chrome)) {
+      std::fprintf(stderr, "failed to write %s\n", o.trace_chrome.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace: %llu events kept (%llu overwritten, "
+                         "%llu sampled out)\n",
+                 static_cast<unsigned long long>(tr.size()),
+                 static_cast<unsigned long long>(tr.dropped()),
+                 static_cast<unsigned long long>(tr.sampled_out()));
+  }
+  if (!o.metrics_json.empty() &&
+      !obs::Registry::instance().write_json(o.metrics_json)) {
+    std::fprintf(stderr, "failed to write %s\n", o.metrics_json.c_str());
+    return 1;
   }
   return 0;
 }

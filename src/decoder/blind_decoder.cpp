@@ -1,10 +1,24 @@
 #include "decoder/blind_decoder.h"
 
 #include <algorithm>
+#include <string>
 
+#include "obs/obs.h"
 #include "phy/convolutional.h"
 
 namespace pbecc::decoder {
+
+BlindDecoder::BlindDecoder(phy::CellConfig cell) : cell_(cell) {
+  for (int i = 0; i < 4; ++i) {
+    const std::string al = std::to_string(kAggregationLevels[i]);
+    obs_.candidates[static_cast<std::size_t>(i)] =
+        &obs::counter("decoder.candidates.al" + al);
+    obs_.crc_failures[static_cast<std::size_t>(i)] =
+        &obs::counter("decoder.crc_failures.al" + al);
+  }
+  obs_.decoded = &obs::counter("decoder.messages_decoded");
+  obs_.subframes = &obs::counter("decoder.subframes_decoded");
+}
 
 util::BitVec BlindDecoder::majority_decode(const phy::PdcchSubframe& sf,
                                            int first_cce, int n_cces,
@@ -77,6 +91,9 @@ bool BlindDecoder::region_agrees(const phy::PdcchSubframe& sf, int first_cce,
 }
 
 std::vector<phy::Dci> BlindDecoder::decode(const phy::PdcchSubframe& sf) {
+  PBECC_PROF_SCOPE("blind_decode");
+  ++stats_.subframes;
+  obs_.subframes->inc();
   std::vector<phy::Dci> found;
   std::vector<bool> claimed(static_cast<std::size_t>(sf.n_cces), false);
 
@@ -111,6 +128,8 @@ std::vector<phy::Dci> BlindDecoder::decode(const phy::PdcchSubframe& sf) {
               static_cast<std::size_t>(msg_bits) + phy::kConvTailBits;
           if (region_bits < 2 * steps) continue;  // infeasible rate
           ++stats_.candidates_tried;
+          ++stats_.candidates_by_al[static_cast<std::size_t>(al_index(al))];
+          obs_.candidates[static_cast<std::size_t>(al_index(al))]->inc();
           util::BitVec block;
           const auto base = static_cast<std::size_t>(start) * phy::kBitsPerCce;
           for (std::size_t i = 0; i < region_bits; ++i) {
@@ -120,18 +139,29 @@ std::vector<phy::Dci> BlindDecoder::decode(const phy::PdcchSubframe& sf) {
         } else {
           if (phy::repetitions_that_fit(msg_bits, al) == 0) continue;
           ++stats_.candidates_tried;
+          ++stats_.candidates_by_al[static_cast<std::size_t>(al_index(al))];
+          obs_.candidates[static_cast<std::size_t>(al_index(al))]->inc();
           bits = majority_decode(sf, start, al, msg_bits);
         }
         auto dci = phy::decode_dci(bits, format, cell_.n_prbs());
         if (!dci.has_value()) {
           ++stats_.crc_failures;
+          ++stats_.crc_failures_by_al[static_cast<std::size_t>(al_index(al))];
+          obs_.crc_failures[static_cast<std::size_t>(al_index(al))]->inc();
           continue;
         }
         if (!region_agrees(sf, start, al, bits)) {
           ++stats_.crc_failures;
+          ++stats_.crc_failures_by_al[static_cast<std::size_t>(al_index(al))];
+          obs_.crc_failures[static_cast<std::size_t>(al_index(al))]->inc();
           continue;
         }
         ++stats_.messages_decoded;
+        ++stats_.decoded_by_al[static_cast<std::size_t>(al_index(al))];
+        obs_.decoded->inc();
+        obs::emit(obs::EventKind::kDciDecoded, util::subframe_start(sf.sf_index),
+                  static_cast<std::uint16_t>(cell_.id), dci->rnti, dci->n_prbs,
+                  dci->mcs.bits_per_prb(), al);
         found.push_back(*dci);
         for (int c = start; c < start + al; ++c) {
           claimed[static_cast<std::size_t>(c)] = true;

@@ -11,24 +11,36 @@
 // channels genuinely lose messages.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "phy/cell_config.h"
 #include "phy/dci.h"
 #include "phy/pdcch.h"
 
 namespace pbecc::decoder {
 
+// Index of aggregation level {1, 2, 4, 8} in the per-AL stat arrays.
+constexpr int al_index(int al) { return al == 1 ? 0 : al == 2 ? 1 : al == 4 ? 2 : 3; }
+inline constexpr int kAggregationLevels[4] = {1, 2, 4, 8};
+
 struct DecodeStats {
   std::uint64_t candidates_tried = 0;
   std::uint64_t crc_failures = 0;
   std::uint64_t messages_decoded = 0;
+  std::uint64_t subframes = 0;
+  // Broken out per aggregation level (index via al_index): the decode
+  // success/failure profile per AL is OWL's primary health signal.
+  std::array<std::uint64_t, 4> candidates_by_al{};
+  std::array<std::uint64_t, 4> crc_failures_by_al{};
+  std::array<std::uint64_t, 4> decoded_by_al{};
 };
 
 class BlindDecoder {
  public:
-  explicit BlindDecoder(phy::CellConfig cell) : cell_(cell) {}
+  explicit BlindDecoder(phy::CellConfig cell);
 
   // All DCI messages recovered from one subframe's control region.
   std::vector<phy::Dci> decode(const phy::PdcchSubframe& sf);
@@ -49,6 +61,17 @@ class BlindDecoder {
 
   phy::CellConfig cell_;
   DecodeStats stats_;
+
+  // Registry counters cached at construction: decode() runs per subframe
+  // per cell and must not pay name lookups on the hot path. All decoder
+  // instances share the process-wide aggregate counters.
+  struct ObsCounters {
+    std::array<obs::Counter*, 4> candidates;
+    std::array<obs::Counter*, 4> crc_failures;
+    obs::Counter* decoded;
+    obs::Counter* subframes;
+  };
+  ObsCounters obs_{};
 };
 
 }  // namespace pbecc::decoder

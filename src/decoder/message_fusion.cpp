@@ -1,5 +1,8 @@
 #include "decoder/message_fusion.h"
 
+#include "obs/obs.h"
+#include "util/time.h"
+
 namespace pbecc::decoder {
 
 void MessageFusion::on_decoded(phy::CellId cell, std::int64_t sf_index,
@@ -24,6 +27,16 @@ void MessageFusion::flush_through(std::int64_t sf_index) {
       cm.cell = c;
       if (auto found = it->second.find(c); found != it->second.end()) {
         cm.messages = std::move(found->second);
+      } else if constexpr (obs::kCompiled) {
+        // A decoder skipped this subframe on cell `c`; fusion papers over
+        // the gap with an empty message list (the correction the paper's
+        // Fig 10a pipeline applies). Surface it — gap rate is the health
+        // signal for control-channel monitoring.
+        static obs::Counter& gaps = obs::counter("decoder.fusion.gaps");
+        gaps.inc();
+        obs::emit(obs::EventKind::kFusionIncomplete,
+                  util::subframe_start(it->first),
+                  static_cast<std::uint16_t>(c), 0, it->first);
       }
       fused.cells.push_back(std::move(cm));
     }

@@ -1,5 +1,9 @@
 #include "decoder/monitor.h"
 
+#include <string>
+
+#include "obs/obs.h"
+
 namespace pbecc::decoder {
 
 Monitor::Monitor(phy::Rnti own_rnti, std::vector<phy::CellConfig> cells,
@@ -8,6 +12,7 @@ Monitor::Monitor(phy::Rnti own_rnti, std::vector<phy::CellConfig> cells,
     : own_rnti_(own_rnti), out_(std::move(out)), ber_fn_(std::move(ber_fn)),
       rng_(seed) {
   fusion_ = std::make_unique<MessageFusion>([this](const FusedSubframe& fused) {
+    fused_subframes_->inc();
     std::vector<CellObservation> obs;
     obs.reserve(fused.cells.size());
     for (const auto& cm : fused.cells) {
@@ -17,15 +22,30 @@ Monitor::Monitor(phy::Rnti own_rnti, std::vector<phy::CellConfig> cells,
       o.cell_prbs = cell_prbs_.at(cm.cell);
       o.summary = trackers_.at(cm.cell)->on_subframe(fused.sf_index,
                                                      cm.messages, own_rnti_);
+      if constexpr (obs::kCompiled) {
+        const auto& g = gauges_.at(cm.cell);
+        g.data_users->set(o.summary.data_users);
+        g.raw_users->set(o.summary.raw_active_users);
+        obs::emit(obs::EventKind::kSubframeObserved,
+                  util::subframe_start(fused.sf_index),
+                  static_cast<std::uint16_t>(cm.cell), 0,
+                  o.summary.data_users, o.summary.own_prbs,
+                  o.summary.idle_prbs);
+      }
       obs.push_back(o);
     }
     out_(obs);
   });
+  fused_subframes_ = &obs::counter("decoder.fused_subframes");
   for (const auto& c : cells) {
     decoders_.emplace(c.id, std::make_unique<BlindDecoder>(c));
     trackers_.emplace(c.id, std::make_unique<UserTracker>(c.n_prbs(), tracker_cfg));
     cell_prbs_[c.id] = c.n_prbs();
     fusion_->register_cell(c.id);
+    const std::string cell_tag = ".cell" + std::to_string(c.id);
+    gauges_[c.id] = CellGauges{
+        &obs::gauge("decoder.data_users" + cell_tag),
+        &obs::gauge("decoder.raw_users" + cell_tag)};
   }
 }
 

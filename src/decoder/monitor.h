@@ -14,6 +14,7 @@
 #include "decoder/blind_decoder.h"
 #include "decoder/message_fusion.h"
 #include "decoder/user_tracker.h"
+#include "obs/metrics.h"
 #include "phy/pdcch.h"
 #include "util/rng.h"
 
@@ -60,6 +61,14 @@ class Monitor {
   std::map<phy::CellId, std::unique_ptr<BlindDecoder>> decoders_;
   std::map<phy::CellId, std::unique_ptr<UserTracker>> trackers_;
   std::map<phy::CellId, int> cell_prbs_;
+  // Per-cell activity gauges (`decoder.active_users.cell<N>` etc.),
+  // registered once at construction.
+  struct CellGauges {
+    obs::Gauge* data_users;
+    obs::Gauge* raw_users;
+  };
+  std::map<phy::CellId, CellGauges> gauges_;
+  obs::Counter* fused_subframes_ = nullptr;
   std::unique_ptr<MessageFusion> fusion_;
   util::Rng rng_;
 };

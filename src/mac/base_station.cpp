@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "phy/error_model.h"
 #include "phy/transport_block.h"
 
@@ -60,6 +61,12 @@ void BaseStation::add_ue(const UeConfig& cfg, DeliveryHandler deliver) {
 void BaseStation::enqueue(UeId ue, net::Packet pkt) {
   auto& st = ues_.at(ue);
   if (st.queue_bytes + pkt.bytes > st.cfg.queue_capacity_bytes) {
+    if constexpr (obs::kCompiled) {
+      static obs::Counter& drops = obs::counter("mac.queue_drops");
+      drops.inc();
+      obs::emit(obs::EventKind::kQueueDrop, loop_.now(), 0,
+                static_cast<std::uint32_t>(ue), pkt.bytes);
+    }
     if (drop_handler_) drop_handler_(ue, pkt);
     return;  // per-user buffer overflow: droptail
   }
@@ -79,6 +86,7 @@ std::int64_t BaseStation::backlog_bits(const UeState& ue) const {
 }
 
 void BaseStation::tick() {
+  PBECC_PROF_SCOPE("bs_tick");
   sf_index_ = util::subframe_index(loop_.now());
 
   // Sample every UE's channel on every aggregated cell once per subframe.
@@ -101,9 +109,21 @@ void BaseStation::tick() {
         if (cc.id == c) serving_capacity += cc.n_prbs();
       }
     }
+    const std::size_t active_before = ue.ca.active_cells().size();
     ue.ca.on_subframe(loop_.now(), ue.queue_bytes,
                       ue.newest_secondary_prbs_this_sf, ue.total_prbs_this_sf,
                       serving_capacity);
+    if constexpr (obs::kCompiled) {
+      const std::size_t active_after = ue.ca.active_cells().size();
+      if (active_after != active_before) {
+        static obs::Counter& changes = obs::counter("mac.ca_changes");
+        changes.inc();
+        obs::emit(obs::EventKind::kCaChange, loop_.now(), 0,
+                  static_cast<std::uint32_t>(id),
+                  static_cast<std::int64_t>(active_after),
+                  static_cast<double>(active_before));
+      }
+    }
   }
 
   loop_.schedule_at(util::subframe_start(sf_index_ + 1), [this] { tick(); });
@@ -148,6 +168,13 @@ void BaseStation::run_cell(CellState& cell) {
       prb_cursor += tb.n_prbs;
       record.retx_prbs += tb.n_prbs;
       ue.total_prbs_this_sf += tb.n_prbs;
+      if constexpr (obs::kCompiled) {
+        static obs::Counter& retx = obs::counter("mac.harq_retx");
+        retx.inc();
+        obs::emit(obs::EventKind::kHarqRetx, loop_.now(),
+                  static_cast<std::uint16_t>(cell.cfg.id),
+                  static_cast<std::uint32_t>(ue.cfg.id), proc, tb.n_prbs);
+      }
       transmissions.push_back({&ue, proc, true, {}});
     }
   }
@@ -233,6 +260,21 @@ void BaseStation::run_cell(CellState& cell) {
 
   record.idle_prbs = prbs_left;
 
+  if constexpr (obs::kCompiled) {
+    // Per-subframe PRB ledger: total = data + control + retx + idle.
+    static obs::Counter& total = obs::counter("mac.prbs_total");
+    static obs::Counter& idle = obs::counter("mac.prbs_idle");
+    static obs::Counter& data = obs::counter("mac.prbs_data");
+    static obs::Counter& ctrl = obs::counter("mac.prbs_control");
+    static obs::Counter& retx = obs::counter("mac.prbs_retx");
+    total.inc(total_prbs);
+    idle.inc(record.idle_prbs);
+    data.inc(total_prbs - record.idle_prbs - record.control_prbs -
+             record.retx_prbs);
+    ctrl.inc(record.control_prbs);
+    retx.inc(record.retx_prbs);
+  }
+
   // --- 4. Emit the control region to monitors.
   if (!pdcch_observers_.empty()) {
     const phy::PdcchSubframe sf = std::move(pdcch).build();
@@ -281,6 +323,10 @@ void BaseStation::transmit_tb(CellState& cell, UeState& ue, std::uint8_t proc,
 
   const TransportBlock& active_tb = harq.block(proc);
   ++total_tbs_sent_;
+  if constexpr (obs::kCompiled) {
+    static obs::Counter& sent = obs::counter("mac.tbs_sent");
+    sent.inc();
+  }
 
   const double p = ue.ch_now.at(cell.cfg.id).data_ber;
   const double tber = phy::tb_error_rate(p, active_tb.bits);
@@ -296,10 +342,22 @@ void BaseStation::transmit_tb(CellState& cell, UeState& ue, std::uint8_t proc,
   }
 
   ++total_tb_errors_;
+  if constexpr (obs::kCompiled) {
+    static obs::Counter& errors = obs::counter("mac.tb_errors");
+    errors.inc();
+  }
   if (!harq.fail(proc, sf_index_)) {
     // Retransmissions exhausted: abandon; packets inside are lost.
     ++total_tbs_abandoned_;
     TransportBlock dead = harq.take_abandoned(proc);
+    if constexpr (obs::kCompiled) {
+      static obs::Counter& abandoned = obs::counter("mac.tbs_abandoned");
+      abandoned.inc();
+      obs::emit(obs::EventKind::kTbAbandoned, loop_.now(),
+                static_cast<std::uint16_t>(cell.cfg.id),
+                static_cast<std::uint32_t>(ue.cfg.id),
+                static_cast<std::int64_t>(dead.tb_seq));
+    }
     loop_.schedule_at(decode_time, [this, ue_id = ue.cfg.id, seq = dead.tb_seq] {
       ues_.at(ue_id).reorder->on_tb_abandoned(seq);
     });
@@ -356,6 +414,14 @@ void BaseStation::handover(UeId ue_id, const std::vector<phy::CellId>& new_cells
     if (!known) throw std::invalid_argument("handover to unknown cell");
   }
   auto& ue = ues_.at(ue_id);
+  if constexpr (obs::kCompiled) {
+    static obs::Counter& handovers = obs::counter("mac.handovers");
+    handovers.inc();
+    obs::emit(obs::EventKind::kHandover, loop_.now(),
+              static_cast<std::uint16_t>(new_cells.front()),
+              static_cast<std::uint32_t>(ue_id),
+              static_cast<std::int64_t>(new_cells.size()));
+  }
 
   // Abandon in-flight HARQ blocks on the old serving cells (no forwarding).
   for (auto& [cell, harq] : ue.harq) {
@@ -365,6 +431,14 @@ void BaseStation::handover(UeId ue_id, const std::vector<phy::CellId>& new_cells
         ues_.at(ue_id).reorder->on_tb_abandoned(seq);
       });
       ++total_tbs_abandoned_;
+      if constexpr (obs::kCompiled) {
+        static obs::Counter& abandoned = obs::counter("mac.tbs_abandoned");
+        abandoned.inc();
+        obs::emit(obs::EventKind::kTbAbandoned, loop_.now(),
+                  static_cast<std::uint16_t>(cell),
+                  static_cast<std::uint32_t>(ue_id),
+                  static_cast<std::int64_t>(seq));
+      }
     }
   }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/profile.h"
+
 namespace pbecc::mac {
 
 int demand_prbs(const SchedRequest& r) {
@@ -15,6 +17,7 @@ int demand_prbs(const SchedRequest& r) {
 
 std::vector<SchedAllocation> FairShareScheduler::allocate(
     int available_prbs, const std::vector<SchedRequest>& requests) {
+  PBECC_PROF_SCOPE("scheduler_allocate");
   struct Entry {
     std::size_t idx;
     int demand;
@@ -84,6 +87,7 @@ std::vector<SchedAllocation> FairShareScheduler::allocate(
 
 std::vector<SchedAllocation> ProportionalFairScheduler::allocate(
     int available_prbs, const std::vector<SchedRequest>& requests) {
+  PBECC_PROF_SCOPE("scheduler_allocate");
   struct Entry {
     const SchedRequest* req;
     int demand;
@@ -138,6 +142,7 @@ std::vector<SchedAllocation> ProportionalFairScheduler::allocate(
 
 std::vector<SchedAllocation> RoundRobinScheduler::allocate(
     int available_prbs, const std::vector<SchedRequest>& requests) {
+  PBECC_PROF_SCOPE("scheduler_allocate");
   // Serve users in UE-id order starting after the last user served,
   // each to full demand, until PRBs run out.
   std::vector<const SchedRequest*> order;

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/obs.h"
+
 namespace pbecc::net {
 
 void EventLoop::schedule_at(util::Time t, Callback cb) {
@@ -17,7 +19,14 @@ bool EventLoop::run_one() {
   Event ev = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
   now_ = ev.time;
-  ev.cb();
+  if constexpr (obs::kCompiled) {
+    static obs::Counter& dispatched = obs::counter("net.events_dispatched");
+    dispatched.inc();
+  }
+  {
+    PBECC_PROF_SCOPE("event_dispatch");
+    ev.cb();
+  }
   return true;
 }
 

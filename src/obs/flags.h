@@ -1,0 +1,18 @@
+// Compile-time switch for the observability layer.
+//
+// The CMake option PBECC_TRACE (default ON) defines PBECC_TRACE_ENABLED on
+// every target that links pbecc_obs. When the option is OFF the whole
+// instrumentation API still compiles — counters, gauges, event emission and
+// profiling scopes all collapse to empty inline bodies — so call sites never
+// need #ifdef guards and release builds carry zero overhead.
+#pragma once
+
+namespace pbecc::obs {
+
+#if defined(PBECC_TRACE_ENABLED)
+inline constexpr bool kCompiled = true;
+#else
+inline constexpr bool kCompiled = false;
+#endif
+
+}  // namespace pbecc::obs

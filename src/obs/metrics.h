@@ -1,0 +1,126 @@
+// Process-wide metrics registry: named counters, gauges and exponential-
+// bucket histograms that any module can register into.
+//
+// Naming convention: `module.metric[.detail]`, e.g.
+//   decoder.messages_decoded     counter, monotonically increasing
+//   pbe.sender.pacing_bps        gauge, last written value wins
+//   prof.blind_decode            histogram of wall-clock ns per call
+//
+// The registry is process-global (the simulator is single-threaded, and a
+// run exercises one scenario at a time). Metric objects returned by the
+// registry are never deallocated, so call sites may cache the reference
+// once and update it on the hot path; reset() zeroes values but keeps the
+// registrations (and cached references) valid.
+//
+// With the PBECC_TRACE compile flag off (see flags.h) every mutator is an
+// empty inline function: registration still works, values stay zero.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/flags.h"
+
+namespace pbecc::obs {
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) {
+    if constexpr (kCompiled) value_ += n;
+    (void)n;
+  }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(double v) {
+    if constexpr (kCompiled) value_ = v;
+    (void)v;
+  }
+  double value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  double value_ = 0;
+};
+
+// Exponential-bucket histogram for latency-style samples: bucket i counts
+// values in [2^i, 2^{i+1}); value 0 lands in bucket 0. 48 buckets cover
+// 1 ns .. ~3 days when samples are nanoseconds. Exact count/sum/min/max,
+// percentiles approximated at the geometric midpoint of the bucket.
+class ExpHistogram {
+ public:
+  static constexpr int kBuckets = 48;
+
+  void record(std::uint64_t v);
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return count_ ? max_ : 0; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+  // p in [0, 100]; 0 for an empty histogram.
+  double percentile(double p) const;
+  const std::array<std::uint64_t, kBuckets>& buckets() const { return buckets_; }
+  void reset();
+
+ private:
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  // Find-or-create by name. References stay valid for the process lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  ExpHistogram& histogram(const std::string& name);
+
+  // Zero every value; registrations (and cached references) survive.
+  void reset();
+
+  // Sorted-by-name snapshots (tests, report generation).
+  std::vector<std::pair<std::string, std::uint64_t>> counters() const;
+  std::vector<std::pair<std::string, double>> gauges() const;
+  std::vector<std::pair<std::string, const ExpHistogram*>> histograms() const;
+
+  // One JSON document with all counters, gauges and histograms (the
+  // per-scenario metrics report; schema documented in DESIGN.md).
+  std::string to_json() const;
+  bool write_json(const std::string& path) const;
+
+ private:
+  Registry() = default;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<ExpHistogram>> histograms_;
+};
+
+// Shorthands for call-site registration.
+inline Counter& counter(const std::string& name) {
+  return Registry::instance().counter(name);
+}
+inline Gauge& gauge(const std::string& name) {
+  return Registry::instance().gauge(name);
+}
+inline ExpHistogram& histogram(const std::string& name) {
+  return Registry::instance().histogram(name);
+}
+
+}  // namespace pbecc::obs

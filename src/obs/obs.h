@@ -1,0 +1,31 @@
+// pbecc::obs — umbrella header for the observability layer.
+//
+// Three cooperating pieces, all process-global and single-threaded like the
+// simulator itself:
+//
+//   trace.h    structured event timeline (sim-clock timestamps, ring
+//              buffer, JSONL + Chrome trace_event exporters)
+//   metrics.h  named counter/gauge/histogram registry, JSON report
+//   profile.h  PBECC_PROF_SCOPE wall-clock profiler feeding `prof.*`
+//              histograms in the registry
+//
+// Everything compiles away under -DPBECC_TRACE=OFF (see flags.h); with the
+// flag on, tracing and profiling are still opt-in at runtime and idle call
+// sites cost one predictable branch.
+#pragma once
+
+#include "obs/flags.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+
+namespace pbecc::obs {
+
+// Reset every observability sink: stop + drop the trace, zero the registry.
+// Tests and multi-run drivers call this between runs.
+inline void reset_all() {
+  Trace::instance().clear();
+  Registry::instance().reset();
+}
+
+}  // namespace pbecc::obs

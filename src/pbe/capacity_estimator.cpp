@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace pbecc::pbe {
 
 namespace {
@@ -13,7 +15,13 @@ constexpr util::Duration kCellActiveTimeout = 250 * util::kMillisecond;
 }  // namespace
 
 CapacityEstimator::CapacityEstimator(util::Duration initial_window)
-    : window_(initial_window) {}
+    : window_(initial_window) {
+  obs_.updates = &obs::counter("pbe.estimator.updates");
+  obs_.cp_bits_sf = &obs::gauge("pbe.estimator.cp_bits_sf");
+  obs_.cf_bits_sf = &obs::gauge("pbe.estimator.cf_bits_sf");
+  obs_.active_cells = &obs::gauge("pbe.estimator.active_cells");
+  obs_.max_users = &obs::gauge("pbe.estimator.max_users");
+}
 
 void CapacityEstimator::set_window(util::Duration rtprop) {
   window_ = std::clamp<util::Duration>(rtprop, 20 * util::kMillisecond,
@@ -48,6 +56,22 @@ void CapacityEstimator::on_observations(
     c.pidle.update(now, s.idle_prbs);
     c.users.update(now, std::max(1, s.data_users));
     if (s.own_prbs > 0) c.last_own_grant = now;
+  }
+  obs_.updates->inc();
+  if constexpr (obs::kCompiled) {
+    // The readouts cost a loop over the cells, so only pay for them when
+    // someone is actually collecting (a live trace, or a metrics run —
+    // which enables profiling — where the gauges end up in the report).
+    if (obs::tracing_active() || obs::profiling_enabled()) {
+      const double cp = available_capacity(now);
+      const double cf = fair_share_capacity(now);
+      const int cells = active_cell_count(now);
+      obs_.cp_bits_sf->set(cp);
+      obs_.cf_bits_sf->set(cf);
+      obs_.active_cells->set(cells);
+      obs_.max_users->set(max_users());
+      obs::emit(obs::EventKind::kCapacityUpdate, now, 0, 0, cells, cp, cf);
+    }
   }
 }
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "decoder/monitor.h"
+#include "obs/metrics.h"
 #include "util/time.h"
 #include "util/windowed_filter.h"
 
@@ -69,6 +70,18 @@ class CapacityEstimator {
   util::Duration window_;
   mutable std::map<phy::CellId, CellState> cells_;
   util::Time last_update_ = 0;
+
+  // Observability: last Cp/Cf estimates and the shared update counter.
+  // Gauge names are process-global; with several concurrent PBE flows the
+  // last writer wins (counters still aggregate correctly).
+  struct ObsHooks {
+    obs::Counter* updates;
+    obs::Gauge* cp_bits_sf;
+    obs::Gauge* cf_bits_sf;
+    obs::Gauge* active_cells;
+    obs::Gauge* max_users;
+  };
+  ObsHooks obs_{};
 };
 
 }  // namespace pbecc::pbe

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/obs.h"
 #include "util/rate.h"
 
 namespace pbecc::pbe {
@@ -98,8 +99,10 @@ void PbeClient::update_state(util::Time now, double cf_bps) {
 
 void PbeClient::fill_feedback(const net::Packet& pkt, util::Time now,
                               net::Ack& ack) {
+  PBECC_PROF_SCOPE("fill_feedback");
   if (ramp_start_ < 0) ramp_start_ = now;
   ++pkts_total_;
+  const State prev_state = state_;
 
   // --- Delay tracking.
   const util::Duration owd = now - pkt.sent_time;
@@ -185,6 +188,19 @@ void PbeClient::fill_feedback(const net::Packet& pkt, util::Time now,
     ack.pbe_rate_interval_us = 0;
   }
   ack.pbe_internet_bottleneck = state_ == State::kInternet;
+
+  if constexpr (obs::kCompiled) {
+    if (state_ != prev_state) {
+      static obs::Counter& switches = obs::counter("pbe.client.state_switches");
+      switches.inc();
+      obs::emit(obs::EventKind::kClientStateSwitch, now, 0,
+                static_cast<std::uint32_t>(prev_state),
+                static_cast<std::int64_t>(state_));
+    }
+    obs::emit(obs::EventKind::kFeedbackSent, now, 0, 0,
+              static_cast<std::int64_t>(state_), rate_bps,
+              util::to_seconds(owd) * 1e3);
+  }
 }
 
 double PbeClient::internet_state_fraction() const {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.h"
+
 namespace pbecc::pbe {
 
 PbeSender::PbeSender(PbeSenderConfig cfg)
@@ -30,9 +32,18 @@ void PbeSender::on_ack(const net::AckSample& s) {
   if (cfg_.detect_misreports) misreport_.on_ack(s, feedback_rate_);
 
   if (s.pbe_internet_bottleneck && !bbr_) enter_internet_mode(s.now);
-  if (!s.pbe_internet_bottleneck && bbr_) leave_internet_mode();
+  if (!s.pbe_internet_bottleneck && bbr_) leave_internet_mode(s.now);
 
   if (bbr_) bbr_->on_ack(s);
+
+  if constexpr (obs::kCompiled) {
+    static obs::Gauge& pacing = obs::gauge("pbe.sender.pacing_bps");
+    static obs::Gauge& cwnd = obs::gauge("pbe.sender.cwnd_bytes");
+    static obs::Gauge& feedback = obs::gauge("pbe.sender.feedback_bps");
+    pacing.set(pacing_rate(s.now));
+    cwnd.set(cwnd_bytes(s.now));
+    feedback.set(feedback_rate_);
+  }
 }
 
 void PbeSender::on_loss(const net::LossSample& s) {
@@ -56,9 +67,24 @@ void PbeSender::enter_internet_mode(util::Time now) {
   // path can currently carry.
   const util::RateBps measured = btlbw_filter_.get(now, feedback_rate_);
   bbr_->seed_estimates(now, std::min(measured, feedback_rate_), rtprop_);
+  note_mode_switch(now, /*internet=*/true);
 }
 
-void PbeSender::leave_internet_mode() { bbr_.reset(); }
+void PbeSender::leave_internet_mode(util::Time now) {
+  bbr_.reset();
+  note_mode_switch(now, /*internet=*/false);
+}
+
+void PbeSender::note_mode_switch(util::Time now, bool internet) {
+  if constexpr (obs::kCompiled) {
+    static obs::Counter& switches = obs::counter("pbe.sender.mode_switches");
+    switches.inc();
+    obs::emit(obs::EventKind::kSenderModeSwitch, now, 0, 0, internet ? 1 : 0);
+  } else {
+    (void)now;
+    (void)internet;
+  }
+}
 
 util::RateBps PbeSender::pacing_rate(util::Time now) const {
   if (bbr_) return bbr_->pacing_rate(now);

@@ -56,7 +56,8 @@ class PbeSender : public net::CongestionController {
  private:
   void decode_feedback(const net::AckSample& s);
   void enter_internet_mode(util::Time now);
-  void leave_internet_mode();
+  void leave_internet_mode(util::Time now);
+  void note_mode_switch(util::Time now, bool internet);
 
   PbeSenderConfig cfg_;
   util::RateBps feedback_rate_;

@@ -4,6 +4,8 @@
 #include <array>
 #include <limits>
 
+#include "obs/profile.h"
+
 namespace pbecc::phy {
 
 namespace {
@@ -62,6 +64,7 @@ util::BitVec rate_match(const util::BitVec& coded, std::size_t target_bits) {
 
 util::BitVec conv_decode(const util::BitVec& received,
                          std::size_t payload_bits) {
+  PBECC_PROF_SCOPE("viterbi");
   const std::size_t steps = payload_bits + kConvTailBits;
   const std::size_t coded_bits = kConvRateInv * steps;
 

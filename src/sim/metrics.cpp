@@ -1,6 +1,24 @@
 #include "sim/metrics.h"
 
+#include <limits>
+
 namespace pbecc::sim {
+
+namespace {
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
+
+double FlowStats::avg_delay_ms() const {
+  return delays_ms_.empty() ? kNan : delays_ms_.mean();
+}
+
+double FlowStats::p95_delay_ms() const {
+  return delays_ms_.empty() ? kNan : delays_ms_.percentile(95);
+}
+
+double FlowStats::median_delay_ms() const {
+  return delays_ms_.empty() ? kNan : delays_ms_.percentile(50);
+}
 
 void FlowStats::roll_windows(util::Time now) {
   while (now - window_start_ >= window_) {
@@ -28,8 +46,9 @@ void FlowStats::on_delivery(const net::Packet& pkt, util::Time now) {
 }
 
 void FlowStats::finish(util::Time now) {
-  if (finished_ || first_ < 0) return;
-  finished_ = true;
+  if (finished_) return;
+  finished_ = true;  // latch even with no deliveries: measurement is over
+  if (first_ < 0) return;
   if (window_bytes_ > 0 && now > window_start_) {
     // Flush the final partial window at its actual length.
     window_tputs_.add(static_cast<double>(window_bytes_) * 8.0 /

@@ -23,10 +23,13 @@ class FlowStats {
   void finish(util::Time now);
 
   // --- Delay (milliseconds) ---
+  // A flow that never delivered a packet has no delay distribution; the
+  // accessors return NaN rather than a fake 0 ms (which would read as a
+  // perfect link in reports). Check delays_ms().empty() or std::isnan.
   const util::SampleSet& delays_ms() const { return delays_ms_; }
-  double avg_delay_ms() const { return delays_ms_.mean(); }
-  double p95_delay_ms() const { return delays_ms_.percentile(95); }
-  double median_delay_ms() const { return delays_ms_.percentile(50); }
+  double avg_delay_ms() const;
+  double p95_delay_ms() const;
+  double median_delay_ms() const;
 
   // --- Throughput (Mbit/s), per window and overall ---
   const util::SampleSet& window_tputs_mbps() const { return window_tputs_; }

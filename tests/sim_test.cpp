@@ -2,6 +2,8 @@
 // and scenario wiring.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "sim/algorithms.h"
 #include "sim/location.h"
 #include "sim/metrics.h"
@@ -52,7 +54,66 @@ TEST(FlowStatsTest, EmptyFlow) {
   st.finish(kSecond);
   EXPECT_EQ(st.packets(), 0u);
   EXPECT_DOUBLE_EQ(st.avg_tput_mbps(), 0.0);
-  EXPECT_DOUBLE_EQ(st.avg_delay_ms(), 0.0);
+  // No deliveries -> no delay distribution: NaN, not a fake perfect 0 ms.
+  EXPECT_TRUE(std::isnan(st.avg_delay_ms()));
+  EXPECT_TRUE(std::isnan(st.median_delay_ms()));
+  EXPECT_TRUE(std::isnan(st.p95_delay_ms()));
+  EXPECT_TRUE(st.delays_ms().empty());
+  EXPECT_EQ(st.window_tputs_mbps().count(), 0u);
+}
+
+TEST(FlowStatsTest, FinishBeforeAnyDeliveryIsIdempotent) {
+  FlowStats st;
+  st.finish(kSecond);
+  st.finish(2 * kSecond);  // double finish must not crash or emit windows
+  // A delivery after finish() is ignored.
+  net::Packet p;
+  p.bytes = 1500;
+  p.sent_time = 3 * kSecond - 10 * kMillisecond;
+  st.on_delivery(p, 3 * kSecond);
+  EXPECT_EQ(st.packets(), 0u);
+  EXPECT_EQ(st.bytes(), 0u);
+  EXPECT_TRUE(std::isnan(st.avg_delay_ms()));
+}
+
+TEST(FlowStatsTest, DeliveryExactlyOnWindowBoundary) {
+  FlowStats st;  // 100 ms windows
+  net::Packet p;
+  p.bytes = 1250;  // 1250 B / 100 ms = 0.1 Mbit/s
+  // First delivery opens the window at t=1s; the second lands exactly on
+  // the boundary and must roll into (and open) the next window, not be
+  // double-counted in the first.
+  p.sent_time = kSecond - 20 * kMillisecond;
+  st.on_delivery(p, kSecond);
+  p.sent_time = kSecond + 80 * kMillisecond;
+  st.on_delivery(p, kSecond + 100 * kMillisecond);
+  st.finish(kSecond + 200 * kMillisecond);
+
+  ASSERT_EQ(st.window_tputs_mbps().count(), 2u);
+  const auto wins = st.window_tputs_mbps().samples();
+  EXPECT_NEAR(wins[0], 0.1, 1e-9);  // only the first packet
+  EXPECT_NEAR(wins[1], 0.1, 1e-9);  // boundary packet, full-window flush
+  EXPECT_EQ(st.packets(), 2u);
+}
+
+TEST(FlowStatsTest, SinglePacketFlow) {
+  FlowStats st;
+  net::Packet p;
+  p.bytes = 1500;
+  p.sent_time = kSecond - 25 * kMillisecond;
+  st.on_delivery(p, kSecond);
+  st.finish(kSecond + 50 * kMillisecond);
+
+  EXPECT_EQ(st.packets(), 1u);
+  // All percentiles of a single sample are that sample.
+  EXPECT_DOUBLE_EQ(st.avg_delay_ms(), 25.0);
+  EXPECT_DOUBLE_EQ(st.median_delay_ms(), 25.0);
+  EXPECT_DOUBLE_EQ(st.p95_delay_ms(), 25.0);
+  // last == first: the elapsed-time throughput is undefined; reported as 0.
+  EXPECT_DOUBLE_EQ(st.avg_tput_mbps(), 0.0);
+  // The partial window still flushes: 1500 B over 50 ms = 0.24 Mbit/s.
+  ASSERT_EQ(st.window_tputs_mbps().count(), 1u);
+  EXPECT_NEAR(st.window_tputs_mbps().samples()[0], 0.24, 1e-9);
 }
 
 // ------------------------------------------------------------- algorithms
