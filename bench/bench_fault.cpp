@@ -1,0 +1,121 @@
+// Chaos sweep: graceful degradation of the PBE feedback loop (DESIGN.md
+// §8). Not a paper figure — this bench guards the robustness claim that
+// PBE-CC *with* its degradation machinery never does worse than the
+// algorithm it falls back to.
+//
+// Part 1 sweeps DCI-blackout intensity (fraction of each second in which
+// the monitor decodes nothing) and compares PBE-CC against plain BBR on
+// the same faulty link. PBE-CC's advantage should shrink as the feed
+// degrades and bottom out at BBR-level — never below — because at 100%
+// blackout the sender is simply running its fallback BBR.
+//
+// Part 2 checks the recovery deadline: a solid blackout window ends, and
+// the sender must re-enter PRECISE within 500 ms (sim time) of the feed
+// returning.
+//
+// Exits non-zero if either assertion fails (CI-friendly).
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "bench/bench_common.h"
+#include "pbe/pbe_sender.h"
+#include "sim/location.h"
+#include "sim/scenario.h"
+
+using namespace pbecc;
+
+namespace {
+
+constexpr int kLocation = 2;  // 1-cell busy indoor: the paper's base case
+
+sim::LocationRunResult run_faulty(const std::string& algo, double duty,
+                                  util::Duration flow_len) {
+  fault::FaultProfile profile;
+  profile.blackout_duty = duty;
+  profile.blackout_period = util::kSecond;
+  profile.blackout_from = 0;
+  return sim::run_location(sim::location(kLocation), algo, flow_len,
+                           duty > 0 ? &profile : nullptr, /*fault_seed=*/3);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Duration flow_len = bench::flow_seconds(argc, argv, 12);
+  bench::header("Chaos sweep: throughput/delay vs DCI-blackout intensity");
+
+  // ---------------- Part 1: intensity sweep, PBE-CC vs plain BBR.
+  const double duties[] = {0.0, 0.25, 0.5, 0.75, 1.0};
+  std::map<double, std::map<std::string, sim::LocationRunResult>> grid;
+  std::printf("\n  %-8s %8s %12s %12s %12s\n", "algo", "duty", "tput(Mb)",
+              "p50-d(ms)", "p95-d(ms)");
+  for (const std::string algo : {"pbe", "bbr"}) {
+    for (const double duty : duties) {
+      const auto r = run_faulty(algo, duty, flow_len);
+      grid[duty][algo] = r;
+      std::printf("  %-8s %8.2f %12.2f %12.1f %12.1f\n", algo.c_str(), duty,
+                  r.avg_tput_mbps, r.median_delay_ms, r.p95_delay_ms);
+    }
+  }
+
+  // Under total blackout PBE-CC *is* its fallback BBR (after a short
+  // detection transient), so it must land in BBR's neighborhood.
+  const double pbe_dead = grid[1.0]["pbe"].avg_tput_mbps;
+  const double bbr_dead = grid[1.0]["bbr"].avg_tput_mbps;
+  const double ratio = bbr_dead > 0 ? pbe_dead / bbr_dead : 1.0;
+  std::printf("\n  100%% blackout: pbe %.2f Mbit/s vs bbr %.2f Mbit/s "
+              "(ratio %.2f, need >= 0.90)\n", pbe_dead, bbr_dead, ratio);
+  bool ok = ratio >= 0.90;
+
+  // ---------------- Part 2: PRECISE re-entry deadline after the feed heals.
+  bench::header("Recovery: PRECISE re-entry after a solid blackout window");
+  {
+    constexpr util::Time kHealAt = 5 * util::kSecond;
+    fault::FaultProfile profile;
+    profile.blackout_duty = 1.0;
+    profile.blackout_from = 2 * util::kSecond;
+    profile.blackout_until = kHealAt;
+
+    sim::ScenarioConfig cfg = sim::scenario_config_for(sim::location(kLocation));
+    cfg.fault = profile;
+    cfg.fault_seed = 3;
+    sim::Scenario s{std::move(cfg)};
+    s.add_ue(sim::ue_spec_for(sim::location(kLocation)));
+    sim::FlowSpec flow;
+    flow.algo = "pbe";
+    flow.path.one_way_delay = 25 * util::kMillisecond;
+    flow.start = 100 * util::kMillisecond;
+    flow.stop = 8 * util::kSecond;
+    const int f = s.add_flow(flow);
+
+    auto& sender = dynamic_cast<pbe::PbeSender&>(s.sender(f).controller());
+
+    bool saw_fallback = false;
+    util::Time precise_again = -1;
+    for (util::Time t = flow.start; t < flow.stop; t += 10 * util::kMillisecond) {
+      s.run_until(t);
+      const auto st = sender.degradation_state();
+      if (t < kHealAt && st == pbe::DegradationState::kFallback) {
+        saw_fallback = true;
+      }
+      if (saw_fallback && precise_again < 0 && t >= kHealAt &&
+          st == pbe::DegradationState::kPrecise) {
+        precise_again = t;
+      }
+    }
+    const double recover_ms =
+        precise_again >= 0
+            ? static_cast<double>(precise_again - kHealAt) /
+                  static_cast<double>(util::kMillisecond)
+            : -1.0;
+    std::printf("\n  fallback during blackout: %s\n",
+                saw_fallback ? "yes" : "NO (fail)");
+    std::printf("  PRECISE re-entry after heal: %s%.0f ms (need <= 500)\n",
+                precise_again >= 0 ? "+" : "never; ", recover_ms);
+    ok = ok && saw_fallback && precise_again >= 0 && recover_ms <= 500.0;
+  }
+
+  std::printf("\n  %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

@@ -18,6 +18,10 @@
 //                          prof.* histograms (blind decode, Viterbi, ...)
 //                          are populated
 //     --trace-sample N     keep 1 in N high-frequency events (default 1)
+//     --fault-profile P    chaos schedule: none|blackout|flap|feedback-loss|
+//                          handover-storm (default none)
+//     --fault-seed N       fault schedule seed (default 1); same seed =>
+//                          byte-identical fault schedule
 //
 //   ./build/examples/run_experiment --algo all --location 31 --csv out.csv
 //   ./build/examples/run_experiment --algo pbe --trace out.jsonl \
@@ -28,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.h"
 #include "obs/obs.h"
 #include "sim/algorithms.h"
 #include "sim/location.h"
@@ -47,6 +52,8 @@ struct Options {
   std::string trace_chrome;
   std::string metrics_json;
   std::uint32_t trace_sample = 1;
+  std::string fault_profile = "none";
+  std::uint64_t fault_seed = 1;
 };
 
 Options parse(int argc, char** argv) {
@@ -79,6 +86,10 @@ Options parse(int argc, char** argv) {
       o.metrics_json = need("--metrics");
     } else if (!std::strcmp(argv[i], "--trace-sample")) {
       o.trace_sample = static_cast<std::uint32_t>(std::atoi(need("--trace-sample")));
+    } else if (!std::strcmp(argv[i], "--fault-profile")) {
+      o.fault_profile = need("--fault-profile");
+    } else if (!std::strcmp(argv[i], "--fault-seed")) {
+      o.fault_seed = static_cast<std::uint64_t>(std::atoll(need("--fault-seed")));
     } else {
       std::fprintf(stderr, "unknown option %s\n", argv[i]);
       std::exit(2);
@@ -88,13 +99,25 @@ Options parse(int argc, char** argv) {
     std::fprintf(stderr, "location must be 0..%d\n", sim::kNumLocations - 1);
     std::exit(2);
   }
+  if (!fault::profile_by_name(o.fault_profile)) {
+    std::fprintf(stderr, "unknown fault profile '%s'; known:",
+                 o.fault_profile.c_str());
+    for (const auto& n : fault::profile_names()) {
+      std::fprintf(stderr, " %s", n.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    std::exit(2);
+  }
   return o;
 }
 
 void run_one(const Options& o, const std::string& algo) {
   auto loc = sim::location(o.location);
   if (o.seed != 0) loc.seed = o.seed;
-  const auto r = sim::run_location(loc, algo, o.seconds * util::kSecond);
+  const auto profile = *fault::profile_by_name(o.fault_profile);
+  const auto r = sim::run_location(loc, algo, o.seconds * util::kSecond,
+                                   profile.active() ? &profile : nullptr,
+                                   o.fault_seed);
 
   std::printf("%-8s %s  tput %.2f Mbit/s  delay p50 %.1f / avg %.1f / "
               "p95 %.1f ms  CA=%s\n",

@@ -1,16 +1,26 @@
 #include "decoder/monitor.h"
 
+#include <algorithm>
 #include <string>
 
 #include "obs/obs.h"
 
 namespace pbecc::decoder {
 
+namespace {
+// Effective control-channel BER beyond which we model the decode as an
+// outright failure (real decoders report CRC failure storms well before
+// this). Only reachable through injected SINR collapses — the benign noise
+// path stays below it.
+constexpr double kDecodableBerLimit = 0.05;
+}  // namespace
+
 Monitor::Monitor(phy::Rnti own_rnti, std::vector<phy::CellConfig> cells,
                  Output out, ControlBerFn ber_fn,
-                 UserTrackerConfig tracker_cfg, std::uint64_t seed)
+                 UserTrackerConfig tracker_cfg, std::uint64_t seed,
+                 const fault::FaultInjector* faults)
     : own_rnti_(own_rnti), out_(std::move(out)), ber_fn_(std::move(ber_fn)),
-      rng_(seed) {
+      faults_(faults), rng_(seed) {
   fusion_ = std::make_unique<MessageFusion>([this](const FusedSubframe& fused) {
     fused_subframes_->inc();
     std::vector<CellObservation> obs;
@@ -49,17 +59,109 @@ Monitor::Monitor(phy::Rnti own_rnti, std::vector<phy::CellConfig> cells,
   }
 }
 
+void Monitor::note_fault_edge(bool& state, bool now_active,
+                              fault::FaultType type, phy::CellId cell,
+                              util::Time t, std::int64_t detail) {
+  if (now_active && !state) {
+    if constexpr (obs::kCompiled) {
+      static obs::Counter& injections = obs::counter("fault.monitor_injections");
+      injections.inc();
+      obs::emit(obs::EventKind::kFaultInjected, t,
+                static_cast<std::uint16_t>(cell),
+                static_cast<std::uint32_t>(type), detail);
+    }
+  }
+  state = now_active;
+}
+
 void Monitor::on_pdcch(const phy::PdcchSubframe& sf) {
   auto dit = decoders_.find(sf.cell_id);
   if (dit == decoders_.end()) return;
 
-  // The monitor receives the control region over its own radio channel.
-  phy::PdcchSubframe noisy = sf;
-  if (ber_fn_) {
-    const double ber = ber_fn_(sf.cell_id);
-    phy::apply_bit_noise(noisy, ber, rng_);
+  const util::Time now = util::subframe_start(sf.sf_index);
+  if (first_pdcch_ < 0) first_pdcch_ = now;
+  ++attempts_;
+  // Keep the success log bounded even if decode_success_rate() is never
+  // polled.
+  while (!success_times_.empty() &&
+         success_times_.front() < now - success_window_) {
+    success_times_.pop_front();
   }
-  fusion_->on_decoded(sf.cell_id, sf.sf_index, dit->second->decode(noisy));
+
+  double extra_ber = 0;
+  if (faults_ != nullptr) {
+    if (faults_->monitor_stalled(now)) {
+      // Frozen subframe clock: the monitor processes nothing. Wall time
+      // still advances, which is what decays the success rate.
+      note_fault_edge(in_stall_, true, fault::FaultType::kMonitorStall, 0, now,
+                      0);
+      ++failures_;
+      return;
+    }
+    note_fault_edge(in_stall_, false, fault::FaultType::kMonitorStall, 0, now,
+                    0);
+
+    bool& bo = in_blackout_[sf.cell_id];
+    if (faults_->dci_blackout(now, sf.cell_id)) {
+      note_fault_edge(bo, true, fault::FaultType::kBlackout, sf.cell_id, now,
+                      sf.sf_index);
+      ++failures_;
+      return;
+    }
+    note_fault_edge(bo, false, fault::FaultType::kBlackout, sf.cell_id, now,
+                    sf.sf_index);
+
+    extra_ber = faults_->extra_control_ber(now, sf.cell_id);
+    note_fault_edge(in_collapse_[sf.cell_id], extra_ber > 0,
+                    fault::FaultType::kSinrCollapse, sf.cell_id, now,
+                    sf.sf_index);
+  }
+
+  // The monitor receives the control region over its own radio channel.
+  const double base_ber = ber_fn_ ? ber_fn_(sf.cell_id) : 0.0;
+  if (faults_ != nullptr && base_ber + extra_ber > kDecodableBerLimit) {
+    // Collapsed SINR: the control region is not decodable this subframe.
+    ++failures_;
+    return;
+  }
+  phy::PdcchSubframe noisy = sf;
+  if (base_ber + extra_ber > 0) {
+    phy::apply_bit_noise(noisy, base_ber + extra_ber, rng_);
+  }
+  auto messages = dit->second->decode(noisy);
+  if (faults_ != nullptr) {
+    const int n_false =
+        faults_->false_dci_count(sf.sf_index, sf.cell_id);
+    for (int k = 0; k < n_false; ++k) {
+      messages.push_back(faults_->make_false_dci(
+          sf.sf_index, sf.cell_id, cell_prbs_.at(sf.cell_id), k));
+    }
+    if (n_false > 0) {
+      if constexpr (obs::kCompiled) {
+        static obs::Counter& false_dcis = obs::counter("fault.false_dcis");
+        false_dcis.inc(static_cast<std::uint64_t>(n_false));
+        obs::emit(obs::EventKind::kFaultInjected, now,
+                  static_cast<std::uint16_t>(sf.cell_id),
+                  static_cast<std::uint32_t>(fault::FaultType::kFalseDci),
+                  n_false);
+      }
+    }
+  }
+  success_times_.push_back(now);
+  fusion_->on_decoded(sf.cell_id, sf.sf_index, std::move(messages));
+}
+
+double Monitor::decode_success_rate(util::Time now) const {
+  if (first_pdcch_ < 0) return 1.0;
+  const util::Time lo = std::max(first_pdcch_, now - success_window_);
+  while (!success_times_.empty() && success_times_.front() < lo) {
+    success_times_.pop_front();
+  }
+  const double span_sf =
+      static_cast<double>(now - lo) / static_cast<double>(util::kSubframe) + 1.0;
+  const double expected = span_sf * static_cast<double>(decoders_.size());
+  if (expected <= 0) return 1.0;
+  return std::min(1.0, static_cast<double>(success_times_.size()) / expected);
 }
 
 void Monitor::set_tracker_window(util::Duration w) {

@@ -3,9 +3,16 @@
 // fusion, and per-cell user trackers — the full pipeline of paper Fig 10a,
 // ending in the per-subframe cell observations the capacity estimator
 // consumes.
+//
+// Robustness: an optional fault::FaultInjector models real decoder
+// pathologies (PDCCH blackouts, SINR collapses, CRC-aliased false
+// positives, frozen subframe clocks). The monitor accounts every decode
+// attempt and exposes a sliding-window decode-success rate — one of the
+// inputs to the PBE client's feedback confidence score.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -14,6 +21,7 @@
 #include "decoder/blind_decoder.h"
 #include "decoder/message_fusion.h"
 #include "decoder/user_tracker.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "phy/pdcch.h"
 #include "util/rng.h"
@@ -36,9 +44,12 @@ class Monitor {
   // copy of the control region (0 = clean).
   using ControlBerFn = std::function<double(phy::CellId)>;
 
+  // `faults` (optional, unowned, may outlive-checked by caller) injects
+  // deterministic decode faults; nullptr = no fault path at all.
   Monitor(phy::Rnti own_rnti, std::vector<phy::CellConfig> cells,
           Output out, ControlBerFn ber_fn = {},
-          UserTrackerConfig tracker_cfg = {}, std::uint64_t seed = 99);
+          UserTrackerConfig tracker_cfg = {}, std::uint64_t seed = 99,
+          const fault::FaultInjector* faults = nullptr);
 
   // Feed a (clean) control region broadcast from the base station; the
   // monitor applies its own reception noise before decoding. Cells the
@@ -50,14 +61,27 @@ class Monitor {
   // most recent RTprop of subframes).
   void set_tracker_window(util::Duration w);
 
+  // Fraction of the cell-subframes expected over the recent accounting
+  // window (~200 ms) that decoded successfully. 1.0 before any PDCCH has
+  // been seen. Stalls lower the rate too: the denominator is wall time, so
+  // a frozen monitor that processes nothing decays exactly like one whose
+  // decodes all fail.
+  double decode_success_rate(util::Time now) const;
+  std::uint64_t decode_attempts() const { return attempts_; }
+  std::uint64_t decode_failures() const { return failures_; }
+
   const UserTracker& tracker(phy::CellId cell) const { return *trackers_.at(cell); }
   const BlindDecoder& decoder(phy::CellId cell) const { return *decoders_.at(cell); }
   bool has_cell(phy::CellId cell) const { return decoders_.contains(cell); }
 
  private:
+  void note_fault_edge(bool& state, bool now_active, fault::FaultType type,
+                       phy::CellId cell, util::Time t, std::int64_t detail);
+
   phy::Rnti own_rnti_;
   Output out_;
   ControlBerFn ber_fn_;
+  const fault::FaultInjector* faults_ = nullptr;
   std::map<phy::CellId, std::unique_ptr<BlindDecoder>> decoders_;
   std::map<phy::CellId, std::unique_ptr<UserTracker>> trackers_;
   std::map<phy::CellId, int> cell_prbs_;
@@ -71,6 +95,19 @@ class Monitor {
   obs::Counter* fused_subframes_ = nullptr;
   std::unique_ptr<MessageFusion> fusion_;
   util::Rng rng_;
+
+  // Decode accounting: timestamps of successful cell-subframe decodes in
+  // the recent window. Failures are implicit — the expected count comes
+  // from the wall-clock span, which also charges stall time.
+  util::Duration success_window_ = 200 * util::kMillisecond;
+  mutable std::deque<util::Time> success_times_;
+  util::Time first_pdcch_ = -1;
+  std::uint64_t attempts_ = 0;
+  std::uint64_t failures_ = 0;
+  // Edge state for fault trace events (emit on onset, not per subframe).
+  bool in_stall_ = false;
+  std::map<phy::CellId, bool> in_blackout_;
+  std::map<phy::CellId, bool> in_collapse_;
 };
 
 }  // namespace pbecc::decoder

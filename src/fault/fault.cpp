@@ -1,0 +1,206 @@
+#include "fault/fault.h"
+
+#include <algorithm>
+
+namespace pbecc::fault {
+
+namespace {
+
+// splitmix64 finalizer — the standard statelesss mixer.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Domain-separation salts, one per fault family.
+constexpr std::uint64_t kSaltSinr = 0x51;
+constexpr std::uint64_t kSaltFalseDciCount = 0xFD;
+constexpr std::uint64_t kSaltFalseDciBody = 0xFB;
+constexpr std::uint64_t kSaltFeedbackLoss = 0x10;
+constexpr std::uint64_t kSaltFeedbackCorrupt = 0xC0;
+constexpr std::uint64_t kSaltCorruptWord = 0xC1;
+
+// Duty-cycled periodic window anchored at t = 0.
+bool in_window(util::Time t, double duty, util::Duration period) {
+  if (duty <= 0 || period <= 0 || t < 0) return false;
+  if (duty >= 1.0) return true;
+  const auto pos = t % period;
+  return static_cast<double>(pos) < duty * static_cast<double>(period);
+}
+
+}  // namespace
+
+bool FaultProfile::active() const {
+  return blackout_duty > 0 || sinr_collapse_per_sec > 0 ||
+         false_dci_per_subframe > 0 || stall_duty > 0 || feedback_loss > 0 ||
+         feedback_corrupt > 0 ||
+         (feedback_delay_spike > 0 && feedback_spike_duty > 0) ||
+         handover_storm_duty > 0;
+}
+
+std::optional<FaultProfile> profile_by_name(std::string_view name) {
+  FaultProfile p;
+  if (name == "none") return p;
+  if (name == "blackout") {
+    // Total DCI decode outage from t=2s to t=6s: long enough to force the
+    // sender through DEGRADED into FALLBACK, bounded so a default 12 s run
+    // demonstrates the FALLBACK -> PRECISE recovery.
+    p.blackout_duty = 1.0;
+    p.blackout_from = 2 * util::kSecond;
+    p.blackout_until = 6 * util::kSecond;
+    return p;
+  }
+  if (name == "flap") {
+    // Oscillating decode health: 45% blackout duty plus per-cell SINR
+    // collapses and a trickle of aliased DCIs. Exercises the hysteresis on
+    // both state-machine transitions.
+    p.blackout_duty = 0.45;
+    p.blackout_period = 900 * util::kMillisecond;
+    p.sinr_collapse_per_sec = 0.5;
+    p.false_dci_per_subframe = 0.3;
+    return p;
+  }
+  if (name == "feedback-loss") {
+    // The decoder is healthy but its reports rarely arrive intact: 95% of
+    // ACKs dropped, half of the survivors carry a garbled rate word, and
+    // periodic 250 ms delay spikes age whatever does get through.
+    p.feedback_loss = 0.95;
+    p.feedback_corrupt = 0.5;
+    p.feedback_delay_spike = 250 * util::kMillisecond;
+    p.feedback_spike_duty = 0.25;
+    p.feedback_spike_period = 2 * util::kSecond;
+    return p;
+  }
+  if (name == "handover-storm") {
+    // Every UE is handed over (aggregated cells rotated) five times per
+    // second for half of every 4 s period; each handover flushes HARQ.
+    p.handover_storm_duty = 0.5;
+    return p;
+  }
+  return std::nullopt;
+}
+
+const std::vector<std::string>& profile_names() {
+  static const std::vector<std::string> names = {
+      "none", "blackout", "flap", "feedback-loss", "handover-storm"};
+  return names;
+}
+
+FaultInjector::FaultInjector(FaultProfile profile, std::uint64_t seed)
+    : profile_(profile), seed_(seed) {}
+
+std::uint64_t FaultInjector::hash(std::uint64_t a, std::uint64_t b,
+                                  std::uint64_t c) const {
+  return mix(mix(mix(seed_ ^ a) ^ b) ^ c);
+}
+
+double FaultInjector::hash_uniform(std::uint64_t a, std::uint64_t b,
+                                   std::uint64_t c) const {
+  return static_cast<double>(hash(a, b, c) >> 11) * 0x1.0p-53;
+}
+
+bool FaultInjector::monitor_stalled(util::Time t) const {
+  return in_window(t, profile_.stall_duty, profile_.stall_period);
+}
+
+bool FaultInjector::dci_blackout(util::Time t, phy::CellId /*cell*/) const {
+  if (t < profile_.blackout_from || t >= profile_.blackout_until) return false;
+  return in_window(t - profile_.blackout_from, profile_.blackout_duty,
+                   profile_.blackout_period);
+}
+
+double FaultInjector::extra_control_ber(util::Time t, phy::CellId cell) const {
+  if (profile_.sinr_collapse_per_sec <= 0 ||
+      profile_.sinr_collapse_duration <= 0) {
+    return 0;
+  }
+  // Time is sliced into collapse-length slots; each (slot, cell) pair is
+  // independently collapsed with the probability that matches the
+  // configured episode rate.
+  const auto slot =
+      static_cast<std::uint64_t>(t / profile_.sinr_collapse_duration);
+  const double p_slot = std::min(
+      1.0, profile_.sinr_collapse_per_sec *
+               util::to_seconds(profile_.sinr_collapse_duration));
+  if (hash_uniform(kSaltSinr, slot, static_cast<std::uint64_t>(cell)) < p_slot) {
+    return profile_.sinr_collapse_extra_ber;
+  }
+  return 0;
+}
+
+int FaultInjector::false_dci_count(std::int64_t sf_index,
+                                   phy::CellId cell) const {
+  const double mean = profile_.false_dci_per_subframe;
+  if (mean <= 0) return 0;
+  const int whole = static_cast<int>(mean);
+  const double frac = mean - whole;
+  const double u = hash_uniform(kSaltFalseDciCount,
+                                static_cast<std::uint64_t>(sf_index),
+                                static_cast<std::uint64_t>(cell));
+  return whole + (u < frac ? 1 : 0);
+}
+
+phy::Dci FaultInjector::make_false_dci(std::int64_t sf_index, phy::CellId cell,
+                                       int cell_prbs, int k) const {
+  const std::uint64_t h =
+      hash(kSaltFalseDciBody,
+           static_cast<std::uint64_t>(sf_index) * 64 +
+               static_cast<std::uint64_t>(k),
+           static_cast<std::uint64_t>(cell));
+  phy::Dci d;
+  // A small recurring pool of phantom RNTIs per cell: real CRC aliasing
+  // clusters on a few values, and recurrence is what sneaks past the
+  // tracker's activity filter to inflate the user count N.
+  d.rnti = static_cast<phy::Rnti>(0xF000 + (static_cast<int>(cell) << 3) +
+                                  static_cast<int>(h & 3));
+  d.format = phy::DciFormat::kFormat1A;
+  const int max_prbs = std::max(1, cell_prbs / 4);
+  d.n_prbs = static_cast<std::uint16_t>(1 + ((h >> 8) % max_prbs));
+  d.prb_start = static_cast<std::uint16_t>(
+      (h >> 24) % static_cast<std::uint64_t>(
+                      std::max(1, cell_prbs - static_cast<int>(d.n_prbs) + 1)));
+  d.mcs = {static_cast<int>(4 + ((h >> 40) & 7)), 1};
+  d.harq_id = static_cast<std::uint8_t>((h >> 48) & 7);
+  d.new_data = ((h >> 52) & 1) != 0;
+  return d;
+}
+
+FeedbackFault FaultInjector::feedback_fault(util::Time t, std::uint32_t flow,
+                                            std::uint64_t seq) const {
+  FeedbackFault f;
+  const auto fl = static_cast<std::uint64_t>(flow);
+  if (profile_.feedback_loss > 0 &&
+      hash_uniform(kSaltFeedbackLoss, fl, seq) < profile_.feedback_loss) {
+    f.drop = true;
+    return f;
+  }
+  if (profile_.feedback_corrupt > 0 &&
+      hash_uniform(kSaltFeedbackCorrupt, fl, seq) < profile_.feedback_corrupt) {
+    f.corrupt = true;
+  }
+  if (profile_.feedback_delay_spike > 0 &&
+      in_window(t, profile_.feedback_spike_duty,
+                profile_.feedback_spike_period)) {
+    f.extra_delay = profile_.feedback_delay_spike;
+  }
+  return f;
+}
+
+std::uint32_t FaultInjector::corrupt_word(std::uint32_t word,
+                                          std::uint32_t flow,
+                                          std::uint64_t seq) const {
+  auto garbled = static_cast<std::uint32_t>(
+      hash(kSaltCorruptWord, static_cast<std::uint64_t>(flow), seq));
+  if (garbled == 0 || garbled == word) garbled = word ^ 0x80000001u;
+  if (garbled == 0) garbled = 1;
+  return garbled;
+}
+
+bool FaultInjector::handover_storm(util::Time t) const {
+  return in_window(t, profile_.handover_storm_duty,
+                   profile_.handover_storm_period);
+}
+
+}  // namespace pbecc::fault

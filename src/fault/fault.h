@@ -1,0 +1,139 @@
+// Deterministic fault injection for the PBE-CC feedback loop.
+//
+// The paper's measurement module rests on a fragile input — a continuously
+// decoded DCI stream — and §7 acknowledges the control channel can be
+// undecodable, feedback lost or stale, and reports corrupted. This layer
+// reproduces those failure modes on the simulation clock so the endpoint's
+// graceful-degradation machinery (src/pbe/degradation.h) can be exercised
+// reproducibly:
+//   * DCI decode blackouts and per-cell SINR collapses at the monitor,
+//   * false-positive DCIs from CRC aliasing (OWL documents these),
+//   * feedback-packet loss / corruption / delay spikes on the ACK path,
+//   * monitor stalls (frozen subframe clock),
+//   * handover storms (repeated inter-site handovers flushing HARQ).
+//
+// Determinism: every query is a pure function of (profile, seed, query
+// arguments) via a splitmix64 hash — no internal RNG state, so fault
+// decisions are independent of query order and two runs with the same seed
+// produce byte-identical fault schedules (the acceptance criterion for
+// `--fault-seed`). Periodic faults use duty-cycled windows anchored at t=0.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "phy/cell_config.h"
+#include "phy/dci.h"
+#include "util/time.h"
+
+namespace pbecc::fault {
+
+// Payload code for obs::EventKind::kFaultInjected ("fault_type" field).
+enum class FaultType : std::uint8_t {
+  kBlackout = 1,
+  kSinrCollapse = 2,
+  kFalseDci = 3,
+  kFeedbackDrop = 4,
+  kFeedbackCorrupt = 5,
+  kFeedbackDelay = 6,
+  kMonitorStall = 7,
+  kHandoverStorm = 8,
+};
+
+// Pure-data description of a chaos scenario. All knobs default to "off";
+// a default-constructed profile is inactive and injects nothing.
+struct FaultProfile {
+  // --- DCI decode blackout: duty-cycled windows in which every decode
+  // attempt fails outright (PDCCH undecodable). Bounded to
+  // [blackout_from, blackout_until) so a run can demonstrate recovery.
+  double blackout_duty = 0;  // fraction of each period, 1.0 = solid
+  util::Duration blackout_period = util::kSecond;
+  util::Time blackout_from = 0;
+  util::Time blackout_until = util::kNever;
+
+  // --- Per-cell SINR collapse: random episodes of control-channel BER high
+  // enough that decoding fails on that cell only.
+  double sinr_collapse_per_sec = 0;  // episodes per second, per cell
+  util::Duration sinr_collapse_duration = 200 * util::kMillisecond;
+  double sinr_collapse_extra_ber = 0.08;
+
+  // --- False-positive DCIs (CRC aliasing): mean injected messages per
+  // cell-subframe, drawn from a small pool of phantom RNTIs per cell so
+  // they recur enough to pass the tracker's activity filter.
+  double false_dci_per_subframe = 0;
+
+  // --- Monitor stall: duty-cycled windows in which the monitor's subframe
+  // clock freezes and it processes nothing at all.
+  double stall_duty = 0;
+  util::Duration stall_period = 2 * util::kSecond;
+
+  // --- Feedback path (client -> sender ACK stream).
+  double feedback_loss = 0;     // per-ACK drop probability
+  double feedback_corrupt = 0;  // per-ACK rate-word corruption probability
+  util::Duration feedback_delay_spike = 0;  // extra delay inside spike windows
+  double feedback_spike_duty = 0;
+  util::Duration feedback_spike_period = util::kSecond;
+
+  // --- Handover storm: duty-cycled windows in which every UE is handed
+  // over (rotating its aggregated-cell set) every handover_interval.
+  double handover_storm_duty = 0;
+  util::Duration handover_storm_period = 4 * util::kSecond;
+  util::Duration handover_interval = 200 * util::kMillisecond;
+
+  bool active() const;
+};
+
+// Canned profiles for `run_experiment --fault-profile`:
+//   none | blackout | flap | feedback-loss | handover-storm
+// Returns nullopt for unknown names ("none" returns an inactive profile).
+std::optional<FaultProfile> profile_by_name(std::string_view name);
+const std::vector<std::string>& profile_names();
+
+struct FeedbackFault {
+  bool drop = false;
+  bool corrupt = false;
+  util::Duration extra_delay = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(FaultProfile profile, std::uint64_t seed);
+
+  const FaultProfile& profile() const { return profile_; }
+  std::uint64_t seed() const { return seed_; }
+
+  // --- Monitor-side queries (t = subframe start time). ---
+  bool monitor_stalled(util::Time t) const;
+  bool dci_blackout(util::Time t, phy::CellId cell) const;
+  // Extra control-channel BER from an active SINR collapse (0 when none).
+  double extra_control_ber(util::Time t, phy::CellId cell) const;
+  // Number of false-positive DCIs to append for this cell-subframe.
+  int false_dci_count(std::int64_t sf_index, phy::CellId cell) const;
+  // The k-th aliased message for this cell-subframe: plausible fields, a
+  // recurring phantom RNTI.
+  phy::Dci make_false_dci(std::int64_t sf_index, phy::CellId cell,
+                          int cell_prbs, int k) const;
+
+  // --- Feedback-path query, keyed by (flow, ack seq) for order
+  // independence. ---
+  FeedbackFault feedback_fault(util::Time t, std::uint32_t flow,
+                               std::uint64_t seq) const;
+  // Replacement for a corrupted 32-bit rate word (never 0 = "no estimate").
+  std::uint32_t corrupt_word(std::uint32_t word, std::uint32_t flow,
+                             std::uint64_t seq) const;
+
+  // --- Handover storm: true while a storm window is active. ---
+  bool handover_storm(util::Time t) const;
+
+ private:
+  std::uint64_t hash(std::uint64_t a, std::uint64_t b, std::uint64_t c) const;
+  double hash_uniform(std::uint64_t a, std::uint64_t b, std::uint64_t c) const;
+
+  FaultProfile profile_;
+  std::uint64_t seed_;
+};
+
+}  // namespace pbecc::fault

@@ -47,7 +47,8 @@ void BaseStation::add_ue(const UeConfig& cfg, DeliveryHandler deliver) {
   delivery_[cfg.id] = std::move(deliver);
   const UeId id = cfg.id;
   st.reorder = std::make_unique<ReorderingBuffer>(
-      [this, id](net::Packet pkt) { delivery_.at(id)(std::move(pkt)); });
+      [this, id](net::Packet pkt) { delivery_.at(id)(std::move(pkt)); },
+      cfg_.reordering);
   for (phy::CellId c : cfg.aggregated_cells) {
     phy::ChannelConfig chc = cfg.channel;
     // Independent fading per carrier, same mobility trace.
@@ -89,10 +90,12 @@ void BaseStation::tick() {
   PBECC_PROF_SCOPE("bs_tick");
   sf_index_ = util::subframe_index(loop_.now());
 
-  // Sample every UE's channel on every aggregated cell once per subframe.
+  // Sample every UE's channel on every aggregated cell once per subframe,
+  // and run the RLC reordering timer.
   for (auto& [id, ue] : ues_) {
     ue.newest_secondary_prbs_this_sf = 0;
     ue.total_prbs_this_sf = 0;
+    ue.reorder->expire(loop_.now());
     for (auto& [cell, model] : ue.channels) {
       ue.ch_now[cell] = model.sample(loop_.now());
     }
@@ -336,7 +339,7 @@ void BaseStation::transmit_tb(CellState& cell, UeState& ue, std::uint8_t proc,
   if (!error) {
     TransportBlock done = harq.complete(proc);
     loop_.schedule_at(decode_time, [this, ue_id = ue.cfg.id, done = std::move(done)]() mutable {
-      ues_.at(ue_id).reorder->on_tb_decoded(std::move(done));
+      ues_.at(ue_id).reorder->on_tb_decoded(loop_.now(), std::move(done));
     });
     return;
   }
@@ -359,7 +362,7 @@ void BaseStation::transmit_tb(CellState& cell, UeState& ue, std::uint8_t proc,
                 static_cast<std::int64_t>(dead.tb_seq));
     }
     loop_.schedule_at(decode_time, [this, ue_id = ue.cfg.id, seq = dead.tb_seq] {
-      ues_.at(ue_id).reorder->on_tb_abandoned(seq);
+      ues_.at(ue_id).reorder->on_tb_abandoned(loop_.now(), seq);
     });
   }
 }
@@ -428,7 +431,7 @@ void BaseStation::handover(UeId ue_id, const std::vector<phy::CellId>& new_cells
     for (TransportBlock& dead : harq.abandon_all()) {
       const auto seq = dead.tb_seq;
       loop_.schedule_at(loop_.now(), [this, ue_id, seq] {
-        ues_.at(ue_id).reorder->on_tb_abandoned(seq);
+        ues_.at(ue_id).reorder->on_tb_abandoned(loop_.now(), seq);
       });
       ++total_tbs_abandoned_;
       if constexpr (obs::kCompiled) {

@@ -57,6 +57,8 @@ struct BaseStationConfig {
   // periodic control payloads — the paper's gamma = 6.8% (Fig 6a), which
   // its Eqn 5 subtracts when translating physical capacity to goodput.
   double protocol_overhead = 0.068;
+  // RLC reordering-timer settings for every UE's in-order delivery buffer.
+  ReorderingBuffer::Config reordering{};
   std::uint64_t seed = 42;
 };
 

@@ -1,19 +1,40 @@
 #include "mac/reordering_buffer.h"
 
+#include "obs/metrics.h"
+
 namespace pbecc::mac {
 
-void ReorderingBuffer::on_tb_decoded(TransportBlock tb) {
-  if (tb.tb_seq < next_expected_) return;  // stale duplicate
+void ReorderingBuffer::on_tb_decoded(util::Time now, TransportBlock tb) {
+  if (tb.tb_seq < next_expected_) return;       // stale duplicate
+  if (buffer_.contains(tb.tb_seq)) return;      // duplicate decode: first wins
   Entry e;
+  e.since = now;
   e.packets = std::move(tb.completed_packets);
-  buffer_[tb.tb_seq] = std::move(e);
+  buffer_.emplace(tb.tb_seq, std::move(e));
   drain();
 }
 
-void ReorderingBuffer::on_tb_abandoned(std::uint64_t tb_seq) {
+void ReorderingBuffer::on_tb_abandoned(util::Time now, std::uint64_t tb_seq) {
   if (tb_seq < next_expected_) return;
-  buffer_[tb_seq].abandoned = true;
+  auto [it, inserted] = buffer_.try_emplace(tb_seq);
+  if (inserted) it->second.since = now;
+  it->second.abandoned = true;
   drain();
+}
+
+void ReorderingBuffer::expire(util::Time now) {
+  // Only a head-of-line gap can be expired: the oldest buffered TB has
+  // waited `timeout` for a sequence number that never arrived.
+  while (!buffer_.empty() && buffer_.begin()->first != next_expected_ &&
+         now - buffer_.begin()->second.since >= cfg_.timeout) {
+    next_expected_ = buffer_.begin()->first;
+    ++expired_skips_;
+    if constexpr (obs::kCompiled) {
+      static obs::Counter& skips = obs::counter("mac.reorder_expired_skips");
+      skips.inc();
+    }
+    drain();
+  }
 }
 
 void ReorderingBuffer::drain() {

@@ -34,6 +34,7 @@ struct AckSample {
   // PBE-CC explicit feedback, forwarded verbatim from the ACK.
   std::uint32_t pbe_rate_interval_us = 0;
   bool pbe_internet_bottleneck = false;
+  std::uint8_t pbe_confidence = 255;
 };
 
 struct LossSample {

@@ -92,6 +92,7 @@ void FlowSender::on_ack(const Ack& ack) {
   s.bytes_in_flight = bytes_in_flight_;
   s.pbe_rate_interval_us = ack.pbe_rate_interval_us;
   s.pbe_internet_bottleneck = ack.pbe_internet_bottleneck;
+  s.pbe_confidence = ack.pbe_confidence;
 
   // BBR-style delivery rate: bytes delivered since this packet left,
   // divided by the elapsed delivery-clock time.

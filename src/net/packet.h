@@ -49,6 +49,11 @@ struct Ack {
   // One bit: true when the client believes the bottleneck is in the
   // Internet (switch the sender to cellular-tailored BBR).
   bool pbe_internet_bottleneck = false;
+  // Client confidence in the feedback word, 0..255 (255 = fully trusted).
+  // Combines the monitor's decode-success rate with estimator freshness;
+  // drives the sender's PRECISE/DEGRADED/FALLBACK machine. Left at 255 by
+  // receivers without a PBE client so non-PBE flows are unaffected.
+  std::uint8_t pbe_confidence = 255;
 };
 
 }  // namespace pbecc::net

@@ -33,6 +33,10 @@ constexpr EventSchema kSchemas[kNumEventKinds] = {
     {"packet_loss", "net", nullptr, "flow", "seq", "bytes", nullptr, false},
     {"rto_fired", "net", nullptr, "flow", nullptr, "bytes_lost", nullptr,
      false},
+    {"fault_injected", "fault", "cell", "fault_type", "detail", nullptr,
+     nullptr, false},
+    {"degradation_switch", "pbe", nullptr, "old_state", "new_state", nullptr,
+     nullptr, false},
 };
 
 // Append one `"label": value` fragment per used payload slot.
@@ -152,16 +156,17 @@ bool Trace::write_chrome(const std::string& path) const {
   if (!f) return false;
   std::string out = "{\"traceEvents\": [\n";
   // One "thread" per category so each renders as its own track.
-  const char* cats[] = {"decoder", "pbe", "mac", "net"};
+  const char* cats[] = {"decoder", "pbe", "mac", "net", "fault"};
+  constexpr int kNumCats = 5;
   const auto tid_of = [&](const char* cat) {
-    for (int i = 0; i < 4; ++i) {
+    for (int i = 0; i < kNumCats; ++i) {
       if (std::string(cat) == cats[i]) return i + 1;
     }
     return 0;
   };
   char buf[160];
   bool first = true;
-  for (int i = 0; i < 4; ++i) {
+  for (int i = 0; i < kNumCats; ++i) {
     std::snprintf(buf, sizeof(buf),
                   "%s{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
                   "\"tid\": %d, \"args\": {\"name\": \"%s\"}}",

@@ -42,6 +42,9 @@ enum class EventKind : std::uint8_t {
   // net
   kPacketLoss,         // id2=flow, a=seq, x=bytes
   kRtoFired,           // id2=flow, x=bytes presumed lost
+  // fault
+  kFaultInjected,      // id=cell, id2=fault type (fault::FaultType), a=detail
+  kDegradationSwitch,  // id2=old state, a=new state (pbe::DegradationState)
   kKindCount,          // sentinel
 };
 

@@ -55,6 +55,10 @@ class CapacityEstimator {
   // diagnostics); 1 when no data yet.
   double max_users() const;
 
+  // Time of the last ingested observation (0 before the first); exposes
+  // estimate staleness to the client's feedback-confidence score.
+  util::Time last_update() const { return last_update_; }
+
  private:
   struct CellState {
     util::WindowedMean rw;      // bits per PRB

@@ -1,0 +1,56 @@
+#include "pbe/degradation.h"
+
+#include <algorithm>
+
+namespace pbecc::pbe {
+
+void DegradationMachine::on_feedback(util::Time now, double confidence) {
+  conf_ = std::clamp(confidence, 0.0, 1.0);
+  last_feedback_ = now;
+  advance(now);
+}
+
+void DegradationMachine::advance(util::Time now) {
+  if (last_feedback_ < 0) return;  // not engaged until first valid feedback
+
+  const bool stale = now - last_feedback_ > cfg_.feedback_timeout;
+  const bool healthy = !stale && conf_ >= cfg_.recover_above;
+  const bool unhealthy = stale || conf_ < cfg_.degrade_below;
+
+  if (healthy) {
+    if (healthy_since_ < 0) healthy_since_ = now;
+  } else {
+    healthy_since_ = -1;
+  }
+  if (unhealthy) {
+    if (unhealthy_since_ < 0) unhealthy_since_ = now;
+  } else {
+    unhealthy_since_ = -1;
+  }
+
+  switch (state_) {
+    case DegradationState::kPrecise:
+      if (unhealthy) transition(now, DegradationState::kDegraded);
+      break;
+    case DegradationState::kDegraded:
+      if (unhealthy && now - unhealthy_since_ >= cfg_.fallback_after) {
+        transition(now, DegradationState::kFallback);
+      } else if (healthy && now - healthy_since_ >= cfg_.recover_hold) {
+        transition(now, DegradationState::kPrecise);
+      }
+      break;
+    case DegradationState::kFallback:
+      if (healthy && now - healthy_since_ >= cfg_.recover_hold) {
+        transition(now, DegradationState::kPrecise);
+      }
+      break;
+  }
+}
+
+void DegradationMachine::transition(util::Time now, DegradationState to) {
+  const DegradationState from = state_;
+  state_ = to;
+  if (hook_) hook_(now, from, to);
+}
+
+}  // namespace pbecc::pbe

@@ -1,0 +1,97 @@
+// Graceful degradation of the PBE feedback loop (ROADMAP: "degraded, not
+// dead" when the physical-layer feed breaks).
+//
+// PBE-CC paces at exactly the capacity the client reports — which is only
+// safe while that report is trustworthy. This three-state machine tracks a
+// per-feedback confidence score (monitor decode-success rate x estimator
+// freshness x server-side plausibility) and the age of the last valid
+// feedback word:
+//
+//   PRECISE   — feed healthy: pace at the reported capacity (paper §4/§5).
+//   DEGRADED  — feed suspect: hold the last good estimate and decay it
+//               exponentially (half-life hold_half_life) so a stale rate
+//               can never overdrive a collapsing link for long.
+//   FALLBACK  — feed dead: run a plain BBR; physical-layer feedback is
+//               ignored until it proves healthy again.
+//
+// Hysteresis on both transitions: the confidence band between
+// degrade_below and recover_above holds the current state, escalation to
+// FALLBACK requires continuous ill health for fallback_after, and any
+// recovery to PRECISE requires continuous good health for recover_hold.
+// The machine is inert until the first valid feedback arrives, so a
+// connection's first RTT never starts degraded. See DESIGN.md §8.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/time.h"
+
+namespace pbecc::pbe {
+
+enum class DegradationState : std::uint8_t {
+  kPrecise = 0,
+  kDegraded = 1,
+  kFallback = 2,
+};
+
+struct DegradationConfig {
+  // Confidence below this is unhealthy; above recover_above is healthy;
+  // the band in between holds the current state (dual-threshold
+  // hysteresis). The thresholds bracket the confidence a half-degraded
+  // decode window produces, so brief single-subframe hiccups (confidence
+  // ~0.95) never leave PRECISE.
+  double degrade_below = 0.55;
+  double recover_above = 0.75;
+  // Feedback older than this is unhealthy regardless of its confidence
+  // (watchdog for total feedback loss). ~2x the largest location RTT.
+  util::Duration feedback_timeout = 200 * util::kMillisecond;
+  // Continuous ill health in DEGRADED before escalating to FALLBACK.
+  util::Duration fallback_after = 250 * util::kMillisecond;
+  // Continuous good health before any recovery to PRECISE. Together with
+  // the ~150 ms the 200 ms decode window needs to clear recover_above,
+  // recovery lands ~300 ms after the feed returns — inside the 500 ms
+  // budget, but immune to one lucky subframe.
+  util::Duration recover_hold = 100 * util::kMillisecond;
+  // DEGRADED hold-and-decay half-life for the held pacing rate.
+  util::Duration hold_half_life = 500 * util::kMillisecond;
+};
+
+class DegradationMachine {
+ public:
+  // (now, from, to) — fired on every state change, after state_ updates.
+  using TransitionHook =
+      std::function<void(util::Time, DegradationState, DegradationState)>;
+
+  explicit DegradationMachine(DegradationConfig cfg = {}) : cfg_(cfg) {}
+
+  void set_transition_hook(TransitionHook hook) { hook_ = std::move(hook); }
+
+  // A valid (plausible) feedback word arrived carrying this confidence.
+  void on_feedback(util::Time now, double confidence);
+
+  // Advance the clock (call from every ack and packet send); drives the
+  // watchdog when feedback stops arriving entirely.
+  void advance(util::Time now);
+
+  DegradationState state() const { return state_; }
+  // False until the first valid feedback: the machine never degrades a
+  // connection that has not yet heard from its client.
+  bool engaged() const { return last_feedback_ >= 0; }
+  double confidence() const { return conf_; }
+  util::Time last_feedback_time() const { return last_feedback_; }
+  const DegradationConfig& config() const { return cfg_; }
+
+ private:
+  void transition(util::Time now, DegradationState to);
+
+  DegradationConfig cfg_;
+  TransitionHook hook_;
+  DegradationState state_ = DegradationState::kPrecise;
+  double conf_ = 1.0;
+  util::Time last_feedback_ = -1;
+  util::Time healthy_since_ = -1;
+  util::Time unhealthy_since_ = -1;
+};
+
+}  // namespace pbecc::pbe

@@ -19,13 +19,25 @@ void MisreportDetector::on_ack(const net::AckSample& s,
 
   if (reported_rate > cfg_.suspicion_ratio * achieved) {
     if (suspicious_since_ < 0) suspicious_since_ = s.now;
+    honest_since_ = -1;
     if (s.now - suspicious_since_ >= cfg_.flag_after) flagged_ = true;
   } else {
     suspicious_since_ = -1;
-    // A client that returns to honest reporting is unflagged — the cap is
-    // a protective measure, not a permanent ban.
-    flagged_ = false;
+    // A client that returns to honest reporting is eventually unflagged —
+    // the cap is a protective measure, not a permanent ban — but only
+    // after reporting honestly for as long as it took to earn the flag.
+    if (flagged_) {
+      if (honest_since_ < 0) honest_since_ = s.now;
+      if (s.now - honest_since_ >= cfg_.flag_after) {
+        flagged_ = false;
+        honest_since_ = -1;
+      }
+    }
   }
+}
+
+void MisreportDetector::on_feedback_word(bool plausible) {
+  plausibility_ += 0.05 * ((plausible ? 1.0 : 0.0) - plausibility_);
 }
 
 util::RateBps MisreportDetector::rate_cap(util::Time now) const {

@@ -7,7 +7,14 @@
 // BBR-like throughput estimator purely from send/ack timestamps and flags
 // any client that *consistently* reports a rate well above what the path
 // actually delivers. Once flagged, the sender caps its pacing at the
-// measured delivery rate instead of the reported one.
+// measured delivery rate instead of the reported one. Unflagging is
+// symmetric: the client must report within the suspicion ratio of the
+// achieved rate continuously for flag_after before trust is restored —
+// a liar cannot clear the flag with a single honest ack.
+//
+// The detector also tracks feedback-word plausibility (an EWMA of whether
+// each decoded word carried a physically possible rate), one input to the
+// sender's degradation confidence score.
 #pragma once
 
 #include "net/congestion_controller.h"
@@ -35,6 +42,15 @@ class MisreportDetector {
   // Feed every ACK along with the rate the client currently reports.
   void on_ack(const net::AckSample& s, util::RateBps reported_rate);
 
+  // Feed every decoded feedback word: was the encoded rate physically
+  // plausible? Drives the plausibility EWMA consumed by the degradation
+  // machine (corrupted feedback decodes to garbage rates).
+  void on_feedback_word(bool plausible);
+
+  // In [0, 1]: 1.0 = every recent feedback word decoded to a plausible
+  // rate; decays toward 0 under feedback corruption.
+  double plausibility() const { return plausibility_; }
+
   bool flagged() const { return flagged_; }
 
   // The server-side estimate of what the path actually delivers.
@@ -47,7 +63,9 @@ class MisreportDetector {
   MisreportDetectorConfig cfg_;
   mutable util::WindowedMax<double> achieved_;
   util::Time suspicious_since_ = -1;
+  util::Time honest_since_ = -1;
   bool flagged_ = false;
+  double plausibility_ = 1.0;
 };
 
 }  // namespace pbecc::pbe

@@ -23,7 +23,7 @@ PbeClient::PbeClient(PbeClientConfig cfg, ChannelQuery channel_query)
         });
       },
       [this](phy::CellId c) { return channel_(c).control_ber; },
-      cfg_.tracker, cfg_.seed);
+      cfg_.tracker, cfg_.seed, cfg_.faults);
 }
 
 void PbeClient::on_pdcch(const phy::PdcchSubframe& sf) { monitor_->on_pdcch(sf); }
@@ -178,6 +178,15 @@ void PbeClient::fill_feedback(const net::Packet& pkt, util::Time now,
   last_ct_bits_sf_ = util::bps_to_bits_per_subframe(rate_bps);
   last_feedback_bps_ = rate_bps;
 
+  // --- Feedback confidence (degradation input, §8 of DESIGN.md).
+  const double conf = confidence(now);
+  ack.pbe_confidence =
+      static_cast<std::uint8_t>(std::lround(conf * 255.0));
+  if constexpr (obs::kCompiled) {
+    static obs::Gauge& conf_gauge = obs::gauge("pbe.client.confidence");
+    conf_gauge.set(conf);
+  }
+
   // --- Encode: interval in microseconds between two MSS-size packets.
   if (rate_bps > 1000.0) {
     const double interval_us =
@@ -201,6 +210,24 @@ void PbeClient::fill_feedback(const net::Packet& pkt, util::Time now,
               static_cast<std::int64_t>(state_), rate_bps,
               util::to_seconds(owd) * 1e3);
   }
+}
+
+double PbeClient::confidence(util::Time now) const {
+  double conf = monitor_->decode_success_rate(now);
+  // Estimate freshness: a feed that stopped updating (blackout, stall) is
+  // worth less the older it gets — full trust up to 50 ms of age, linear
+  // decay to zero at 300 ms.
+  const util::Time lu = estimator_.last_update();
+  if (lu > 0) {
+    const util::Duration age = now - lu;
+    if (age > 50 * util::kMillisecond) {
+      const double freshness =
+          1.0 - static_cast<double>(age - 50 * util::kMillisecond) /
+                    static_cast<double>(250 * util::kMillisecond);
+      conf *= std::clamp(freshness, 0.0, 1.0);
+    }
+  }
+  return std::clamp(conf, 0.0, 1.0);
 }
 
 double PbeClient::internet_state_fraction() const {

@@ -37,6 +37,9 @@ struct PbeClientConfig {
   // ramp complete / the wireless link re-bottlenecked.
   double rate_attained_fraction = 0.9;
   std::uint64_t seed = 21;
+  // Optional fault injector threaded down into the decoder monitor
+  // (unowned; must outlive the client). nullptr = fault-free.
+  const fault::FaultInjector* faults = nullptr;
 };
 
 class PbeClient {
@@ -65,6 +68,12 @@ class PbeClient {
   // Fraction of packets handled while in the Internet-bottleneck state
   // (the paper's §6.3.1 "alternation between states" statistic).
   double internet_state_fraction() const;
+
+  // How much the sender should trust this client's feedback right now, in
+  // [0, 1]: monitor decode-success rate times capacity-estimate freshness.
+  // Stamped into every ACK (Ack::pbe_confidence) and consumed by the
+  // sender's degradation machine.
+  double confidence(util::Time now) const;
 
  private:
   double current_p() const;  // residual BER across active cells

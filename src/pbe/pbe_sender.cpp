@@ -1,20 +1,55 @@
 #include "pbe/pbe_sender.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "obs/obs.h"
 
 namespace pbecc::pbe {
 
+namespace {
+// Bounds on a physically possible feedback rate: 10 kbps (below the
+// client's own 1 Mbps floor with a wide margin) to 2.5 Gbps (beyond any
+// LTE carrier aggregate). A corrupted feedback word decodes to a rate
+// outside this range with overwhelming probability.
+constexpr double kMinPlausibleBps = 1e4;
+constexpr double kMaxPlausibleBps = 2.5e9;
+}  // namespace
+
 PbeSender::PbeSender(PbeSenderConfig cfg)
     : cfg_(cfg), feedback_rate_(cfg.initial_rate),
-      btlbw_filter_(cfg.btlbw_window), misreport_(cfg.misreport) {}
+      btlbw_filter_(cfg.btlbw_window), misreport_(cfg.misreport),
+      degradation_(cfg.degradation) {
+  degradation_.set_transition_hook(
+      [this](util::Time now, DegradationState from, DegradationState to) {
+        on_degradation_switch(now, from, to);
+      });
+}
 
 void PbeSender::decode_feedback(const net::AckSample& s) {
   if (s.pbe_rate_interval_us == 0) return;
   // Interval between two MSS-sized packets -> bits per second.
   const double interval_sec = static_cast<double>(s.pbe_rate_interval_us) / 1e6;
-  feedback_rate_ = static_cast<double>(cfg_.mss) * 8.0 / interval_sec;
+  const double rate = static_cast<double>(cfg_.mss) * 8.0 / interval_sec;
+
+  // Plausibility screen: a corrupted word must not steer pacing. The word
+  // is rejected (last good rate kept) and the plausibility EWMA dinged,
+  // which drags the confidence score down under sustained corruption.
+  const bool plausible = rate >= kMinPlausibleBps && rate <= kMaxPlausibleBps;
+  misreport_.on_feedback_word(plausible);
+  if (!plausible) {
+    if constexpr (obs::kCompiled) {
+      static obs::Counter& rejected =
+          obs::counter("pbe.sender.implausible_feedback");
+      rejected.inc();
+    }
+    return;
+  }
+  feedback_rate_ = rate;
+
+  const double conf = (static_cast<double>(s.pbe_confidence) / 255.0) *
+                      misreport_.plausibility();
+  degradation_.on_feedback(s.now, conf);
 }
 
 void PbeSender::on_ack(const net::AckSample& s) {
@@ -31,10 +66,22 @@ void PbeSender::on_ack(const net::AckSample& s) {
   if (s.delivery_rate > 0) btlbw_filter_.update(s.now, s.delivery_rate);
   if (cfg_.detect_misreports) misreport_.on_ack(s, feedback_rate_);
 
-  if (s.pbe_internet_bottleneck && !bbr_) enter_internet_mode(s.now);
-  if (!s.pbe_internet_bottleneck && bbr_) leave_internet_mode(s.now);
+  // Watchdog tick: even an ack with no feedback word advances the clock
+  // (feedback age is what trips the timeout).
+  degradation_.advance(s.now);
 
-  if (bbr_) bbr_->on_ack(s);
+  // Internet-mode switching follows client feedback only while that
+  // feedback is trusted; FALLBACK replaces the internet-mode BBR wholesale.
+  if (degradation_.state() == DegradationState::kPrecise) {
+    if (s.pbe_internet_bottleneck && !bbr_) enter_internet_mode(s.now);
+    if (!s.pbe_internet_bottleneck && bbr_) leave_internet_mode(s.now);
+  }
+
+  if (fallback_bbr_) {
+    fallback_bbr_->on_ack(s);
+  } else if (bbr_) {
+    bbr_->on_ack(s);
+  }
 
   if constexpr (obs::kCompiled) {
     static obs::Gauge& pacing = obs::gauge("pbe.sender.pacing_bps");
@@ -46,8 +93,55 @@ void PbeSender::on_ack(const net::AckSample& s) {
   }
 }
 
+void PbeSender::on_packet_sent(util::Time now, const net::Packet& pkt,
+                               std::uint64_t bytes_in_flight) {
+  // Under total feedback loss no acks arrive; sends are the only clock
+  // the watchdog has (the flow's RTO keeps sends going).
+  degradation_.advance(now);
+  if (fallback_bbr_) fallback_bbr_->on_packet_sent(now, pkt, bytes_in_flight);
+}
+
 void PbeSender::on_loss(const net::LossSample& s) {
-  if (bbr_) bbr_->on_loss(s);
+  if (fallback_bbr_) {
+    fallback_bbr_->on_loss(s);
+  } else if (bbr_) {
+    bbr_->on_loss(s);
+  }
+}
+
+void PbeSender::on_degradation_switch(util::Time now, DegradationState from,
+                                      DegradationState to) {
+  if (to == DegradationState::kDegraded) {
+    // Capture the hold-and-decay anchor: the last trusted rate, already
+    // clamped by the misreport cap so a flagged liar cannot launder an
+    // inflated rate through the degradation path.
+    hold_rate_ = feedback_rate_;
+    if (cfg_.detect_misreports) {
+      hold_rate_ = std::min(hold_rate_, misreport_.rate_cap(now));
+    }
+    hold_since_ = now;
+  } else if (to == DegradationState::kFallback) {
+    if (bbr_) leave_internet_mode(now);
+    baselines::BbrConfig bc;
+    bc.mss = cfg_.mss;
+    bc.seed = cfg_.seed + 1;
+    fallback_bbr_ = std::make_unique<baselines::Bbr>(bc);
+    // Seed from the server-side achieved-rate estimate — the one input a
+    // broken (or lying) feedback loop cannot poison.
+    fallback_bbr_->seed_estimates(
+        now, std::max(misreport_.achieved_rate(now), 1e6), rtprop_);
+  }
+  if (from == DegradationState::kFallback) fallback_bbr_.reset();
+
+  if constexpr (obs::kCompiled) {
+    static obs::Counter& switches =
+        obs::counter("pbe.sender.degradation_switches");
+    static obs::Gauge& state_gauge = obs::gauge("pbe.sender.degradation_state");
+    switches.inc();
+    state_gauge.set(static_cast<double>(to));
+    obs::emit(obs::EventKind::kDegradationSwitch, now, 0,
+              static_cast<std::uint32_t>(from), static_cast<std::int64_t>(to));
+  }
 }
 
 void PbeSender::enter_internet_mode(util::Time now) {
@@ -87,8 +181,18 @@ void PbeSender::note_mode_switch(util::Time now, bool internet) {
 }
 
 util::RateBps PbeSender::pacing_rate(util::Time now) const {
+  if (fallback_bbr_) return fallback_bbr_->pacing_rate(now);
   if (bbr_) return bbr_->pacing_rate(now);
   util::RateBps rate = feedback_rate_;
+  if (degradation_.state() == DegradationState::kDegraded) {
+    // Hold-and-decay: pace at the last trusted rate, halved every
+    // hold_half_life, so a stale estimate cannot overdrive a link whose
+    // true capacity may have collapsed with the feed.
+    const double halves =
+        util::to_seconds(now - hold_since_) /
+        util::to_seconds(degradation_.config().hold_half_life);
+    rate = hold_rate_ * std::exp2(-halves);
+  }
   if (cfg_.detect_misreports) {
     rate = std::min(rate, misreport_.rate_cap(now));
   }
@@ -96,6 +200,7 @@ util::RateBps PbeSender::pacing_rate(util::Time now) const {
 }
 
 double PbeSender::cwnd_bytes(util::Time now) const {
+  if (fallback_bbr_) return fallback_bbr_->cwnd_bytes(now);
   if (bbr_) return bbr_->cwnd_bytes(now);
   // Inflight cap: cwnd_gain * BDP(feedback rate, RTprop) — §4's "limits the
   // amount of inflight data to the bandwidth-delay product".

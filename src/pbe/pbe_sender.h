@@ -5,12 +5,20 @@
 // and switches to the cellular-tailored BBR (probing capped at the
 // wireless fair share, Eqn 7) whenever the client's ACKs flag an
 // Internet bottleneck.
+//
+// Robustness (DESIGN.md §8): a DegradationMachine watches the confidence
+// each ACK carries (client decode health x estimate freshness x feedback
+// plausibility) and the feedback age. While PRECISE the sender behaves as
+// above; DEGRADED holds the last good rate and decays it exponentially;
+// FALLBACK abandons physical-layer feedback entirely and runs a plain BBR
+// until the feed proves healthy again.
 #pragma once
 
 #include <memory>
 
 #include "baselines/bbr.h"
 #include "net/congestion_controller.h"
+#include "pbe/degradation.h"
 #include "pbe/misreport_detector.h"
 #include "util/windowed_filter.h"
 
@@ -34,6 +42,8 @@ struct PbeSenderConfig {
   // server-side throughput estimate and cap flows that misreport.
   bool detect_misreports = true;
   MisreportDetectorConfig misreport{};
+  // Graceful-degradation thresholds (DESIGN.md §8).
+  DegradationConfig degradation{};
   std::uint64_t seed = 5;
 };
 
@@ -41,6 +51,8 @@ class PbeSender : public net::CongestionController {
  public:
   explicit PbeSender(PbeSenderConfig cfg = {});
 
+  void on_packet_sent(util::Time now, const net::Packet& pkt,
+                      std::uint64_t bytes_in_flight) override;
   void on_ack(const net::AckSample& s) override;
   void on_loss(const net::LossSample& s) override;
 
@@ -52,9 +64,13 @@ class PbeSender : public net::CongestionController {
   util::Duration rtprop() const { return rtprop_; }
   util::RateBps feedback_rate() const { return feedback_rate_; }
   const MisreportDetector& misreport_detector() const { return misreport_; }
+  DegradationState degradation_state() const { return degradation_.state(); }
+  const DegradationMachine& degradation() const { return degradation_; }
 
  private:
   void decode_feedback(const net::AckSample& s);
+  void on_degradation_switch(util::Time now, DegradationState from,
+                             DegradationState to);
   void enter_internet_mode(util::Time now);
   void leave_internet_mode(util::Time now);
   void note_mode_switch(util::Time now, bool internet);
@@ -68,6 +84,15 @@ class PbeSender : public net::CongestionController {
   // Present only while the client reports an Internet bottleneck.
   std::unique_ptr<baselines::Bbr> bbr_;
   MisreportDetector misreport_;
+
+  // Graceful degradation of the feedback loop.
+  DegradationMachine degradation_;
+  // Present only in FALLBACK: a plain BBR that ignores PBE feedback.
+  std::unique_ptr<baselines::Bbr> fallback_bbr_;
+  // DEGRADED hold-and-decay anchor: the last trusted rate and when it was
+  // captured.
+  util::RateBps hold_rate_ = 0;
+  util::Time hold_since_ = 0;
 };
 
 }  // namespace pbecc::pbe

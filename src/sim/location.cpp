@@ -82,8 +82,15 @@ void add_location_background(Scenario& s, const LocationProfile& loc) {
 
 LocationRunResult run_location(const LocationProfile& loc,
                                const std::string& algo,
-                               util::Duration flow_len) {
-  Scenario s{scenario_config_for(loc)};
+                               util::Duration flow_len,
+                               const fault::FaultProfile* fault,
+                               std::uint64_t fault_seed) {
+  ScenarioConfig cfg = scenario_config_for(loc);
+  if (fault != nullptr) {
+    cfg.fault = *fault;
+    cfg.fault_seed = fault_seed;
+  }
+  Scenario s{std::move(cfg)};
   s.add_ue(ue_spec_for(loc));
   add_location_background(s, loc);
 

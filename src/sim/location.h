@@ -49,7 +49,11 @@ struct LocationRunResult {
   util::SampleSet window_tputs;
   util::SampleSet delays_ms;
 };
+// `fault` (optional) runs the flow under a deterministic chaos schedule
+// seeded with `fault_seed` (see fault::FaultProfile / --fault-profile).
 LocationRunResult run_location(const LocationProfile& loc, const std::string& algo,
-                               util::Duration flow_len = 20 * util::kSecond);
+                               util::Duration flow_len = 20 * util::kSecond,
+                               const fault::FaultProfile* fault = nullptr,
+                               std::uint64_t fault_seed = 1);
 
 }  // namespace pbecc::sim

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/obs.h"
 #include "pbe/pbe_sender.h"
 #include "sim/algorithms.h"
 
@@ -26,6 +27,9 @@ Scenario::Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)), rng_(cfg_.seed) {
   bs_cfg.control_traffic.users_per_subframe =
       cfg_.cells.front().control_users_per_subframe;
   bs_ = std::make_unique<mac::BaseStation>(loop_, cell_cfgs_, bs_cfg);
+  if (cfg_.fault.active()) {
+    faults_ = std::make_unique<fault::FaultInjector>(cfg_.fault, cfg_.fault_seed);
+  }
 }
 
 phy::Rnti Scenario::rnti_for(mac::UeId ue) const {
@@ -110,8 +114,56 @@ int Scenario::add_flow(const FlowSpec& spec) {
   auto* sender_ptr = ctx->sender.get();
   const util::Duration up_delay = spec.path.one_way_delay;
   ctx->receiver = std::make_unique<net::FlowReceiver>(
-      loop_, flow_id, [this, sender_ptr, up_delay](net::Ack ack) {
-        loop_.schedule_in(up_delay, [sender_ptr, ack] { sender_ptr->on_ack(ack); });
+      loop_, flow_id, [this, sender_ptr, up_delay, flow_id](net::Ack ack) {
+        util::Duration delay = up_delay;
+        if (faults_) {
+          const fault::FeedbackFault ff = faults_->feedback_fault(
+              loop_.now(), static_cast<std::uint32_t>(flow_id), ack.seq);
+          if (ff.drop) {
+            if constexpr (obs::kCompiled) {
+              static obs::Counter& drops = obs::counter("fault.feedback_drops");
+              drops.inc();
+              obs::emit(obs::EventKind::kFaultInjected, loop_.now(), 0,
+                        static_cast<std::uint32_t>(
+                            fault::FaultType::kFeedbackDrop),
+                        static_cast<std::int64_t>(flow_id));
+            }
+            return;  // the ACK never reaches the sender
+          }
+          if (ff.corrupt && ack.pbe_rate_interval_us != 0) {
+            ack.pbe_rate_interval_us = faults_->corrupt_word(
+                ack.pbe_rate_interval_us, static_cast<std::uint32_t>(flow_id),
+                ack.seq);
+            if constexpr (obs::kCompiled) {
+              static obs::Counter& corruptions =
+                  obs::counter("fault.feedback_corruptions");
+              corruptions.inc();
+              obs::emit(obs::EventKind::kFaultInjected, loop_.now(), 0,
+                        static_cast<std::uint32_t>(
+                            fault::FaultType::kFeedbackCorrupt),
+                        static_cast<std::int64_t>(flow_id));
+            }
+          }
+          bool& spiking = in_delay_spike_[flow_id];
+          if (ff.extra_delay > 0) {
+            delay += ff.extra_delay;
+            if (!spiking) {
+              spiking = true;
+              if constexpr (obs::kCompiled) {
+                static obs::Counter& spikes =
+                    obs::counter("fault.feedback_delay_spikes");
+                spikes.inc();
+                obs::emit(obs::EventKind::kFaultInjected, loop_.now(), 0,
+                          static_cast<std::uint32_t>(
+                              fault::FaultType::kFeedbackDelay),
+                          static_cast<std::int64_t>(flow_id));
+              }
+            }
+          } else {
+            spiking = false;
+          }
+        }
+        loop_.schedule_in(delay, [sender_ptr, ack] { sender_ptr->on_ack(ack); });
       });
   ctx->receiver->set_delivery_observer(
       [st = ctx->stats.get()](const net::Packet& pkt, util::Time now) {
@@ -139,6 +191,7 @@ int Scenario::add_flow(const FlowSpec& spec) {
       pcfg.cells.push_back(cell_cfgs_.at(idx));
     }
     pcfg.seed = rng_.next_u64();
+    pcfg.faults = faults_.get();
     if (!spec.pbe_control_filter) {
       pcfg.tracker.min_active_subframes = 0;
       pcfg.tracker.min_average_prbs = 0;
@@ -222,6 +275,41 @@ void Scenario::run_until(util::Time t) {
   if (!started_) {
     started_ = true;
     bs_->start();
+    if (faults_ && cfg_.fault.handover_storm_duty > 0 &&
+        cfg_.fault.handover_interval > 0) {
+      // Storm driver: every handover_interval, while a storm window is
+      // active, hand every foreground UE over (rotating its aggregated-cell
+      // set; single-cell UEs are re-handed to the same cell, which still
+      // abandons all in-flight HARQ blocks — the disruptive part).
+      const auto driver = [this](const auto& self) -> void {
+        loop_.schedule_in(cfg_.fault.handover_interval, [this, self] {
+          if (faults_->handover_storm(loop_.now())) {
+            for (auto& [id, spec] : ue_specs_) {
+              const std::size_t k = ++handover_rotation_[id];
+              const auto& idxs = spec.cell_indices;
+              std::vector<phy::CellId> cells;
+              cells.reserve(idxs.size());
+              for (std::size_t i = 0; i < idxs.size(); ++i) {
+                cells.push_back(cell_cfgs_.at(idxs[(i + k) % idxs.size()]).id);
+              }
+              bs_->handover(id, cells);
+              if constexpr (obs::kCompiled) {
+                static obs::Counter& storms =
+                    obs::counter("fault.storm_handovers");
+                storms.inc();
+                obs::emit(obs::EventKind::kFaultInjected, loop_.now(),
+                          static_cast<std::uint16_t>(cells.front()),
+                          static_cast<std::uint32_t>(
+                              fault::FaultType::kHandoverStorm),
+                          static_cast<std::int64_t>(id));
+              }
+            }
+          }
+          self(self);
+        });
+      };
+      driver(driver);
+    }
   }
   loop_.run_until(t);
 }

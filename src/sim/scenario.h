@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.h"
 #include "mac/base_station.h"
 #include "net/event_loop.h"
 #include "net/flow.h"
@@ -83,6 +84,11 @@ struct ScenarioConfig {
   std::uint64_t seed = 1;
   std::vector<CellSpec> cells = {{}};
   std::string scheduler = "fair-share";
+  // Chaos: deterministic fault schedule (inactive by default). The fault
+  // seed is separate from `seed` so the same traffic can be replayed under
+  // different fault schedules and vice versa.
+  fault::FaultProfile fault{};
+  std::uint64_t fault_seed = 1;
 };
 
 class Scenario {
@@ -106,6 +112,8 @@ class Scenario {
     return flows_.at(static_cast<std::size_t>(flow))->client.get();
   }
   std::size_t num_flows() const { return flows_.size(); }
+  // Null when the scenario's fault profile is inactive.
+  const fault::FaultInjector* faults() const { return faults_.get(); }
 
  private:
   struct FlowCtx {
@@ -129,6 +137,11 @@ class Scenario {
   std::vector<phy::CellConfig> cell_cfgs_;
   std::unique_ptr<mac::BaseStation> bs_;
   util::Rng rng_;
+  std::unique_ptr<fault::FaultInjector> faults_;
+  // Edge state for feedback-delay-spike trace events (one per spike, not
+  // per ACK) and the per-UE handover-storm rotation counters.
+  std::map<net::FlowId, bool> in_delay_spike_;
+  std::map<mac::UeId, std::size_t> handover_rotation_;
 
   std::vector<std::unique_ptr<FlowCtx>> flows_;
   // Per UE: receivers indexed by flow id (a device can run several

@@ -64,9 +64,32 @@ TEST(MisreportDetector, RecoversWhenHonestyReturns) {
   util::Time t = 0;
   for (int i = 0; i < 3000; ++i) det.on_ack(sample(t += kMillisecond, 20e6), 100e6);
   ASSERT_TRUE(det.flagged());
+  // Unflagging is hysteretic: a brief honest spell must NOT clear the flag
+  // (a liar could otherwise reset the cap with one honest ack).
   for (int i = 0; i < 100; ++i) det.on_ack(sample(t += kMillisecond, 20e6), 21e6);
+  EXPECT_TRUE(det.flagged());
+  // Honest for the full flag_after window (2 s default): trust restored.
+  for (int i = 0; i < 2000; ++i) det.on_ack(sample(t += kMillisecond, 20e6), 21e6);
   EXPECT_FALSE(det.flagged());
   EXPECT_GT(det.rate_cap(t), 1e12);  // effectively uncapped
+}
+
+TEST(MisreportDetector, ReflagsWhenLyingResumes) {
+  pbe::MisreportDetector det;
+  util::Time t = 0;
+  // Flag -> recover -> lie again: the grace period applies afresh each time.
+  for (int i = 0; i < 3000; ++i) det.on_ack(sample(t += kMillisecond, 20e6), 100e6);
+  ASSERT_TRUE(det.flagged());
+  for (int i = 0; i < 2100; ++i) det.on_ack(sample(t += kMillisecond, 20e6), 21e6);
+  ASSERT_FALSE(det.flagged());
+  bool flagged_early = false;
+  for (int i = 0; i < 1900; ++i) {
+    det.on_ack(sample(t += kMillisecond, 20e6), 100e6);
+    flagged_early |= det.flagged();
+  }
+  EXPECT_FALSE(flagged_early);
+  for (int i = 0; i < 300; ++i) det.on_ack(sample(t += kMillisecond, 20e6), 100e6);
+  EXPECT_TRUE(det.flagged());
 }
 
 TEST(PbeSenderMisreport, PacingCappedForLiar) {

@@ -203,7 +203,7 @@ TEST(Reorder, InOrderPassesThrough) {
     net::Packet pkt;
     pkt.seq = i;
     t.completed_packets.push_back(pkt);
-    rb.on_tb_decoded(std::move(t));
+    rb.on_tb_decoded(0, std::move(t));
   }
   EXPECT_EQ(out, (std::vector<std::uint64_t>{0, 1, 2}));
   EXPECT_EQ(rb.buffered_blocks(), 0u);
@@ -219,11 +219,11 @@ TEST(Reorder, HoldsUntilGapFilled) {
     t.completed_packets.push_back(p);
     return t;
   };
-  rb.on_tb_decoded(mk(1, 11));  // TB 0 missing (being retransmitted)
-  rb.on_tb_decoded(mk(2, 12));
+  rb.on_tb_decoded(0, mk(1, 11));  // TB 0 missing (being retransmitted)
+  rb.on_tb_decoded(0, mk(2, 12));
   EXPECT_TRUE(out.empty());
   EXPECT_EQ(rb.buffered_blocks(), 2u);
-  rb.on_tb_decoded(mk(0, 10));  // retransmission arrives
+  rb.on_tb_decoded(0, mk(0, 10));  // retransmission arrives
   EXPECT_EQ(out, (std::vector<std::uint64_t>{10, 11, 12}));
 }
 
@@ -234,9 +234,9 @@ TEST(Reorder, AbandonedTbSkipped) {
   net::Packet p;
   p.seq = 21;
   t1.completed_packets.push_back(p);
-  rb.on_tb_decoded(std::move(t1));
+  rb.on_tb_decoded(0, std::move(t1));
   EXPECT_TRUE(out.empty());
-  rb.on_tb_abandoned(0);
+  rb.on_tb_abandoned(0, 0);
   EXPECT_EQ(out, (std::vector<std::uint64_t>{21}));
   EXPECT_EQ(rb.next_expected(), 2u);
 }
@@ -249,11 +249,82 @@ TEST(Reorder, StaleDuplicatesIgnored) {
     t.completed_packets.push_back(net::Packet{});
     return t;
   };
-  rb.on_tb_decoded(mk(0));
-  rb.on_tb_decoded(mk(0));  // duplicate
-  rb.on_tb_abandoned(0);    // stale abandon
+  rb.on_tb_decoded(0, mk(0));
+  rb.on_tb_decoded(0, mk(0));  // duplicate
+  rb.on_tb_abandoned(0, 0);    // stale abandon
   EXPECT_EQ(delivered, 1);
   EXPECT_EQ(rb.next_expected(), 1u);
+}
+
+TEST(Reorder, TimeoutSkipsStuckGap) {
+  using util::kMillisecond;
+  std::vector<std::uint64_t> out;
+  ReorderingBuffer rb([&](net::Packet p) { out.push_back(p.seq); });
+  auto mk = [](std::uint64_t tbseq, std::uint64_t pktseq) {
+    auto t = tb(tbseq);
+    net::Packet p;
+    p.seq = pktseq;
+    t.completed_packets.push_back(p);
+    return t;
+  };
+  // TB 0 is lost and its abandon notification never arrives (e.g. wiped by
+  // a handover). TBs 1-2 wait behind the gap.
+  rb.on_tb_decoded(10 * kMillisecond, mk(1, 11));
+  rb.on_tb_decoded(11 * kMillisecond, mk(2, 12));
+  rb.expire(50 * kMillisecond);  // before timeout: still waiting
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(rb.expired_skips(), 0u);
+  rb.expire(70 * kMillisecond);  // 60 ms after TB 1 arrived: skip the gap
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{11, 12}));
+  EXPECT_EQ(rb.expired_skips(), 1u);
+  EXPECT_EQ(rb.next_expected(), 3u);
+  // The late decode of TB 0 is now stale and must not be delivered.
+  rb.on_tb_decoded(80 * kMillisecond, mk(0, 10));
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{11, 12}));
+}
+
+TEST(Reorder, OutOfOrderAcrossTimeoutBoundary) {
+  using util::kMillisecond;
+  std::vector<std::uint64_t> out;
+  ReorderingBuffer rb([&](net::Packet p) { out.push_back(p.seq); });
+  auto mk = [](std::uint64_t tbseq, std::uint64_t pktseq) {
+    auto t = tb(tbseq);
+    net::Packet p;
+    p.seq = pktseq;
+    t.completed_packets.push_back(p);
+    return t;
+  };
+  // Two independent gaps: 0 (lost forever) and 2 (arrives late but within
+  // its own timeout, measured from when TB 3 started waiting).
+  rb.on_tb_decoded(0, mk(1, 11));
+  rb.on_tb_decoded(55 * kMillisecond, mk(3, 13));
+  rb.expire(60 * kMillisecond);  // gap 0 expires (waited 60 ms behind TB 1)
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{11}));
+  EXPECT_EQ(rb.next_expected(), 2u);
+  rb.expire(80 * kMillisecond);  // TB 3 has only waited 25 ms: gap 2 lives
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{11}));
+  rb.on_tb_decoded(90 * kMillisecond, mk(2, 12));  // late retransmission
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{11, 12, 13}));
+  EXPECT_EQ(rb.expired_skips(), 1u);
+}
+
+TEST(Reorder, DuplicateSequenceNumbersKeepFirstCopy) {
+  std::vector<std::uint64_t> out;
+  ReorderingBuffer rb([&](net::Packet p) { out.push_back(p.seq); });
+  auto mk = [](std::uint64_t tbseq, std::uint64_t pktseq) {
+    auto t = tb(tbseq);
+    net::Packet p;
+    p.seq = pktseq;
+    t.completed_packets.push_back(p);
+    return t;
+  };
+  // A spurious HARQ retransmission decodes TB 1 twice with different
+  // payload snapshots while it waits behind gap 0: first copy wins.
+  rb.on_tb_decoded(0, mk(1, 11));
+  rb.on_tb_decoded(1, mk(1, 99));
+  rb.on_tb_decoded(2, mk(0, 10));
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{10, 11}));
+  EXPECT_EQ(rb.buffered_blocks(), 0u);
 }
 
 // --------------------------------------------------- carrier aggregation

@@ -189,7 +189,7 @@ TEST_F(ObsTest, SchemaTableIsComplete) {
     EXPECT_NE(s.category, nullptr) << "kind " << k;
     const std::string cat = s.category;
     EXPECT_TRUE(cat == "decoder" || cat == "pbe" || cat == "mac" ||
-                cat == "net")
+                cat == "net" || cat == "fault")
         << "kind " << k << " category " << cat;
   }
 }

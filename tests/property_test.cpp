@@ -188,15 +188,16 @@ TEST(ReorderProp, AlwaysInOrderUnderRandomCompletion) {
     });
     std::vector<std::uint64_t> expected;
     for (const auto& e : events) {
+      const util::Time now = e.when * util::kMillisecond;
       if (e.abandoned) {
-        rb.on_tb_abandoned(e.tb);
+        rb.on_tb_abandoned(now, e.tb);
       } else {
         mac::TransportBlock tb;
         tb.tb_seq = e.tb;
         net::Packet p;
         p.seq = e.tb;
         tb.completed_packets.push_back(p);
-        rb.on_tb_decoded(std::move(tb));
+        rb.on_tb_decoded(now, std::move(tb));
       }
     }
     // Invariant: strictly increasing packet sequence at delivery.
