@@ -6,6 +6,9 @@
 //      under unchanged PBE-CC senders;
 //   D. monitor decode quality (extra control-channel BER);
 //   E. endpoint measurement vs explicit network feedback (ABC oracle).
+#include <functional>
+#include <vector>
+
 #include "bench/bench_common.h"
 #include "sim/scenario.h"
 #include "util/stats.h"
@@ -16,10 +19,12 @@ namespace {
 
 struct Result {
   double tput = 0, p50 = 0, p95 = 0;
+  std::uint64_t sfs = 0;
 };
 
 Result run_one(sim::ScenarioConfig cfg, sim::FlowSpec fs, bool busy_bg,
                double weight = 1.0) {
+  const auto n_cells = cfg.cells.size();
   sim::Scenario s{cfg};
   sim::UeSpec ue;
   ue.cell_indices = {0};
@@ -36,7 +41,8 @@ Result run_one(sim::ScenarioConfig cfg, sim::FlowSpec fs, bool busy_bg,
   s.run_until(fs.stop);
   s.stats(f).finish(fs.stop);
   return {s.stats(f).avg_tput_mbps(), s.stats(f).median_delay_ms(),
-          s.stats(f).p95_delay_ms()};
+          s.stats(f).p95_delay_ms(),
+          static_cast<std::uint64_t>(fs.stop / util::kSubframe) * n_cells};
 }
 
 sim::ScenarioConfig busy_cell(std::uint64_t seed = 211) {
@@ -48,15 +54,92 @@ sim::ScenarioConfig busy_cell(std::uint64_t seed = 211) {
 
 }  // namespace
 
-int main() {
-  bench::header("Ablation A: control-traffic filter (busy cell, 0.4 ctrl users/sf)");
+int main(int argc, char** argv) {
+  bench::Reporter rep("bench_ablation", argc, argv);
+
+  // Every ablation point is an independent single-flow scenario. Build the
+  // full run list up front (in the order the sections print), fan it out on
+  // the pool once, then print each section from the ordered results.
+  std::vector<std::function<Result()>> jobs;
+
+  // A: filter on, filter off.
   {
     sim::FlowSpec on;
     on.algo = "pbe";
-    const auto with = run_one(busy_cell(), on, true);
     sim::FlowSpec off = on;
     off.pbe_control_filter = false;
-    const auto without = run_one(busy_cell(), off, true);
+    jobs.push_back([on] { return run_one(busy_cell(), on, true); });
+    jobs.push_back([off] { return run_one(busy_cell(), off, true); });
+  }
+  // B: five cwnd gains.
+  const std::vector<double> gains = {1.0, 1.25, 1.5, 2.0, 3.0};
+  for (const double g : gains) {
+    jobs.push_back([g] {
+      sim::FlowSpec fs;
+      fs.algo = "pbe";
+      fs.pbe_cwnd_gain = g;
+      return run_one(busy_cell(212), fs, true);
+    });
+  }
+  // C: two scheduler policies plus weighted fair-share.
+  const std::vector<std::string> scheds = {"fair-share", "proportional-fair"};
+  for (const auto& sched : scheds) {
+    jobs.push_back([sched] {
+      auto cfg = busy_cell(213);
+      cfg.scheduler = sched;
+      sim::FlowSpec fs;
+      fs.algo = "pbe";
+      return run_one(cfg, fs, true);
+    });
+  }
+  jobs.push_back([] {
+    sim::FlowSpec fs;
+    fs.algo = "pbe";
+    return run_one(busy_cell(213), fs, true, 2.0);
+  });
+  // D: four extra-BER levels.
+  const std::vector<double> bers = {0.0, 0.01, 0.03, 0.06};
+  for (const double ber : bers) {
+    jobs.push_back([ber] {
+      sim::FlowSpec fs;
+      fs.algo = "pbe";
+      fs.pbe_monitor_extra_ber = ber;
+      return run_one(busy_cell(214), fs, true);
+    });
+  }
+  // F: repetition vs convolutional PDCCH.
+  for (const bool conv : {false, true}) {
+    jobs.push_back([conv] {
+      auto cfg = busy_cell(216);
+      cfg.cells.front().convolutional_pdcch = conv;
+      sim::FlowSpec fs;
+      fs.algo = "pbe";
+      return run_one(cfg, fs, true);
+    });
+  }
+  // E: endpoint PBE vs ABC oracle.
+  for (const char* algo : {"pbe", "abc"}) {
+    jobs.push_back([algo] {
+      sim::FlowSpec fs;
+      fs.algo = algo;
+      return run_one(busy_cell(215), fs, true);
+    });
+  }
+
+  bench::WallTimer wt;
+  const auto results = par::parallel_map(
+      jobs.size(), [&](std::size_t j) { return jobs[j](); });
+  std::uint64_t sim_sfs = 0;
+  for (const auto& r : results) sim_sfs += r.sfs;
+  rep.add("18_ablation_points", wt.ms(),
+          static_cast<double>(sim_sfs) / (wt.ms() / 1000.0), 0);
+  std::size_t cur = 0;
+  const auto next = [&]() -> const Result& { return results[cur++]; };
+
+  bench::header("Ablation A: control-traffic filter (busy cell, 0.4 ctrl users/sf)");
+  {
+    const auto with = next();
+    const auto without = next();
     std::printf("\n  filter ON :  %6.1f Mbit/s   p50 %6.1f ms   p95 %6.1f ms\n",
                 with.tput, with.p50, with.p95);
     std::printf("  filter OFF:  %6.1f Mbit/s   p50 %6.1f ms   p95 %6.1f ms\n",
@@ -68,11 +151,8 @@ int main() {
 
   bench::header("Ablation B: cwnd gain (inflight cap) — paper §7 buffering knob");
   std::printf("\n  gain   tput(Mbit/s)   p50(ms)   p95(ms)\n");
-  for (double g : {1.0, 1.25, 1.5, 2.0, 3.0}) {
-    sim::FlowSpec fs;
-    fs.algo = "pbe";
-    fs.pbe_cwnd_gain = g;
-    const auto r = run_one(busy_cell(212), fs, true);
+  for (const double g : gains) {
+    const auto r = next();
     std::printf("  %4.2f   %12.1f   %7.1f   %7.1f\n", g, r.tput, r.p50, r.p95);
   }
   std::printf("  -> more inflight headroom buys throughput robustness against\n"
@@ -81,19 +161,13 @@ int main() {
   bench::header("Ablation C: cell fairness policy under PBE-CC (§7)");
   {
     std::printf("\n  policy               tput(Mbit/s)   p50(ms)   p95(ms)\n");
-    for (const std::string sched : {"fair-share", "proportional-fair"}) {
-      auto cfg = busy_cell(213);
-      cfg.scheduler = sched;
-      sim::FlowSpec fs;
-      fs.algo = "pbe";
-      const auto r = run_one(cfg, fs, true);
+    for (const auto& sched : scheds) {
+      const auto r = next();
       std::printf("  %-19s  %12.1f   %7.1f   %7.1f\n", sched.c_str(), r.tput,
                   r.p50, r.p95);
     }
     // Weighted: the same fair-share policy, our user at weight 2.
-    sim::FlowSpec fs;
-    fs.algo = "pbe";
-    const auto r = run_one(busy_cell(213), fs, true, 2.0);
+    const auto r = next();
     std::printf("  %-19s  %12.1f   %7.1f   %7.1f\n", "fair-share (w=2)", r.tput,
                 r.p50, r.p95);
     std::printf("  -> PBE-CC's control law reaches equilibrium under each policy\n"
@@ -102,11 +176,8 @@ int main() {
 
   bench::header("Ablation D: monitor decode quality (extra control-channel BER)");
   std::printf("\n  extra BER   tput(Mbit/s)   p50(ms)   p95(ms)\n");
-  for (double ber : {0.0, 0.01, 0.03, 0.06}) {
-    sim::FlowSpec fs;
-    fs.algo = "pbe";
-    fs.pbe_monitor_extra_ber = ber;
-    const auto r = run_one(busy_cell(214), fs, true);
+  for (const double ber : bers) {
+    const auto r = next();
     std::printf("  %9.2f   %12.1f   %7.1f   %7.1f\n", ber, r.tput, r.p50, r.p95);
   }
   std::printf("  -> lost control messages make the monitor under-credit its own\n"
@@ -119,11 +190,7 @@ int main() {
   {
     std::printf("\n  coding          tput(Mbit/s)   p50(ms)   p95(ms)\n");
     for (const bool conv : {false, true}) {
-      auto cfg = busy_cell(216);
-      cfg.cells.front().convolutional_pdcch = conv;
-      sim::FlowSpec fs;
-      fs.algo = "pbe";
-      const auto r = run_one(cfg, fs, true);
+      const auto r = next();
       std::printf("  %-14s  %12.1f   %7.1f   %7.1f\n",
                   conv ? "convolutional" : "repetition", r.tput, r.p50, r.p95);
     }
@@ -134,12 +201,8 @@ int main() {
 
   bench::header("Ablation E: endpoint measurement vs explicit network feedback");
   {
-    sim::FlowSpec pbe;
-    pbe.algo = "pbe";
-    const auto a = run_one(busy_cell(215), pbe, true);
-    sim::FlowSpec abc;
-    abc.algo = "abc";
-    const auto b = run_one(busy_cell(215), abc, true);
+    const auto a = next();
+    const auto b = next();
     std::printf("\n  PBE-CC (endpoint)  :  %6.1f Mbit/s   p50 %6.1f ms   p95 %6.1f ms\n",
                 a.tput, a.p50, a.p95);
     std::printf("  ABC-style (oracle) :  %6.1f Mbit/s   p50 %6.1f ms   p95 %6.1f ms\n",

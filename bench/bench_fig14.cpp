@@ -20,21 +20,40 @@ sim::LocationProfile pick(bool busy) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::Reporter rep("bench_fig14", argc, argv);
   const util::Duration len = bench::flow_seconds(argc, argv, 12);
   bench::header("Figure 14: outdoor two-cell locations, busy and idle");
-  for (const bool busy : {true, false}) {
+  const auto algos = sim::all_algorithms();
+  const bool panels[] = {true, false};
+  // 2 panels x 8 algorithms, each an independent run: pool fan-out.
+  bench::WallTimer wt;
+  const auto results =
+      par::parallel_map(2 * algos.size(), [&](std::size_t j) {
+        return sim::run_location(pick(panels[j / algos.size()]),
+                                 algos[j % algos.size()], len);
+      });
+  std::uint64_t sim_sfs = 0, attempts = 0;
+  for (const auto& r : results) {
+    sim_sfs += r.sim_cell_subframes;
+    attempts += r.decode_candidates;
+  }
+  rep.add("2panel_x_8algo", wt.ms(),
+          static_cast<double>(sim_sfs) / (wt.ms() / 1000.0), attempts);
+
+  for (std::size_t p = 0; p < 2; ++p) {
+    const bool busy = panels[p];
     const auto loc = pick(busy);
     std::printf("\n--- (%c) outdoor, %s [%s] ---\n", busy ? 'a' : 'b',
                 busy ? "busy hours" : "late night", loc.describe().c_str());
-    for (const auto& algo : sim::all_algorithms()) {
-      const auto r = sim::run_location(loc, algo, len);
-      std::printf("  %-8s tput(Mbit/s):", algo.c_str());
-      for (int p : {10, 25, 50, 75, 90}) {
-        std::printf(" %6.1f", r.window_tputs.percentile(p));
+    for (std::size_t a = 0; a < algos.size(); ++a) {
+      const auto& r = results[p * algos.size() + a];
+      std::printf("  %-8s tput(Mbit/s):", algos[a].c_str());
+      for (int pc : {10, 25, 50, 75, 90}) {
+        std::printf(" %6.1f", r.window_tputs.percentile(pc));
       }
       std::printf("   delay(ms):");
-      for (int p : {10, 25, 50, 75, 90}) {
-        std::printf(" %6.1f", r.delays_ms.percentile(p));
+      for (int pc : {10, 25, 50, 75, 90}) {
+        std::printf(" %6.1f", r.delays_ms.percentile(pc));
       }
       std::printf("%s\n", r.ca_triggered ? "  [CA]" : "");
     }

@@ -8,12 +8,16 @@
 using namespace pbecc;
 
 int main(int argc, char** argv) {
+  bench::Reporter rep("bench_fig20", argc, argv);
   const util::Duration len = bench::flow_seconds(argc, argv, 20);
   bench::header("Figure 20: two concurrent connections from one device");
 
-  std::printf("\n  %-8s  flow1: tput(Mb) p50-d(ms)   flow2: tput(Mb) "
-              "p50-d(ms)   balance\n", "algo");
-  for (const auto& algo : sim::all_algorithms()) {
+  struct Row {
+    double ta = 0, da = 0, tb = 0, db = 0, jain = 0;
+  };
+  const auto algos = sim::all_algorithms();
+  bench::WallTimer wt;
+  const auto rows = par::parallel_map(algos.size(), [&](std::size_t j) {
     sim::ScenarioConfig cfg;
     cfg.seed = 151;
     cfg.cells = {{10.0, 0.02}, {10.0, 0.02}};
@@ -23,7 +27,7 @@ int main(int argc, char** argv) {
     s.add_ue(ue);
 
     sim::FlowSpec f1;
-    f1.algo = algo;
+    f1.algo = algos[j];
     f1.path.one_way_delay = 24 * util::kMillisecond;
     f1.stop = f1.start + len;
     sim::FlowSpec f2 = f1;
@@ -37,9 +41,20 @@ int main(int argc, char** argv) {
     const double ta = s.stats(a).avg_tput_mbps();
     const double tb = s.stats(b).avg_tput_mbps();
     const double shares[] = {ta, tb};
+    return Row{ta, s.stats(a).median_delay_ms(), tb,
+               s.stats(b).median_delay_ms(), util::jain_index(shares)};
+  });
+  rep.add("two_flows_8algo", wt.ms(),
+          static_cast<double>(algos.size()) * 2.0 *
+              (util::to_seconds(len) + 0.2) * 1000.0 / (wt.ms() / 1000.0),
+          0);
+
+  std::printf("\n  %-8s  flow1: tput(Mb) p50-d(ms)   flow2: tput(Mb) "
+              "p50-d(ms)   balance\n", "algo");
+  for (std::size_t j = 0; j < algos.size(); ++j) {
+    const auto& r = rows[j];
     std::printf("  %-8s  %14.1f %9.1f   %14.1f %9.1f   Jain %.3f\n",
-                algo.c_str(), ta, s.stats(a).median_delay_ms(), tb,
-                s.stats(b).median_delay_ms(), util::jain_index(shares));
+                algos[j].c_str(), r.ta, r.da, r.tb, r.db, r.jain);
   }
   std::printf("\n  Paper shape: PBE-CC gives both flows similar throughput at\n"
               "  low delay (26/28 Mbit/s, 48/56 ms); BBR splits unevenly\n"

@@ -16,9 +16,12 @@ namespace {
 
 using util::kSecond;
 
-void run_panel(const char* title, const std::vector<std::string>& algos,
-               const std::vector<util::Duration>& one_way_delays) {
-  std::printf("\n--- %s ---\n", title);
+struct PanelData {
+  std::map<int, std::map<mac::UeId, long>> per_second;
+};
+
+PanelData run_panel(const std::vector<std::string>& algos,
+                    const std::vector<util::Duration>& one_way_delays) {
   sim::ScenarioConfig cfg;
   cfg.seed = 171;
   cfg.cells = {{10.0, 0.02}};
@@ -42,14 +45,20 @@ void run_panel(const char* title, const std::vector<std::string>& algos,
     s.add_flow(fs);
   }
 
-  std::map<int, std::map<mac::UeId, long>> per_second;
+  PanelData out;
+  auto& per_second = out.per_second;
   s.bs().set_allocation_observer([&](const mac::AllocationRecord& r) {
     for (const auto& a : r.data_allocs) {
       per_second[static_cast<int>(r.sf_index / 1000)][a.ue] += a.n_prbs;
     }
   });
   s.run_until(60 * kSecond);
+  return out;
+}
 
+void print_panel(const char* title, PanelData& data) {
+  auto& per_second = data.per_second;
+  std::printf("\n--- %s ---\n", title);
   std::printf("  t(s)   user1  user2  user3  (mean PRBs on the primary cell)\n");
   for (int sec = 0; sec < 60; sec += 4) {
     std::printf("  %4d  %6.1f %6.1f %6.1f\n", sec,
@@ -74,7 +83,8 @@ void run_panel(const char* title, const std::vector<std::string>& algos,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter rep("bench_fig21", argc, argv);
   bench::header("Figure 21: multi-user, RTT and cross-protocol fairness");
   const util::Duration rtt_similar[] = {26 * util::kMillisecond,
                                         28 * util::kMillisecond,
@@ -83,18 +93,34 @@ int main() {
                                       32 * util::kMillisecond,
                                       148 * util::kMillisecond};
 
-  run_panel("(a) three PBE-CC flows, similar RTTs",
-            {"pbe", "pbe", "pbe"},
-            {rtt_similar[0], rtt_similar[1], rtt_similar[2]});
-  run_panel("(b) three PBE-CC flows, RTTs 52/64/297 ms",
-            {"pbe", "pbe", "pbe"},
-            {rtt_mixed[0], rtt_mixed[1], rtt_mixed[2]});
-  run_panel("(c) two PBE-CC flows + one BBR flow",
-            {"pbe", "bbr", "pbe"},
-            {rtt_similar[0], rtt_similar[1], rtt_similar[2]});
-  run_panel("(d) two PBE-CC flows + one CUBIC flow",
-            {"pbe", "cubic", "pbe"},
-            {rtt_similar[0], rtt_similar[1], rtt_similar[2]});
+  struct PanelSpec {
+    const char* title;
+    std::vector<std::string> algos;
+    std::vector<util::Duration> delays;
+  };
+  const std::vector<PanelSpec> panels = {
+      {"(a) three PBE-CC flows, similar RTTs",
+       {"pbe", "pbe", "pbe"},
+       {rtt_similar[0], rtt_similar[1], rtt_similar[2]}},
+      {"(b) three PBE-CC flows, RTTs 52/64/297 ms",
+       {"pbe", "pbe", "pbe"},
+       {rtt_mixed[0], rtt_mixed[1], rtt_mixed[2]}},
+      {"(c) two PBE-CC flows + one BBR flow",
+       {"pbe", "bbr", "pbe"},
+       {rtt_similar[0], rtt_similar[1], rtt_similar[2]}},
+      {"(d) two PBE-CC flows + one CUBIC flow",
+       {"pbe", "cubic", "pbe"},
+       {rtt_similar[0], rtt_similar[1], rtt_similar[2]}},
+  };
+  bench::WallTimer wt;
+  auto data = par::parallel_map(panels.size(), [&](std::size_t j) {
+    return run_panel(panels[j].algos, panels[j].delays);
+  });
+  // 4 panels x 60 s x one cell, 1 ms subframes.
+  rep.add("4_fairness_panels", wt.ms(), 240000.0 / (wt.ms() / 1000.0), 0);
+  for (std::size_t j = 0; j < panels.size(); ++j) {
+    print_panel(panels[j].title, data[j]);
+  }
 
   std::printf("\n  Paper shape: every panel converges to near-equal PRB shares\n"
               "  (Jain indices 98.3-99.97%% in the paper); the base station's\n"

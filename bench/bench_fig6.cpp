@@ -47,16 +47,27 @@ OverheadResult measure_overhead(double rssi, double offered_mbps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Reporter rep("bench_fig6", argc, argv);
   bench::header("Figure 6(a): retransmission + protocol overhead vs offered load");
   std::printf("\n  offered(Mbit/s)   retx%% @-98dBm  proto%% @-98dBm   "
               "retx%% @-113dBm  proto%% @-113dBm\n");
-  for (double load : {5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0, 40.0}) {
-    const auto strong = measure_overhead(-98.0, load);
-    const auto weak = measure_overhead(-113.0, load);
+  // 8 loads x 2 signal strengths of independent runs: pool fan-out.
+  const std::vector<double> loads = {5.0,  10.0, 15.0, 20.0,
+                                     25.0, 30.0, 35.0, 40.0};
+  bench::WallTimer wt;
+  const auto grid = par::parallel_map(2 * loads.size(), [&](std::size_t j) {
+    return measure_overhead(j < loads.size() ? -98.0 : -113.0,
+                            loads[j % loads.size()]);
+  });
+  // 16 runs x 10 s x one cell, 1 ms subframes.
+  rep.add("8load_x_2rssi", wt.ms(), 160000.0 / (wt.ms() / 1000.0), 0);
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    const auto& strong = grid[i];
+    const auto& weak = grid[loads.size() + i];
     std::printf("  %8.0f          %6.1f          %6.1f           %6.1f"
                 "           %6.1f\n",
-                load, strong.retx_pct, strong.protocol_pct, weak.retx_pct,
+                loads[i], strong.retx_pct, strong.protocol_pct, weak.retx_pct,
                 weak.protocol_pct);
   }
   std::printf("\n  Paper shape: retransmission overhead grows with offered load\n"

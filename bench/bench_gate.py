@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Merge bench --json outputs and gate CI on throughput regressions.
+
+Every bench binary accepts `--json <path>` (see bench/bench_common.h) and
+writes a JSON array of records:
+
+  {"bench": ..., "config": ..., "wall_ms": ..., "subframes_per_sec": ...,
+   "decode_attempts": ..., "threads": ...}
+
+Subcommands:
+
+  merge OUT IN [IN...]
+      Concatenate the record arrays from the IN files into OUT (the
+      BENCH.json artifact the CI bench-smoke job uploads).
+
+  compare BENCH BASELINE [--threshold 0.25]
+      Fail (exit 1) if any (bench, config) record present in both files
+      regressed by more than THRESHOLD in subframes_per_sec. Records the
+      baseline lacks are reported as new; records with a zero baseline
+      throughput are skipped (wall-clock-only records).
+
+  write-baseline BENCH BASELINE
+      Rewrite BASELINE from BENCH, dropping fields that should not be
+      pinned (wall_ms varies with the machine; subframes_per_sec is the
+      gated signal).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    with open(path) as f:
+        records = json.load(f)
+    if not isinstance(records, list):
+        raise SystemExit(f"{path}: expected a JSON array of records")
+    return records
+
+
+def cmd_merge(args):
+    merged = []
+    for path in args.inputs:
+        merged.extend(load_records(path))
+    with open(args.out, "w") as f:
+        json.dump(merged, f, indent=2)
+        f.write("\n")
+    print(f"merged {len(merged)} records from {len(args.inputs)} files "
+          f"into {args.out}")
+    return 0
+
+
+def key(rec):
+    return (rec["bench"], rec["config"])
+
+
+def cmd_compare(args):
+    new = {key(r): r for r in load_records(args.bench)}
+    base = {key(r): r for r in load_records(args.baseline)}
+    failures = []
+    for k, b in sorted(base.items()):
+        base_sps = b.get("subframes_per_sec", 0.0)
+        if base_sps <= 0:
+            continue  # wall-clock-only record: nothing to gate
+        n = new.get(k)
+        if n is None:
+            print(f"  MISSING  {k[0]}/{k[1]} (in baseline, not in run)")
+            failures.append(k)
+            continue
+        sps = n.get("subframes_per_sec", 0.0)
+        ratio = sps / base_sps
+        status = "ok" if ratio >= 1.0 - args.threshold else "REGRESSED"
+        print(f"  {status:10s}{k[0]}/{k[1]}: {sps:.0f} vs baseline "
+              f"{base_sps:.0f} subframes/s ({ratio:.2f}x)")
+        if status != "ok":
+            failures.append(k)
+    for k in sorted(set(new) - set(base)):
+        print(f"  NEW      {k[0]}/{k[1]} (not in baseline)")
+    if failures:
+        print(f"{len(failures)} record(s) regressed more than "
+              f"{100 * args.threshold:.0f}% vs {args.baseline}")
+        return 1
+    print("bench gate passed")
+    return 0
+
+
+def cmd_write_baseline(args):
+    records = load_records(args.bench)
+    slim = [
+        {
+            "bench": r["bench"],
+            "config": r["config"],
+            "subframes_per_sec": round(r.get("subframes_per_sec", 0.0), 1),
+            "decode_attempts": r.get("decode_attempts", 0),
+            "threads": r.get("threads", 1),
+        }
+        for r in records
+    ]
+    with open(args.baseline, "w") as f:
+        json.dump(slim, f, indent=2)
+        f.write("\n")
+    print(f"wrote {len(slim)} baseline records to {args.baseline}")
+    return 0
+
+
+def main():
+    p = argparse.ArgumentParser(description=__doc__)
+    sub = p.add_subparsers(dest="cmd", required=True)
+
+    m = sub.add_parser("merge")
+    m.add_argument("out")
+    m.add_argument("inputs", nargs="+")
+    m.set_defaults(fn=cmd_merge)
+
+    c = sub.add_parser("compare")
+    c.add_argument("bench")
+    c.add_argument("baseline")
+    c.add_argument("--threshold", type=float, default=0.25)
+    c.set_defaults(fn=cmd_compare)
+
+    w = sub.add_parser("write-baseline")
+    w.add_argument("bench")
+    w.add_argument("baseline")
+    w.set_defaults(fn=cmd_write_baseline)
+
+    args = p.parse_args()
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,8 @@
 //                          handover-storm (default none)
 //     --fault-seed N       fault schedule seed (default 1); same seed =>
 //                          byte-identical fault schedule
+//     --threads N          worker threads for the parallel decode path
+//                          (default 1; results are identical for any N)
 //
 //   ./build/examples/run_experiment --algo all --location 31 --csv out.csv
 //   ./build/examples/run_experiment --algo pbe --trace out.jsonl \
@@ -34,6 +36,7 @@
 
 #include "fault/fault.h"
 #include "obs/obs.h"
+#include "par/thread_pool.h"
 #include "sim/algorithms.h"
 #include "sim/location.h"
 
@@ -90,6 +93,8 @@ Options parse(int argc, char** argv) {
       o.fault_profile = need("--fault-profile");
     } else if (!std::strcmp(argv[i], "--fault-seed")) {
       o.fault_seed = static_cast<std::uint64_t>(std::atoll(need("--fault-seed")));
+    } else if (!std::strcmp(argv[i], "--threads")) {
+      par::set_default_threads(std::atoi(need("--threads")));
     } else {
       std::fprintf(stderr, "unknown option %s\n", argv[i]);
       std::exit(2);

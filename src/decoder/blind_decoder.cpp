@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 
 #include "obs/obs.h"
+#include "par/thread_pool.h"
 #include "phy/convolutional.h"
 
 namespace pbecc::decoder {
@@ -18,6 +20,7 @@ BlindDecoder::BlindDecoder(phy::CellConfig cell) : cell_(cell) {
   }
   obs_.decoded = &obs::counter("decoder.messages_decoded");
   obs_.subframes = &obs::counter("decoder.subframes_decoded");
+  obs_.memo_hits = &obs::counter("decoder.memo_hits");
 }
 
 util::BitVec BlindDecoder::majority_decode(const phy::PdcchSubframe& sf,
@@ -90,18 +93,84 @@ bool BlindDecoder::region_agrees(const phy::PdcchSubframe& sf, int first_cce,
              0.9 * static_cast<double>(filler_total);
 }
 
-std::vector<phy::Dci> BlindDecoder::decode(const phy::PdcchSubframe& sf) {
+BlindDecoder::CandidateResult BlindDecoder::run_formats(
+    const phy::PdcchSubframe& sf, int al, int start,
+    const util::BitVec& span) const {
+  CandidateResult res;
+  for (int f = 0; f < phy::kNumDciFormats; ++f) {
+    const auto format = static_cast<phy::DciFormat>(f);
+    const int msg_bits = phy::dci_payload_bits(format) + 16;
+    const bool conv = sf.coding == phy::PdcchCoding::kConvolutional;
+    util::BitVec bits;
+    if (conv) {
+      const auto region_bits = static_cast<std::size_t>(al) * phy::kBitsPerCce;
+      const std::size_t steps =
+          static_cast<std::size_t>(msg_bits) + phy::kConvTailBits;
+      if (region_bits < 2 * steps) continue;  // infeasible rate
+      ++res.attempts;
+      bits = phy::conv_decode(span, static_cast<std::size_t>(msg_bits));
+    } else {
+      if (phy::repetitions_that_fit(msg_bits, al) == 0) continue;
+      ++res.attempts;
+      bits = majority_decode(sf, start, al, msg_bits);
+    }
+    auto dci = phy::decode_dci(bits, format, cell_.n_prbs());
+    if (!dci.has_value()) {
+      ++res.failures;
+      continue;
+    }
+    if (!region_agrees(sf, start, al, bits)) {
+      ++res.failures;
+      continue;
+    }
+    res.dci = *dci;
+    break;  // this candidate is consumed
+  }
+  return res;
+}
+
+BlindDecoder::CandidateResult BlindDecoder::try_candidate(
+    const phy::PdcchSubframe& sf, int al, int start) {
+  // Extract the candidate span once: it is both the Viterbi input and the
+  // memo key.
+  const auto region_bits = static_cast<std::size_t>(al) * phy::kBitsPerCce;
+  const auto base = static_cast<std::size_t>(start) * phy::kBitsPerCce;
+  util::BitVec span;
+  for (std::size_t i = 0; i < region_bits; ++i) {
+    span.push_bit(sf.bits.bit(base + i));
+  }
+
+  const auto ai = static_cast<std::size_t>(al_index(al));
+  const auto pos = static_cast<std::size_t>(start / al);
+  MemoEntry& entry = memo_[ai][pos];
+  if (entry.valid && entry.coding == sf.coding && entry.span == span) {
+    CandidateResult res = entry.result;
+    res.memo_hit = true;
+    return res;
+  }
+  CandidateResult res = run_formats(sf, al, start, span);
+  entry.valid = true;
+  entry.coding = sf.coding;
+  entry.span = std::move(span);
+  entry.result = res;
+  return res;
+}
+
+DecodeRun BlindDecoder::decode_compute(const phy::PdcchSubframe& sf) {
   PBECC_PROF_SCOPE("blind_decode");
-  ++stats_.subframes;
-  obs_.subframes->inc();
-  std::vector<phy::Dci> found;
+  DecodeRun run;
+  run.sf_index = sf.sf_index;
+  run.delta.subframes = 1;
   std::vector<bool> claimed(static_cast<std::size_t>(sf.n_cces), false);
 
   // Largest aggregation level first: a message placed at AL4 would also
   // pass the CRC at the AL2/AL1 candidates nested inside it (its
   // repetitions are self-similar), so once a candidate validates we claim
-  // its CCEs and skip anything overlapping them.
+  // its CCEs and skip anything overlapping them. Positions within one AL
+  // are disjoint, so they decode independently (in parallel) and the
+  // position-ascending merge below reproduces the serial claim order.
   for (int al : {8, 4, 2, 1}) {
+    std::vector<int> starts;
     for (int start = 0; start + al <= sf.n_cces; start += al) {
       bool skip = false;
       for (int c = start; c < start + al; ++c) {
@@ -114,63 +183,70 @@ std::vector<phy::Dci> BlindDecoder::decode(const phy::PdcchSubframe& sf) {
           break;
         }
       }
-      if (skip) continue;
+      if (!skip) starts.push_back(start);
+    }
+    if (starts.empty()) continue;
 
-      for (int f = 0; f < phy::kNumDciFormats; ++f) {
-        const auto format = static_cast<phy::DciFormat>(f);
-        const int msg_bits = phy::dci_payload_bits(format) + 16;
-        const bool conv = sf.coding == phy::PdcchCoding::kConvolutional;
-        util::BitVec bits;
-        if (conv) {
-          const auto region_bits =
-              static_cast<std::size_t>(al) * phy::kBitsPerCce;
-          const std::size_t steps =
-              static_cast<std::size_t>(msg_bits) + phy::kConvTailBits;
-          if (region_bits < 2 * steps) continue;  // infeasible rate
-          ++stats_.candidates_tried;
-          ++stats_.candidates_by_al[static_cast<std::size_t>(al_index(al))];
-          obs_.candidates[static_cast<std::size_t>(al_index(al))]->inc();
-          util::BitVec block;
-          const auto base = static_cast<std::size_t>(start) * phy::kBitsPerCce;
-          for (std::size_t i = 0; i < region_bits; ++i) {
-            block.push_bit(sf.bits.bit(base + i));
-          }
-          bits = phy::conv_decode(block, static_cast<std::size_t>(msg_bits));
-        } else {
-          if (phy::repetitions_that_fit(msg_bits, al) == 0) continue;
-          ++stats_.candidates_tried;
-          ++stats_.candidates_by_al[static_cast<std::size_t>(al_index(al))];
-          obs_.candidates[static_cast<std::size_t>(al_index(al))]->inc();
-          bits = majority_decode(sf, start, al, msg_bits);
-        }
-        auto dci = phy::decode_dci(bits, format, cell_.n_prbs());
-        if (!dci.has_value()) {
-          ++stats_.crc_failures;
-          ++stats_.crc_failures_by_al[static_cast<std::size_t>(al_index(al))];
-          obs_.crc_failures[static_cast<std::size_t>(al_index(al))]->inc();
-          continue;
-        }
-        if (!region_agrees(sf, start, al, bits)) {
-          ++stats_.crc_failures;
-          ++stats_.crc_failures_by_al[static_cast<std::size_t>(al_index(al))];
-          obs_.crc_failures[static_cast<std::size_t>(al_index(al))]->inc();
-          continue;
-        }
-        ++stats_.messages_decoded;
-        ++stats_.decoded_by_al[static_cast<std::size_t>(al_index(al))];
-        obs_.decoded->inc();
-        obs::emit(obs::EventKind::kDciDecoded, util::subframe_start(sf.sf_index),
-                  static_cast<std::uint16_t>(cell_.id), dci->rnti, dci->n_prbs,
-                  dci->mcs.bits_per_prb(), al);
-        found.push_back(*dci);
-        for (int c = start; c < start + al; ++c) {
+    const auto ai = static_cast<std::size_t>(al_index(al));
+    const auto n_positions = static_cast<std::size_t>(sf.n_cces / al);
+    if (memo_[ai].size() < n_positions) memo_[ai].resize(n_positions);
+
+    std::vector<CandidateResult> results(starts.size());
+    par::parallel_for(starts.size(), [&](std::size_t i) {
+      results[i] = try_candidate(sf, al, starts[i]);
+    });
+
+    for (std::size_t i = 0; i < starts.size(); ++i) {
+      const CandidateResult& r = results[i];
+      run.delta.candidates_tried += static_cast<std::uint64_t>(r.attempts);
+      run.delta.candidates_by_al[ai] += static_cast<std::uint64_t>(r.attempts);
+      run.delta.crc_failures += static_cast<std::uint64_t>(r.failures);
+      run.delta.crc_failures_by_al[ai] += static_cast<std::uint64_t>(r.failures);
+      if (r.memo_hit) ++run.delta.memo_hits;
+      if (r.dci.has_value()) {
+        ++run.delta.messages_decoded;
+        ++run.delta.decoded_by_al[ai];
+        run.found.push_back({*r.dci, al});
+        for (int c = starts[i]; c < starts[i] + al; ++c) {
           claimed[static_cast<std::size_t>(c)] = true;
         }
-        break;  // this candidate is consumed; next position
       }
     }
   }
+  return run;
+}
+
+std::vector<phy::Dci> BlindDecoder::decode_apply(const DecodeRun& run) {
+  const DecodeStats& d = run.delta;
+  stats_.candidates_tried += d.candidates_tried;
+  stats_.crc_failures += d.crc_failures;
+  stats_.messages_decoded += d.messages_decoded;
+  stats_.subframes += d.subframes;
+  stats_.memo_hits += d.memo_hits;
+  for (std::size_t i = 0; i < 4; ++i) {
+    stats_.candidates_by_al[i] += d.candidates_by_al[i];
+    stats_.crc_failures_by_al[i] += d.crc_failures_by_al[i];
+    stats_.decoded_by_al[i] += d.decoded_by_al[i];
+    obs_.candidates[i]->inc(d.candidates_by_al[i]);
+    obs_.crc_failures[i]->inc(d.crc_failures_by_al[i]);
+  }
+  obs_.decoded->inc(d.messages_decoded);
+  obs_.subframes->inc(d.subframes);
+  obs_.memo_hits->inc(d.memo_hits);
+
+  std::vector<phy::Dci> found;
+  found.reserve(run.found.size());
+  for (const DecodeRun::Found& f : run.found) {
+    obs::emit(obs::EventKind::kDciDecoded, util::subframe_start(run.sf_index),
+              static_cast<std::uint16_t>(cell_.id), f.dci.rnti, f.dci.n_prbs,
+              f.dci.mcs.bits_per_prb(), f.al);
+    found.push_back(f.dci);
+  }
   return found;
+}
+
+std::vector<phy::Dci> BlindDecoder::decode(const phy::PdcchSubframe& sf) {
+  return decode_apply(decode_compute(sf));
 }
 
 }  // namespace pbecc::decoder

@@ -9,10 +9,18 @@
 // repetition-coded bits and validate the RNTI-masked CRC plus structural
 // field checks. Decoding runs on the *noisy* control region, so weak
 // channels genuinely lose messages.
+//
+// The search is split into a side-effect-free compute phase and an ordered
+// apply phase so candidate positions (and, one level up, whole cells) can
+// be decoded on pbecc::par pool threads while stats, registry counters and
+// trace events stay byte-identical to a serial run: decode_compute() only
+// reads the subframe (plus the per-position memo cache it owns), and
+// decode_apply() folds the resulting deltas in deterministic order.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -31,6 +39,9 @@ struct DecodeStats {
   std::uint64_t crc_failures = 0;
   std::uint64_t messages_decoded = 0;
   std::uint64_t subframes = 0;
+  // Candidates answered from the span memo instead of a fresh decode
+  // (the span's soft bits were unchanged since the previous subframe).
+  std::uint64_t memo_hits = 0;
   // Broken out per aggregation level (index via al_index): the decode
   // success/failure profile per AL is OWL's primary health signal.
   std::array<std::uint64_t, 4> candidates_by_al{};
@@ -38,17 +49,55 @@ struct DecodeStats {
   std::array<std::uint64_t, 4> decoded_by_al{};
 };
 
+// Everything decode_compute() learned from one subframe, pending apply.
+struct DecodeRun {
+  struct Found {
+    phy::Dci dci;
+    int al = 0;
+  };
+  std::vector<Found> found;  // in (AL descending, position ascending) order
+  DecodeStats delta;         // stat increments for this subframe
+  std::int64_t sf_index = 0;
+};
+
 class BlindDecoder {
  public:
   explicit BlindDecoder(phy::CellConfig cell);
 
   // All DCI messages recovered from one subframe's control region.
+  // Equivalent to decode_apply(decode_compute(sf)).
   std::vector<phy::Dci> decode(const phy::PdcchSubframe& sf);
+
+  // Phase 1: search the control region. Touches no stats, counters or
+  // trace state — safe to run on a pool thread (one thread per decoder
+  // instance; candidate positions inside fan out on the pool themselves).
+  DecodeRun decode_compute(const phy::PdcchSubframe& sf);
+
+  // Phase 2: fold the run's deltas into stats_/registry and emit trace
+  // events. Call in deterministic order (e.g. cell order) on one thread.
+  std::vector<phy::Dci> decode_apply(const DecodeRun& run);
 
   const DecodeStats& stats() const { return stats_; }
   const phy::CellConfig& cell() const { return cell_; }
 
  private:
+  // Outcome of the format loop at one (AL, position) candidate. Depends
+  // only on the span's bits, so it is memoizable across subframes.
+  struct CandidateResult {
+    int attempts = 0;
+    int failures = 0;
+    bool memo_hit = false;
+    std::optional<phy::Dci> dci;
+  };
+
+  // Run all DCI formats at CCEs [start, start+al). Consults / refreshes
+  // the span memo; distinct positions touch distinct entries, so parallel
+  // calls for different candidates never race.
+  CandidateResult try_candidate(const phy::PdcchSubframe& sf, int al,
+                                int start);
+  CandidateResult run_formats(const phy::PdcchSubframe& sf, int al, int start,
+                              const util::BitVec& span) const;
+
   // Majority-vote the repetitions of a msg_bits-long message stored in
   // `n_cces` CCEs starting at `first_cce`.
   util::BitVec majority_decode(const phy::PdcchSubframe& sf, int first_cce,
@@ -62,6 +111,19 @@ class BlindDecoder {
   phy::CellConfig cell_;
   DecodeStats stats_;
 
+  // Span memo, per AL lane then candidate position: if a candidate's exact
+  // soft bits reappear (idle spans, static interferers, repeated noise-free
+  // payloads), replay the recorded outcome instead of re-running Viterbi /
+  // majority voting. Counters are still replayed, keeping metrics
+  // byte-identical with the memo disabled.
+  struct MemoEntry {
+    bool valid = false;
+    phy::PdcchCoding coding{};
+    util::BitVec span;
+    CandidateResult result;
+  };
+  std::array<std::vector<MemoEntry>, 4> memo_;
+
   // Registry counters cached at construction: decode() runs per subframe
   // per cell and must not pay name lookups on the hot path. All decoder
   // instances share the process-wide aggregate counters.
@@ -70,6 +132,7 @@ class BlindDecoder {
     std::array<obs::Counter*, 4> crc_failures;
     obs::Counter* decoded;
     obs::Counter* subframes;
+    obs::Counter* memo_hits;
   };
   ObsCounters obs_{};
 };

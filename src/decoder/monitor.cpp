@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 
 #include "obs/obs.h"
+#include "par/thread_pool.h"
 
 namespace pbecc::decoder {
 
@@ -75,80 +77,125 @@ void Monitor::note_fault_edge(bool& state, bool now_active,
 }
 
 void Monitor::on_pdcch(const phy::PdcchSubframe& sf) {
-  auto dit = decoders_.find(sf.cell_id);
-  if (dit == decoders_.end()) return;
+  on_pdcch_batch({sf});
+}
 
-  const util::Time now = util::subframe_start(sf.sf_index);
-  if (first_pdcch_ < 0) first_pdcch_ = now;
-  ++attempts_;
-  // Keep the success log bounded even if decode_success_rate() is never
-  // polled.
-  while (!success_times_.empty() &&
-         success_times_.front() < now - success_window_) {
-    success_times_.pop_front();
-  }
+void Monitor::on_pdcch_batch(const std::vector<phy::PdcchSubframe>& sfs) {
+  struct Pending {
+    phy::PdcchSubframe noisy;
+    BlindDecoder* dec = nullptr;
+    phy::CellId cell{};
+    std::int64_t sf_index = 0;
+    util::Time now = 0;
+    DecodeRun run;
+  };
+  std::vector<Pending> pending;
+  pending.reserve(sfs.size());
 
-  double extra_ber = 0;
-  if (faults_ != nullptr) {
-    if (faults_->monitor_stalled(now)) {
-      // Frozen subframe clock: the monitor processes nothing. Wall time
-      // still advances, which is what decays the success rate.
-      note_fault_edge(in_stall_, true, fault::FaultType::kMonitorStall, 0, now,
-                      0);
-      ++failures_;
-      return;
+  // Phase 1 — serial preparation, in input order. Every fault decision,
+  // accounting update and rng_ noise draw happens here, so the random
+  // stream each cell sees is independent of how phase 2 is scheduled.
+  for (const auto& sf : sfs) {
+    auto dit = decoders_.find(sf.cell_id);
+    if (dit == decoders_.end()) continue;
+
+    const util::Time now = util::subframe_start(sf.sf_index);
+    if (first_pdcch_ < 0) first_pdcch_ = now;
+    ++attempts_;
+    // Keep the success log bounded even if decode_success_rate() is never
+    // polled.
+    while (!success_times_.empty() &&
+           success_times_.front() < now - success_window_) {
+      success_times_.pop_front();
     }
-    note_fault_edge(in_stall_, false, fault::FaultType::kMonitorStall, 0, now,
-                    0);
 
-    bool& bo = in_blackout_[sf.cell_id];
-    if (faults_->dci_blackout(now, sf.cell_id)) {
-      note_fault_edge(bo, true, fault::FaultType::kBlackout, sf.cell_id, now,
+    double extra_ber = 0;
+    if (faults_ != nullptr) {
+      if (faults_->monitor_stalled(now)) {
+        // Frozen subframe clock: the monitor processes nothing. Wall time
+        // still advances, which is what decays the success rate.
+        note_fault_edge(in_stall_, true, fault::FaultType::kMonitorStall, 0,
+                        now, 0);
+        ++failures_;
+        continue;
+      }
+      note_fault_edge(in_stall_, false, fault::FaultType::kMonitorStall, 0,
+                      now, 0);
+
+      bool& bo = in_blackout_[sf.cell_id];
+      if (faults_->dci_blackout(now, sf.cell_id)) {
+        note_fault_edge(bo, true, fault::FaultType::kBlackout, sf.cell_id, now,
+                        sf.sf_index);
+        ++failures_;
+        continue;
+      }
+      note_fault_edge(bo, false, fault::FaultType::kBlackout, sf.cell_id, now,
                       sf.sf_index);
+
+      extra_ber = faults_->extra_control_ber(now, sf.cell_id);
+      note_fault_edge(in_collapse_[sf.cell_id], extra_ber > 0,
+                      fault::FaultType::kSinrCollapse, sf.cell_id, now,
+                      sf.sf_index);
+    }
+
+    // The monitor receives the control region over its own radio channel.
+    const double base_ber = ber_fn_ ? ber_fn_(sf.cell_id) : 0.0;
+    if (faults_ != nullptr && base_ber + extra_ber > kDecodableBerLimit) {
+      // Collapsed SINR: the control region is not decodable this subframe.
       ++failures_;
-      return;
+      continue;
     }
-    note_fault_edge(bo, false, fault::FaultType::kBlackout, sf.cell_id, now,
-                    sf.sf_index);
-
-    extra_ber = faults_->extra_control_ber(now, sf.cell_id);
-    note_fault_edge(in_collapse_[sf.cell_id], extra_ber > 0,
-                    fault::FaultType::kSinrCollapse, sf.cell_id, now,
-                    sf.sf_index);
-  }
-
-  // The monitor receives the control region over its own radio channel.
-  const double base_ber = ber_fn_ ? ber_fn_(sf.cell_id) : 0.0;
-  if (faults_ != nullptr && base_ber + extra_ber > kDecodableBerLimit) {
-    // Collapsed SINR: the control region is not decodable this subframe.
-    ++failures_;
-    return;
-  }
-  phy::PdcchSubframe noisy = sf;
-  if (base_ber + extra_ber > 0) {
-    phy::apply_bit_noise(noisy, base_ber + extra_ber, rng_);
-  }
-  auto messages = dit->second->decode(noisy);
-  if (faults_ != nullptr) {
-    const int n_false =
-        faults_->false_dci_count(sf.sf_index, sf.cell_id);
-    for (int k = 0; k < n_false; ++k) {
-      messages.push_back(faults_->make_false_dci(
-          sf.sf_index, sf.cell_id, cell_prbs_.at(sf.cell_id), k));
+    Pending p;
+    p.noisy = sf;
+    if (base_ber + extra_ber > 0) {
+      phy::apply_bit_noise(p.noisy, base_ber + extra_ber, rng_);
     }
-    if (n_false > 0) {
-      if constexpr (obs::kCompiled) {
-        static obs::Counter& false_dcis = obs::counter("fault.false_dcis");
-        false_dcis.inc(static_cast<std::uint64_t>(n_false));
-        obs::emit(obs::EventKind::kFaultInjected, now,
-                  static_cast<std::uint16_t>(sf.cell_id),
-                  static_cast<std::uint32_t>(fault::FaultType::kFalseDci),
-                  n_false);
+    p.dec = dit->second.get();
+    p.cell = sf.cell_id;
+    p.sf_index = sf.sf_index;
+    p.now = now;
+    pending.push_back(std::move(p));
+  }
+
+  // Phase 2 — blind decode, the expensive part. Each entry is a distinct
+  // cell, hence a distinct BlindDecoder instance, and decode_compute
+  // touches nothing shared — safe to fan out on the pool.
+  par::parallel_for(pending.size(), [&](std::size_t i) {
+    pending[i].run = pending[i].dec->decode_compute(pending[i].noisy);
+  });
+
+  // Phase 3 — apply + fusion, serial, back in input order: stats,
+  // counters, trace events, false-DCI injection and downstream fusion
+  // callbacks all land exactly as in a per-subframe serial run.
+  for (Pending& p : pending) {
+    auto messages = p.dec->decode_apply(p.run);
+    if (faults_ != nullptr) {
+      const int n_false = faults_->false_dci_count(p.sf_index, p.cell);
+      for (int k = 0; k < n_false; ++k) {
+        messages.push_back(faults_->make_false_dci(
+            p.sf_index, p.cell, cell_prbs_.at(p.cell), k));
+      }
+      if (n_false > 0) {
+        if constexpr (obs::kCompiled) {
+          static obs::Counter& false_dcis =
+              obs::counter("fault.false_dcis");
+          false_dcis.inc(static_cast<std::uint64_t>(n_false));
+          obs::emit(obs::EventKind::kFaultInjected, p.now,
+                    static_cast<std::uint16_t>(p.cell),
+                    static_cast<std::uint32_t>(fault::FaultType::kFalseDci),
+                    n_false);
+        }
       }
     }
+    success_times_.push_back(p.now);
+    fusion_->on_decoded(p.cell, p.sf_index, std::move(messages));
   }
-  success_times_.push_back(now);
-  fusion_->on_decoded(sf.cell_id, sf.sf_index, std::move(messages));
+}
+
+std::uint64_t Monitor::total_candidates_tried() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, dec] : decoders_) total += dec->stats().candidates_tried;
+  return total;
 }
 
 double Monitor::decode_success_rate(util::Time now) const {

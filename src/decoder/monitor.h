@@ -57,6 +57,15 @@ class Monitor {
   // the aggregated cells of its own UE, as in the paper's prototype).
   void on_pdcch(const phy::PdcchSubframe& sf);
 
+  // Batched form: all cells' control regions for one tick at once, in cell
+  // order. Runs in three phases so the expensive blind decode can fan out
+  // on the pbecc::par pool: (1) serial fault/noise preparation in the given
+  // order (every rng_ draw happens here, so the noise stream is identical
+  // for any thread count), (2) side-effect-free decode_compute per cell,
+  // potentially in parallel, (3) serial apply + fusion in the given order.
+  // Byte-identical to calling on_pdcch per subframe in the same order.
+  void on_pdcch_batch(const std::vector<phy::PdcchSubframe>& sfs);
+
   // RTprop changes adjust the activity window (paper averages over the
   // most recent RTprop of subframes).
   void set_tracker_window(util::Duration w);
@@ -69,6 +78,8 @@ class Monitor {
   double decode_success_rate(util::Time now) const;
   std::uint64_t decode_attempts() const { return attempts_; }
   std::uint64_t decode_failures() const { return failures_; }
+  // Blind-decode candidates tried across all cell decoders (bench JSON).
+  std::uint64_t total_candidates_tried() const;
 
   const UserTracker& tracker(phy::CellId cell) const { return *trackers_.at(cell); }
   const BlindDecoder& decoder(phy::CellId cell) const { return *decoders_.at(cell); }

@@ -101,7 +101,11 @@ void BaseStation::tick() {
     }
   }
 
+  tick_pdcch_.clear();
   for (auto& cell : cells_) run_cell(cell);
+  if (!pdcch_batch_observers_.empty() && !tick_pdcch_.empty()) {
+    for (const auto& obs : pdcch_batch_observers_) obs(tick_pdcch_);
+  }
   update_explicit_rates();
 
   // Carrier aggregation updates (take effect next subframe).
@@ -279,9 +283,10 @@ void BaseStation::run_cell(CellState& cell) {
   }
 
   // --- 4. Emit the control region to monitors.
-  if (!pdcch_observers_.empty()) {
-    const phy::PdcchSubframe sf = std::move(pdcch).build();
+  if (!pdcch_observers_.empty() || !pdcch_batch_observers_.empty()) {
+    phy::PdcchSubframe sf = std::move(pdcch).build();
     for (const auto& obs : pdcch_observers_) obs(sf);
+    if (!pdcch_batch_observers_.empty()) tick_pdcch_.push_back(std::move(sf));
   }
   if (alloc_observer_) alloc_observer_(record);
 

@@ -77,6 +77,8 @@ class BaseStation {
  public:
   using DeliveryHandler = std::function<void(net::Packet)>;
   using PdcchObserver = std::function<void(const phy::PdcchSubframe&)>;
+  using PdcchBatchObserver =
+      std::function<void(const std::vector<phy::PdcchSubframe>&)>;
   using AllocationObserver = std::function<void(const AllocationRecord&)>;
   using PacketDropHandler = std::function<void(UeId, const net::Packet&)>;
 
@@ -93,6 +95,12 @@ class BaseStation {
   // Monitors (PBE-CC decoders) receive every cell's control region each
   // subframe, before noise — each monitor applies its own channel noise.
   void add_pdcch_observer(PdcchObserver obs) { pdcch_observers_.push_back(std::move(obs)); }
+  // Batched variant: one call per tick with every cell's control region,
+  // in cell order — lets a monitor blind-decode all cells concurrently
+  // (Monitor::on_pdcch_batch) instead of cell-by-cell.
+  void add_pdcch_batch_observer(PdcchBatchObserver obs) {
+    pdcch_batch_observers_.push_back(std::move(obs));
+  }
   void set_allocation_observer(AllocationObserver obs) { alloc_observer_ = std::move(obs); }
   void set_drop_handler(PacketDropHandler h) { drop_handler_ = std::move(h); }
 
@@ -172,6 +180,10 @@ class BaseStation {
   std::map<UeId, UeState> ues_;
   std::map<UeId, DeliveryHandler> delivery_;
   std::vector<PdcchObserver> pdcch_observers_;
+  std::vector<PdcchBatchObserver> pdcch_batch_observers_;
+  // Control regions built during the current tick, one per cell, handed to
+  // the batch observers once every cell has run.
+  std::vector<phy::PdcchSubframe> tick_pdcch_;
   AllocationObserver alloc_observer_;
   PacketDropHandler drop_handler_;
   util::Rng rng_;

@@ -38,41 +38,59 @@ void ExpHistogram::record(std::uint64_t v) {
     (void)v;
     return;
   }
-  if (count_ == 0) {
-    min_ = max_ = v;
-  } else {
-    min_ = std::min(min_, v);
-    max_ = std::max(max_, v);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
   }
-  ++count_;
-  sum_ += v;
-  ++buckets_[static_cast<std::size_t>(bucket_index(v))];
+  cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  sum_.fetch_add(v, std::memory_order_relaxed);
+  buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(
+      1, std::memory_order_relaxed);
 }
 
 double ExpHistogram::percentile(double p) const {
-  if (count_ == 0) return 0.0;
+  const auto n = count();
+  if (n == 0) return 0.0;
   p = std::clamp(p, 0.0, 100.0);
   // The extremes are tracked exactly; only interior quantiles are
   // bucket-midpoint approximations.
-  if (p == 0.0) return static_cast<double>(min_);
-  if (p == 100.0) return static_cast<double>(max_);
-  const auto target = static_cast<std::uint64_t>(
-      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  if (p == 0.0) return static_cast<double>(min());
+  if (p == 100.0) return static_cast<double>(max());
+  const auto target =
+      static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
+  const auto snap = buckets();
   std::uint64_t seen = 0;
   for (int i = 0; i < kBuckets; ++i) {
-    seen += buckets_[static_cast<std::size_t>(i)];
-    if (seen >= target && buckets_[static_cast<std::size_t>(i)] > 0) {
+    seen += snap[static_cast<std::size_t>(i)];
+    if (seen >= target && snap[static_cast<std::size_t>(i)] > 0) {
       // Clamp the bucket estimate by the exact extremes.
-      return std::clamp(bucket_mid(i), static_cast<double>(min_),
-                        static_cast<double>(max_));
+      return std::clamp(bucket_mid(i), static_cast<double>(min()),
+                        static_cast<double>(max()));
     }
   }
-  return static_cast<double>(max_);
+  return static_cast<double>(max());
+}
+
+std::array<std::uint64_t, ExpHistogram::kBuckets> ExpHistogram::buckets()
+    const {
+  std::array<std::uint64_t, kBuckets> out{};
+  for (int i = 0; i < kBuckets; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 void ExpHistogram::reset() {
-  buckets_.fill(0);
-  count_ = sum_ = min_ = max_ = 0;
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
 }
 
 Registry& Registry::instance() {
@@ -81,30 +99,35 @@ Registry& Registry::instance() {
 }
 
 Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lk(m_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lk(m_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 ExpHistogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lk(m_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<ExpHistogram>();
   return *slot;
 }
 
 void Registry::reset() {
+  std::lock_guard<std::mutex> lk(m_);
   for (auto& [n, c] : counters_) c->reset();
   for (auto& [n, g] : gauges_) g->reset();
   for (auto& [n, h] : histograms_) h->reset();
 }
 
 std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
+  std::lock_guard<std::mutex> lk(m_);
   std::vector<std::pair<std::string, std::uint64_t>> out;
   out.reserve(counters_.size());
   for (const auto& [n, c] : counters_) out.emplace_back(n, c->value());
@@ -112,6 +135,7 @@ std::vector<std::pair<std::string, std::uint64_t>> Registry::counters() const {
 }
 
 std::vector<std::pair<std::string, double>> Registry::gauges() const {
+  std::lock_guard<std::mutex> lk(m_);
   std::vector<std::pair<std::string, double>> out;
   out.reserve(gauges_.size());
   for (const auto& [n, g] : gauges_) out.emplace_back(n, g->value());
@@ -120,6 +144,7 @@ std::vector<std::pair<std::string, double>> Registry::gauges() const {
 
 std::vector<std::pair<std::string, const ExpHistogram*>> Registry::histograms()
     const {
+  std::lock_guard<std::mutex> lk(m_);
   std::vector<std::pair<std::string, const ExpHistogram*>> out;
   out.reserve(histograms_.size());
   for (const auto& [n, h] : histograms_) out.emplace_back(n, h.get());
@@ -127,6 +152,7 @@ std::vector<std::pair<std::string, const ExpHistogram*>> Registry::histograms()
 }
 
 std::string Registry::to_json() const {
+  std::lock_guard<std::mutex> lk(m_);
   std::string out = "{\n  \"counters\": {";
   char buf[128];
   bool first = true;
@@ -177,8 +203,9 @@ std::string Registry::to_json() const {
     // Sparse bucket list: [[log2_lo, count], ...].
     out += "\"buckets\": [";
     bool bfirst = true;
+    const auto bsnap = h->buckets();
     for (int i = 0; i < ExpHistogram::kBuckets; ++i) {
-      const auto c = h->buckets()[static_cast<std::size_t>(i)];
+      const auto c = bsnap[static_cast<std::size_t>(i)];
       if (c == 0) continue;
       if (!bfirst) out += ", ";
       bfirst = false;

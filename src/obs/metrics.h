@@ -6,20 +6,27 @@
 //   pbe.sender.pacing_bps        gauge, last written value wins
 //   prof.blind_decode            histogram of wall-clock ns per call
 //
-// The registry is process-global (the simulator is single-threaded, and a
-// run exercises one scenario at a time). Metric objects returned by the
+// The registry is process-global and thread-safe: pbecc::par runs
+// scenario replications and blind-decode candidates on pool threads, so
+// counters/gauges use relaxed atomics, histograms atomic buckets, and
+// find-or-create takes a registry mutex. Metric objects returned by the
 // registry are never deallocated, so call sites may cache the reference
 // once and update it on the hot path; reset() zeroes values but keeps the
-// registrations (and cached references) valid.
+// registrations (and cached references) valid. Counter totals stay
+// deterministic under concurrency (increments commute); only histogram
+// min/max interleavings and trace ordering across *concurrent scenarios*
+// are timing-dependent.
 //
 // With the PBECC_TRACE compile flag off (see flags.h) every mutator is an
 // empty inline function: registration still works, values stay zero.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -30,27 +37,27 @@ namespace pbecc::obs {
 class Counter {
  public:
   void inc(std::uint64_t n = 1) {
-    if constexpr (kCompiled) value_ += n;
+    if constexpr (kCompiled) value_.fetch_add(n, std::memory_order_relaxed);
     (void)n;
   }
-  std::uint64_t value() const { return value_; }
-  void reset() { value_ = 0; }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 class Gauge {
  public:
   void set(double v) {
-    if constexpr (kCompiled) value_ = v;
+    if constexpr (kCompiled) value_.store(v, std::memory_order_relaxed);
     (void)v;
   }
-  double value() const { return value_; }
-  void reset() { value_ = 0; }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  double value_ = 0;
+  std::atomic<double> value_{0};
 };
 
 // Exponential-bucket histogram for latency-style samples: bucket i counts
@@ -63,24 +70,30 @@ class ExpHistogram {
 
   void record(std::uint64_t v);
 
-  std::uint64_t count() const { return count_; }
-  std::uint64_t sum() const { return sum_; }
-  std::uint64_t min() const { return count_ ? min_ : 0; }
-  std::uint64_t max() const { return count_ ? max_ : 0; }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t min() const {
+    return count() ? min_.load(std::memory_order_relaxed) : 0;
+  }
+  std::uint64_t max() const {
+    return count() ? max_.load(std::memory_order_relaxed) : 0;
+  }
   double mean() const {
-    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+    const auto n = count();
+    return n ? static_cast<double>(sum()) / static_cast<double>(n) : 0.0;
   }
   // p in [0, 100]; 0 for an empty histogram.
   double percentile(double p) const;
-  const std::array<std::uint64_t, kBuckets>& buckets() const { return buckets_; }
+  // Snapshot copy (buckets are atomics internally).
+  std::array<std::uint64_t, kBuckets> buckets() const;
   void reset();
 
  private:
-  std::array<std::uint64_t, kBuckets> buckets_{};
-  std::uint64_t count_ = 0;
-  std::uint64_t sum_ = 0;
-  std::uint64_t min_ = 0;
-  std::uint64_t max_ = 0;
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_{0};
 };
 
 class Registry {
@@ -107,6 +120,9 @@ class Registry {
 
  private:
   Registry() = default;
+  // Guards the maps (find-or-create and snapshots); the metric objects
+  // themselves are lock-free.
+  mutable std::mutex m_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<ExpHistogram>> histograms_;

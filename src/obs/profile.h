@@ -18,6 +18,7 @@
 // bounding clock-read overhead in very hot scopes.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -44,13 +45,16 @@ class ProfSite {
       : hist_(&histogram(std::string("prof.") + name)) {}
 
   bool take_sample() {
-    return (calls_++ % detail::g_prof_sample_every) == 0;
+    // Relaxed: sites are shared across pool threads; sampling cadence only
+    // needs to be approximate, not strictly every-Nth.
+    return (calls_.fetch_add(1, std::memory_order_relaxed) %
+            detail::g_prof_sample_every) == 0;
   }
   void record_ns(std::uint64_t ns) { hist_->record(ns); }
 
  private:
   ExpHistogram* hist_;
-  std::uint32_t calls_ = 0;
+  std::atomic<std::uint32_t> calls_{0};
 };
 
 class ProfScope {

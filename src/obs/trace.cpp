@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "util/digest.h"
+
 namespace pbecc::obs {
 
 namespace {
@@ -73,6 +75,7 @@ Trace& Trace::instance() {
 }
 
 void Trace::start(TraceConfig cfg) {
+  std::lock_guard<std::mutex> lk(m_);
   cfg_ = cfg;
   if (cfg_.capacity == 0) cfg_.capacity = 1;
   if (cfg_.sample_every == 0) cfg_.sample_every = 1;
@@ -85,12 +88,16 @@ void Trace::start(TraceConfig cfg) {
 }
 
 void Trace::stop() {
-  active_ = false;
+  // Unpublish first so no new record() call starts, then take the lock to
+  // wait out in-flight ones.
   detail::g_trace = nullptr;
+  std::lock_guard<std::mutex> lk(m_);
+  active_ = false;
 }
 
 void Trace::clear() {
   stop();
+  std::lock_guard<std::mutex> lk(m_);
   ring_.clear();
   ring_.shrink_to_fit();
   next_ = 0;
@@ -98,6 +105,7 @@ void Trace::clear() {
 }
 
 void Trace::record(const Event& e) {
+  std::lock_guard<std::mutex> lk(m_);
   if (!active_) return;
   if (schema(e.kind).high_freq && cfg_.sample_every > 1) {
     if (hf_seq_++ % cfg_.sample_every != 0) {
@@ -117,6 +125,7 @@ void Trace::record(const Event& e) {
 }
 
 std::vector<Event> Trace::snapshot() const {
+  std::lock_guard<std::mutex> lk(m_);
   std::vector<Event> out;
   out.reserve(ring_.size());
   // next_ is the oldest slot once the ring has wrapped.
@@ -124,6 +133,21 @@ std::vector<Event> Trace::snapshot() const {
     out.push_back(ring_[(next_ + i) % ring_.size()]);
   }
   return out;
+}
+
+std::uint64_t Trace::digest() const {
+  std::uint64_t h = util::kFnv1aOffset;
+  // Hash field-by-field (Event has padding between kind and id2).
+  for (const Event& e : snapshot()) {
+    h = util::fnv1a64_value(e.t, h);
+    h = util::fnv1a64_value(static_cast<std::uint8_t>(e.kind), h);
+    h = util::fnv1a64_value(e.id, h);
+    h = util::fnv1a64_value(e.id2, h);
+    h = util::fnv1a64_value(e.a, h);
+    h = util::fnv1a64_value(e.x, h);
+    h = util::fnv1a64_value(e.y, h);
+  }
+  return h;
 }
 
 bool Trace::write_jsonl(const std::string& path) const {

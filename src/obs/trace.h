@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -103,9 +104,19 @@ class Trace {
   bool write_jsonl(const std::string& path) const;
   bool write_chrome(const std::string& path) const;
 
+  // Order-sensitive FNV-1a hash over every retained event's fields, oldest
+  // first. Two runs with byte-identical traces produce equal digests; the
+  // determinism suite compares digests across thread counts.
+  std::uint64_t digest() const;
+
  private:
   Trace() = default;
 
+  // record() may be called from pool threads (parallel scenario
+  // replications both tracing into the global ring); the ring, cursors and
+  // counters are guarded by one mutex. emit()'s fast path (no active
+  // trace) stays lock-free.
+  mutable std::mutex m_;
   bool active_ = false;
   TraceConfig cfg_;
   std::vector<Event> ring_;

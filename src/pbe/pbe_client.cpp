@@ -28,6 +28,10 @@ PbeClient::PbeClient(PbeClientConfig cfg, ChannelQuery channel_query)
 
 void PbeClient::on_pdcch(const phy::PdcchSubframe& sf) { monitor_->on_pdcch(sf); }
 
+void PbeClient::on_pdcch_batch(const std::vector<phy::PdcchSubframe>& sfs) {
+  monitor_->on_pdcch_batch(sfs);
+}
+
 double PbeClient::current_p() const {
   // Residual BER estimated from SINR (paper: "We estimate p using measured
   // signal to interference noise ratio"); primary cell dominates.

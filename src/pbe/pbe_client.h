@@ -54,6 +54,9 @@ class PbeClient {
 
   // Wire to BaseStation::add_pdcch_observer.
   void on_pdcch(const phy::PdcchSubframe& sf);
+  // Wire to BaseStation::add_pdcch_batch_observer: all cells of one tick
+  // at once, decoded concurrently on the pbecc::par pool.
+  void on_pdcch_batch(const std::vector<phy::PdcchSubframe>& sfs);
 
   // Wire to FlowReceiver::set_feedback_filler.
   void fill_feedback(const net::Packet& pkt, util::Time now, net::Ack& ack);

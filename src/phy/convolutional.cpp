@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdlib>
 #include <limits>
 
 #include "obs/profile.h"
@@ -23,6 +24,63 @@ std::uint32_t make_reg(int input_bit, std::uint32_t state) {
   return (static_cast<std::uint32_t>(input_bit) << 6) | state;
 }
 
+// kBranchOut[reg] packs the three coded output bits for register value
+// reg: bit k = parity(reg & kGenerators[k]). One table lookup replaces
+// three popcount-parities per trellis branch.
+constexpr std::array<std::uint8_t, 2 * kNumStates> make_branch_out() {
+  std::array<std::uint8_t, 2 * kNumStates> t{};
+  for (std::uint32_t reg = 0; reg < 2 * kNumStates; ++reg) {
+    std::uint8_t out = 0;
+    for (int k = 0; k < kConvRateInv; ++k) {
+      std::uint32_t v = reg & kGenerators[static_cast<std::size_t>(k)];
+      std::uint32_t p = 0;
+      while (v != 0) {
+        p ^= v & 1u;
+        v >>= 1;
+      }
+      out |= static_cast<std::uint8_t>(p << k);
+    }
+    t[reg] = out;
+  }
+  return t;
+}
+constexpr auto kBranchOut = make_branch_out();
+
+// Reusable per-thread decoder workspace. Blind decoding runs thousands of
+// candidate decodes per subframe (and, with pbecc::par, on several pool
+// threads at once); per-call vector allocation dominated the original
+// profile. The rate-match layout cache also lives here: a monitor sees
+// only a handful of (coded_bits, target_bits) shapes, one per
+// (payload size, aggregation level) pair.
+struct ViterbiScratch {
+  std::vector<std::int32_t> metric;
+  std::vector<std::int32_t> next_metric;
+  std::vector<std::uint8_t> survivor;    // flat [step * kNumStates + state]
+  std::vector<std::uint8_t> prev_state;  // flat, same layout
+  std::vector<std::int32_t> llr;
+  std::vector<std::int32_t> suffix_gain;
+
+  struct CountsEntry {
+    std::size_t coded = 0;
+    std::size_t target = 0;
+    std::vector<int> counts;
+  };
+  std::vector<CountsEntry> counts_cache;
+
+  const std::vector<int>& counts_for(std::size_t coded, std::size_t target) {
+    for (const auto& e : counts_cache) {
+      if (e.coded == coded && e.target == target) return e.counts;
+    }
+    counts_cache.push_back({coded, target, rate_match_counts(coded, target)});
+    return counts_cache.back().counts;
+  }
+};
+
+ViterbiScratch& scratch() {
+  thread_local ViterbiScratch ws;
+  return ws;
+}
+
 }  // namespace
 
 util::BitVec conv_encode(const util::BitVec& payload) {
@@ -32,7 +90,8 @@ util::BitVec conv_encode(const util::BitVec& payload) {
   for (std::size_t i = 0; i < total; ++i) {
     const int bit = i < payload.size() ? (payload.bit(i) ? 1 : 0) : 0;
     const std::uint32_t reg = make_reg(bit, state);
-    for (const auto g : kGenerators) out.push_bit(parity(reg & g));
+    const std::uint8_t o = kBranchOut[reg];
+    for (int k = 0; k < kConvRateInv; ++k) out.push_bit(((o >> k) & 1) != 0);
     state = reg >> 1;
   }
   return out;
@@ -68,8 +127,101 @@ util::BitVec conv_decode(const util::BitVec& received,
   const std::size_t steps = payload_bits + kConvTailBits;
   const std::size_t coded_bits = kConvRateInv * steps;
 
+  auto& ws = scratch();
+
   // Per-mother-bit log-likelihood from the (possibly repeated/punctured)
   // received block: +count votes for 1, -count for 0, 0 = erasure.
+  ws.llr.assign(coded_bits, 0);
+  {
+    const auto& counts = ws.counts_for(coded_bits, received.size());
+    std::size_t j = 0;
+    for (std::size_t i = 0; i < coded_bits; ++i) {
+      for (int c = 0; c < counts[i]; ++c) {
+        ws.llr[i] += received.bit(j++) ? 1 : -1;
+      }
+    }
+  }
+
+  // suffix_gain[t] = the largest total branch gain any path can still
+  // collect from step t onward (each step contributes at most
+  // |v0|+|v1|+|v2|), and -suffix_gain[t] the smallest. Basis for the
+  // exact-safe pruning bound below.
+  ws.suffix_gain.assign(steps + 1, 0);
+  for (std::size_t t = steps; t-- > 0;) {
+    ws.suffix_gain[t] = ws.suffix_gain[t + 1] +
+                        std::abs(ws.llr[kConvRateInv * t]) +
+                        std::abs(ws.llr[kConvRateInv * t + 1]) +
+                        std::abs(ws.llr[kConvRateInv * t + 2]);
+  }
+
+  // Viterbi: maximize correlation between the path's coded bits and llr.
+  constexpr std::int32_t kNegInf = std::numeric_limits<std::int32_t>::min() / 4;
+  ws.metric.assign(kNumStates, kNegInf);
+  ws.metric[0] = 0;  // encoder starts zeroed
+  ws.next_metric.assign(kNumStates, kNegInf);
+  ws.survivor.resize(steps * kNumStates);
+  ws.prev_state.resize(steps * kNumStates);
+
+  std::int32_t best = 0;  // max over ws.metric (only state 0 is live)
+  for (std::size_t t = 0; t < steps; ++t) {
+    std::fill(ws.next_metric.begin(), ws.next_metric.end(), kNegInf);
+    const std::int32_t v0 = ws.llr[kConvRateInv * t];
+    const std::int32_t v1 = ws.llr[kConvRateInv * t + 1];
+    const std::int32_t v2 = ws.llr[kConvRateInv * t + 2];
+    // gains[p] = branch gain when the branch outputs bit pattern p.
+    std::int32_t gains[8];
+    for (int p = 0; p < 8; ++p) {
+      gains[p] = ((p & 1) != 0 ? v0 : -v0) + ((p & 2) != 0 ? v1 : -v1) +
+                 ((p & 4) != 0 ? v2 : -v2);
+    }
+    // Exact-safe pruning: any continuation of state s gains at most
+    // suffix_gain[t]; the leader's zero-tail continuation to state 0 (which
+    // always exists) gains at least -suffix_gain[t]. A state strictly below
+    // best - 2*suffix_gain[t] therefore cannot reach state 0 with the
+    // winning metric — dropping it cannot change the traceback. (Ties are
+    // kept, so tie-breaking matches the reference decoder bit-for-bit.)
+    const std::int32_t prune_below = best - 2 * ws.suffix_gain[t];
+    const int max_input = t < payload_bits ? 1 : 0;  // tail forces zeros
+    std::uint8_t* surv = ws.survivor.data() + t * kNumStates;
+    std::uint8_t* prev = ws.prev_state.data() + t * kNumStates;
+    std::int32_t next_best = kNegInf;
+    for (int s = 0; s < kNumStates; ++s) {
+      const std::int32_t m = ws.metric[static_cast<std::size_t>(s)];
+      if (m == kNegInf || m < prune_below) continue;
+      for (int u = 0; u <= max_input; ++u) {
+        const std::uint32_t reg = make_reg(u, static_cast<std::uint32_t>(s));
+        const auto ns = static_cast<std::size_t>(reg >> 1);
+        const std::int32_t cand = m + gains[kBranchOut[reg]];
+        if (cand > ws.next_metric[ns]) {
+          ws.next_metric[ns] = cand;
+          surv[ns] = static_cast<std::uint8_t>(u);
+          prev[ns] = static_cast<std::uint8_t>(s);
+          if (cand > next_best) next_best = cand;
+        }
+      }
+    }
+    ws.metric.swap(ws.next_metric);
+    best = next_best;
+  }
+
+  // The zero tail drives the encoder back to state 0: trace from there.
+  util::BitVec decoded(payload_bits);
+  std::size_t state = 0;
+  for (std::size_t t = steps; t-- > 0;) {
+    const std::size_t row = t * kNumStates;
+    if (t < payload_bits) {
+      decoded.set_bit(t, ws.survivor[row + state] != 0);
+    }
+    state = ws.prev_state[row + state];
+  }
+  return decoded;
+}
+
+util::BitVec conv_decode_reference(const util::BitVec& received,
+                                   std::size_t payload_bits) {
+  const std::size_t steps = payload_bits + kConvTailBits;
+  const std::size_t coded_bits = kConvRateInv * steps;
+
   std::vector<int> llr(coded_bits, 0);
   {
     const auto counts = rate_match_counts(coded_bits, received.size());
@@ -81,18 +233,16 @@ util::BitVec conv_decode(const util::BitVec& received,
     }
   }
 
-  // Viterbi: maximize correlation between the path's coded bits and llr.
   constexpr std::int32_t kNegInf = std::numeric_limits<std::int32_t>::min() / 4;
   std::vector<std::int32_t> metric(kNumStates, kNegInf);
-  metric[0] = 0;  // encoder starts zeroed
+  metric[0] = 0;
   std::vector<std::int32_t> next_metric(kNumStates);
-  // survivor[t][next_state] = input bit chosen on the best branch.
   std::vector<std::array<std::uint8_t, kNumStates>> survivor(steps);
   std::vector<std::array<std::uint8_t, kNumStates>> prev_state(steps);
 
   for (std::size_t t = 0; t < steps; ++t) {
     std::fill(next_metric.begin(), next_metric.end(), kNegInf);
-    const int max_input = t < payload_bits ? 1 : 0;  // tail forces zeros
+    const int max_input = t < payload_bits ? 1 : 0;
     for (int s = 0; s < kNumStates; ++s) {
       if (metric[static_cast<std::size_t>(s)] == kNegInf) continue;
       for (int u = 0; u <= max_input; ++u) {
@@ -114,7 +264,6 @@ util::BitVec conv_decode(const util::BitVec& received,
     metric.swap(next_metric);
   }
 
-  // The zero tail drives the encoder back to state 0: trace from there.
   util::BitVec decoded(payload_bits);
   std::size_t state = 0;
   for (std::size_t t = steps; t-- > 0;) {

@@ -40,7 +40,17 @@ std::vector<int> rate_match_counts(std::size_t coded_bits,
 // back to `payload_bits` information bits. Punctured positions contribute
 // no branch metric; repeated positions vote. Always returns a best-effort
 // decision — callers validate with the CRC.
+//
+// This is the optimized hot path (flattened branch-metric tables, per-step
+// gain lookup, exact-safe path pruning, thread-local scratch reuse); it is
+// bit-exact with conv_decode_reference on every input.
 util::BitVec conv_decode(const util::BitVec& received,
                          std::size_t payload_bits);
+
+// Straightforward textbook implementation kept as the oracle for the
+// equivalence tests in tests/convolutional_test.cpp. Not for hot paths:
+// it allocates its trellis per call.
+util::BitVec conv_decode_reference(const util::BitVec& received,
+                                   std::size_t payload_bits);
 
 }  // namespace pbecc::phy

@@ -1,5 +1,6 @@
 #include "sim/location.h"
 
+#include <chrono>
 #include <cstdio>
 
 namespace pbecc::sim {
@@ -90,6 +91,7 @@ LocationRunResult run_location(const LocationProfile& loc,
     cfg.fault = *fault;
     cfg.fault_seed = fault_seed;
   }
+  const auto n_cells = cfg.cells.size();
   Scenario s{std::move(cfg)};
   s.add_ue(ue_spec_for(loc));
   add_location_background(s, loc);
@@ -102,10 +104,17 @@ LocationRunResult run_location(const LocationProfile& loc,
   flow.stop = flow.start + flow_len;
   const int f = s.add_flow(flow);
 
-  s.run_until(flow.stop + 500 * util::kMillisecond);
+  const auto t0 = std::chrono::steady_clock::now();
+  const util::Time sim_end = flow.stop + 500 * util::kMillisecond;
+  s.run_until(sim_end);
+  const auto t1 = std::chrono::steady_clock::now();
   s.stats(f).finish(flow.stop);
 
   LocationRunResult r;
+  r.wall_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  r.sim_cell_subframes = static_cast<std::uint64_t>(sim_end / util::kSubframe) *
+                         static_cast<std::uint64_t>(n_cells);
   const auto& st = s.stats(f);
   r.avg_tput_mbps = st.avg_tput_mbps();
   r.avg_delay_ms = st.avg_delay_ms();
@@ -114,6 +123,7 @@ LocationRunResult run_location(const LocationProfile& loc,
   r.ca_triggered = s.bs().ca(1).ever_aggregated();
   if (auto* c = s.pbe_client(f)) {
     r.internet_state_fraction = c->internet_state_fraction();
+    r.decode_candidates = c->monitor().total_candidates_tried();
   }
   for (double v : st.window_tputs_mbps().samples()) r.window_tputs.add(v);
   for (double v : st.delays_ms().samples()) r.delays_ms.add(v);

@@ -48,6 +48,10 @@ struct LocationRunResult {
   double internet_state_fraction = 0;  // PBE only
   util::SampleSet window_tputs;
   util::SampleSet delays_ms;
+  // Bench instrumentation (bench/bench_common.h JSON records):
+  double wall_ms = 0;                    // real time spent simulating
+  std::uint64_t sim_cell_subframes = 0;  // simulated subframes x cells
+  std::uint64_t decode_candidates = 0;   // blind-decode attempts (PBE only)
 };
 // `fault` (optional) runs the flow under a deterministic chaos schedule
 // seeded with `fault_seed` (see fault::FaultProfile / --fault-profile).

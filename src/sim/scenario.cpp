@@ -203,8 +203,12 @@ int Scenario::add_flow(const FlowSpec& spec) {
           ch.control_ber += extra_ber;
           return ch;
         });
-    bs_->add_pdcch_observer(
-        [c = ctx->client.get()](const phy::PdcchSubframe& sf) { c->on_pdcch(sf); });
+    // Batched: the client's monitor decodes all of one tick's cells at
+    // once, fanning out on the pbecc::par pool when --threads > 1.
+    bs_->add_pdcch_batch_observer(
+        [c = ctx->client.get()](const std::vector<phy::PdcchSubframe>& sfs) {
+          c->on_pdcch_batch(sfs);
+        });
     ctx->receiver->set_feedback_filler(
         [c = ctx->client.get()](const net::Packet& pkt, util::Time now, net::Ack& ack) {
           c->fill_feedback(pkt, now, ack);

@@ -1,0 +1,41 @@
+// FNV-1a 64-bit hashing for determinism checks.
+//
+// The determinism test suite compares runs at different thread counts by
+// hashing their event traces and stat blocks instead of serializing and
+// diffing them. FNV-1a is not cryptographic — it only needs to make
+// "byte-identical" checkable with one 64-bit compare.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace pbecc::util {
+
+inline constexpr std::uint64_t kFnv1aOffset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnv1aPrime = 0x100000001b3ull;
+
+inline std::uint64_t fnv1a64(const void* data, std::size_t len,
+                             std::uint64_t seed = kFnv1aOffset) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+// Hash a trivially-copyable value field-by-value. Padding bytes inside T
+// must not reach the hash — callers hash individual members instead of
+// whole structs when the struct has padding.
+template <typename T>
+std::uint64_t fnv1a64_value(const T& v, std::uint64_t seed = kFnv1aOffset) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  unsigned char bytes[sizeof(T)];
+  std::memcpy(bytes, &v, sizeof(T));
+  return fnv1a64(bytes, sizeof(T), seed);
+}
+
+}  // namespace pbecc::util

@@ -112,6 +112,33 @@ TEST(Convolutional, BeatsRepetitionAtSameRedundancy) {
   EXPECT_GT(conv_ok, trials * 3 / 4);
 }
 
+// The pruned/table-driven conv_decode must be bit-exact against the
+// straightforward reference implementation — not merely "usually right":
+// the decoder's metrics and the determinism suite depend on identical
+// outputs. 10k random codewords across clean, light and heavy noise,
+// cycling payload lengths and rate-match targets (repetition, exact,
+// puncturing, truncation-with-erasures).
+TEST(Convolutional, OptimizedMatchesReference10k) {
+  util::Rng rng{23};
+  const double bers[] = {0.0, 1e-3, 1e-2};
+  const std::size_t targets[] = {72, 144, 288, 576};
+  for (int trial = 0; trial < 10002; ++trial) {
+    const double ber = bers[trial % 3];
+    const auto payload = random_payload(rng, 20 + trial % 61);
+    auto block = rate_match(conv_encode(payload), targets[trial % 4]);
+    if (ber > 0) {
+      for (std::size_t i = 0; i < block.size(); ++i) {
+        if (rng.bernoulli(ber)) block.flip_bit(i);
+      }
+    }
+    const auto fast = conv_decode(block, payload.size());
+    const auto ref = conv_decode_reference(block, payload.size());
+    ASSERT_EQ(fast, ref) << "trial " << trial << " ber " << ber << " len "
+                         << payload.size() << " target "
+                         << targets[trial % 4];
+  }
+}
+
 TEST(ConvolutionalPdcch, BlindDecodeAllFormats) {
   CellConfig cell{1, 20.0};
   cell.pdcch_coding = PdcchCoding::kConvolutional;

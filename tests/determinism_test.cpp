@@ -1,0 +1,149 @@
+// Determinism suite (DESIGN.md §9): the parallel scenario engine and the
+// per-subframe parallel blind-decode path must produce byte-identical
+// results for any thread count. Three seeds x {clean, blackout,
+// handover-storm} x threads {1, 8}, compared field-for-field: FlowStats
+// (every throughput window and delay sample), blind-decode attempt
+// counters, and the obs event-trace digest.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault.h"
+#include "obs/obs.h"
+#include "par/thread_pool.h"
+#include "sim/location.h"
+
+namespace pbecc {
+namespace {
+
+struct RunDigest {
+  double tput = 0, avg_d = 0, p95_d = 0, p50_d = 0;
+  bool ca = false;
+  std::vector<double> wins, delays;
+  std::uint64_t attempts = 0;
+  std::uint64_t trace_digest = 0;
+
+  bool operator==(const RunDigest&) const = default;
+};
+
+RunDigest run_once(const std::string& profile_name, std::uint64_t seed,
+                   int threads) {
+  par::set_default_threads(threads);
+  obs::Trace::instance().start(obs::TraceConfig{});
+
+  auto loc = sim::location(3);  // 2-cell busy indoor
+  loc.seed = seed;
+  const auto profile = *fault::profile_by_name(profile_name);
+  const auto r =
+      sim::run_location(loc, "pbe", 3 * util::kSecond,
+                        profile.active() ? &profile : nullptr, /*fault_seed=*/3);
+
+  obs::Trace::instance().stop();
+  RunDigest d;
+  d.tput = r.avg_tput_mbps;
+  d.avg_d = r.avg_delay_ms;
+  d.p95_d = r.p95_delay_ms;
+  d.p50_d = r.median_delay_ms;
+  d.ca = r.ca_triggered;
+  d.wins.assign(r.window_tputs.samples().begin(),
+                r.window_tputs.samples().end());
+  d.delays.assign(r.delays_ms.samples().begin(), r.delays_ms.samples().end());
+  d.attempts = r.decode_candidates;
+  d.trace_digest = obs::Trace::instance().digest();
+  obs::Trace::instance().clear();
+  return d;
+}
+
+class DeterminismTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {
+ protected:
+  void TearDown() override { par::set_default_threads(1); }
+};
+
+TEST_P(DeterminismTest, SerialAndParallelAreByteIdentical) {
+  const auto& [profile, seed] = GetParam();
+  const auto serial = run_once(profile, seed, 1);
+  const auto parallel = run_once(profile, seed, 8);
+
+  // Field-by-field first so a failure names the divergent quantity...
+  EXPECT_EQ(serial.tput, parallel.tput);
+  EXPECT_EQ(serial.avg_d, parallel.avg_d);
+  EXPECT_EQ(serial.p95_d, parallel.p95_d);
+  EXPECT_EQ(serial.p50_d, parallel.p50_d);
+  EXPECT_EQ(serial.ca, parallel.ca);
+  EXPECT_EQ(serial.attempts, parallel.attempts);
+  ASSERT_EQ(serial.wins.size(), parallel.wins.size());
+  for (std::size_t i = 0; i < serial.wins.size(); ++i) {
+    ASSERT_EQ(serial.wins[i], parallel.wins[i]) << "window " << i;
+  }
+  ASSERT_EQ(serial.delays.size(), parallel.delays.size());
+  for (std::size_t i = 0; i < serial.delays.size(); ++i) {
+    ASSERT_EQ(serial.delays[i], parallel.delays[i]) << "delay sample " << i;
+  }
+  EXPECT_EQ(serial.trace_digest, parallel.trace_digest);
+  // ...then the blanket check (also covers future RunDigest fields).
+  EXPECT_TRUE(serial == parallel);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByProfile, DeterminismTest,
+    ::testing::Combine(::testing::Values("none", "blackout", "handover-storm"),
+                       ::testing::Values(std::uint64_t{11}, std::uint64_t{12},
+                                         std::uint64_t{13})),
+    [](const auto& info) {
+      return std::get<0>(info.param) == "handover-storm"
+                 ? "handover_storm_" + std::to_string(std::get<1>(info.param))
+                 : std::get<0>(info.param) + "_" +
+                       std::to_string(std::get<1>(info.param));
+    });
+
+// The convolutional-PDCCH decode path (Viterbi + span memoization) has its
+// own parallel lane; check it separately since no location profile enables
+// it.
+TEST(DeterminismConvolutional, SerialAndParallelAreByteIdentical) {
+  const auto run = [](int threads) {
+    par::set_default_threads(threads);
+    sim::ScenarioConfig cfg;
+    cfg.seed = 77;
+    cfg.cells = {{10.0, 0.3}};
+    cfg.cells.front().convolutional_pdcch = true;
+    sim::Scenario s{cfg};
+    sim::UeSpec ue;
+    ue.cell_indices = {0};
+    s.add_ue(ue);
+    sim::BackgroundSpec bg;
+    bg.n_users = 4;
+    bg.sessions_per_sec = 0.8;
+    s.add_background(bg);
+    sim::FlowSpec fs;
+    fs.algo = "pbe";
+    fs.stop = 3 * util::kSecond;
+    const int f = s.add_flow(fs);
+    s.run_until(fs.stop);
+    s.stats(f).finish(fs.stop);
+
+    RunDigest d;
+    d.tput = s.stats(f).avg_tput_mbps();
+    d.avg_d = s.stats(f).avg_delay_ms();
+    d.p95_d = s.stats(f).p95_delay_ms();
+    d.p50_d = s.stats(f).median_delay_ms();
+    const auto& wins = s.stats(f).window_tputs_mbps().samples();
+    d.wins.assign(wins.begin(), wins.end());
+    const auto& dl = s.stats(f).delays_ms().samples();
+    d.delays.assign(dl.begin(), dl.end());
+    d.attempts = s.pbe_client(f)->monitor().total_candidates_tried();
+    return d;
+  };
+  const auto serial = run(1);
+  const auto parallel = run(8);
+  par::set_default_threads(1);
+  EXPECT_GT(serial.attempts, 0u);
+  EXPECT_TRUE(serial == parallel);
+  EXPECT_EQ(serial.tput, parallel.tput);
+  EXPECT_EQ(serial.attempts, parallel.attempts);
+}
+
+}  // namespace
+}  // namespace pbecc
