@@ -1,0 +1,105 @@
+// Long-horizon soak driver (DESIGN.md §10): runs the pipeline and MAC soak
+// scenarios from src/sim/soak.h, prints their reports, and exits non-zero
+// if either run recorded an invariant violation or a harness check failed.
+//
+//   --subframes N       pipeline soak length (default 2,000,000)
+//   --mac-subframes N   MAC soak length (default 200,000)
+//   --metrics <path>    write the merged soak report JSON (CI artifact)
+//   --json <path>       standard bench records (bench_gate.py schema)
+//   --abort             abort at the first invariant violation (debugging)
+//
+// The CI soak-smoke job runs this at 100k / 20k subframes with
+// -DPBECC_CHECK=ON and ASan; the acceptance run is the full default length.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "check/check.h"
+#include "sim/soak.h"
+
+using namespace pbecc;
+
+namespace {
+
+void print_report(const char* name, const sim::SoakReport& r, double wall_ms) {
+  std::printf("\n--- %s: %s ---\n", name, r.ok() ? "PASS" : "FAIL");
+  std::printf("  subframes            %lld  (%.1f k sf/s)\n",
+              static_cast<long long>(r.subframes),
+              r.subframes / wall_ms);  // k sf/s == sf/ms
+  std::printf("  invariant violations %llu%s%s\n",
+              static_cast<unsigned long long>(r.invariant_violations),
+              r.violation_digest.empty() ? "" : "  ",
+              r.violation_digest.c_str());
+  std::printf("  churn=%llu handovers=%llu reconfigs=%llu decodes=%llu "
+              "delivered=%llu\n",
+              static_cast<unsigned long long>(r.churn_events),
+              static_cast<unsigned long long>(r.handovers),
+              static_cast<unsigned long long>(r.reconfigs),
+              static_cast<unsigned long long>(r.decode_attempts),
+              static_cast<unsigned long long>(r.delivered_packets));
+  std::printf("  high-water: est_cells=%zu trk_users=%zu trk_hist=%zu "
+              "ues=%zu ue_cells=%zu\n",
+              r.max_estimator_cells, r.max_tracker_users,
+              r.max_tracker_history, r.max_ues, r.max_ue_cells);
+  std::printf("  max WindowedMean drift %.3e (bound 1e-9)\n", r.max_mean_drift);
+  for (const auto& f : r.failures) std::printf("  FAIL: %s\n", f.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Reporter reporter("bench_soak", argc, argv);
+
+  sim::PipelineSoakConfig pcfg;
+  sim::MacSoakConfig mcfg;
+  std::string metrics_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--subframes") == 0 && i + 1 < argc) {
+      pcfg.subframes = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--mac-subframes") == 0 && i + 1 < argc) {
+      mcfg.subframes = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--abort") == 0) {
+      check::set_abort_on_violation(true);
+    }
+  }
+
+  bench::header("Soak: decode->fusion->tracking->estimation pipeline");
+  std::printf("subframes=%lld cells=%d rnti_pool=%d (deep checks %s)\n",
+              static_cast<long long>(pcfg.subframes), pcfg.n_cells,
+              pcfg.rnti_pool, check::kDeep ? "ON" : "off");
+  bench::WallTimer pt;
+  const sim::SoakReport prep = sim::run_pipeline_soak(pcfg);
+  const double p_ms = pt.ms();
+  print_report("pipeline soak", prep, p_ms);
+  reporter.add("pipeline_soak", p_ms, prep.subframes / (p_ms / 1000.0),
+               prep.decode_attempts);
+
+  bench::header("Soak: base station + UE churn + handover storms");
+  std::printf("subframes=%lld cells=%d fg=%d bg_pool=%d\n",
+              static_cast<long long>(mcfg.subframes), mcfg.n_cells,
+              mcfg.fg_ues, mcfg.bg_ue_pool);
+  bench::WallTimer mt;
+  const sim::SoakReport mrep = sim::run_mac_soak(mcfg);
+  const double m_ms = mt.ms();
+  print_report("mac soak", mrep, m_ms);
+  reporter.add("mac_soak", m_ms, mrep.subframes / (m_ms / 1000.0), 0);
+
+  if (!metrics_path.empty()) {
+    FILE* f = std::fopen(metrics_path.c_str(), "w");
+    if (!f) {
+      std::perror("--metrics open");
+      return 2;
+    }
+    std::fprintf(f, "{\"pipeline\": %s,\n \"mac\": %s}\n",
+                 prep.to_json().c_str(), mrep.to_json().c_str());
+    std::fclose(f);
+  }
+
+  const bool ok = prep.ok() && mrep.ok();
+  std::printf("\nsoak result: %s\n", ok ? "PASS" : "FAIL");
+  return ok ? 0 : 1;
+}

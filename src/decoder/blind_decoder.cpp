@@ -23,6 +23,11 @@ BlindDecoder::BlindDecoder(phy::CellConfig cell) : cell_(cell) {
   obs_.memo_hits = &obs::counter("decoder.memo_hits");
 }
 
+void BlindDecoder::reconfigure(const phy::CellConfig& cell) {
+  cell_ = cell;
+  for (auto& lane : memo_) lane.clear();
+}
+
 util::BitVec BlindDecoder::majority_decode(const phy::PdcchSubframe& sf,
                                            int first_cce, int n_cces,
                                            int msg_bits) const {

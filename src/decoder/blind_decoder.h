@@ -77,6 +77,12 @@ class BlindDecoder {
   // events. Call in deterministic order (e.g. cell order) on one thread.
   std::vector<phy::Dci> decode_apply(const DecodeRun& run);
 
+  // Carrier reconfiguration: adopt the cell's new parameters (PRB count /
+  // control region size) and drop the span memo — memoized candidate
+  // outcomes are only valid against the coding geometry they were recorded
+  // under. Stats persist across reconfigurations.
+  void reconfigure(const phy::CellConfig& cell);
+
   const DecodeStats& stats() const { return stats_; }
   const phy::CellConfig& cell() const { return cell_; }
 

@@ -1,5 +1,6 @@
 #include "decoder/message_fusion.h"
 
+#include "check/check.h"
 #include "obs/obs.h"
 #include "util/time.h"
 
@@ -14,6 +15,22 @@ void MessageFusion::on_decoded(phy::CellId cell, std::int64_t sf_index,
     // Emit any older, incomplete subframes — a decoder that skipped one
     // must not stall the pipeline (capacity estimates are time-critical).
     flush_through(sf_index - 1);
+  }
+  // Every call flushes everything older than the current subframe, so with
+  // (near-)monotonic decoder feeds only the current subframe — plus a
+  // small out-of-order slack — may stay pending. Unbounded growth here
+  // means the flush logic regressed and the pipeline is silently stalling.
+  PBECC_INVARIANT(pending_.size() <= 4, "fusion_pending_bounded");
+  if constexpr (check::kDeep) {
+    bool known = true;
+    for (const auto& [sf, cells] : pending_) {
+      for (const auto& [c, msgs] : cells) {
+        bool found = false;
+        for (phy::CellId e : expected_) found = found || e == c;
+        known = known && found;
+      }
+    }
+    PBECC_DEEP_INVARIANT(known, "fusion_pending_cells_registered");
   }
 }
 

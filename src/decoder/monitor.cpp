@@ -215,4 +215,12 @@ void Monitor::set_tracker_window(util::Duration w) {
   for (auto& [id, t] : trackers_) t->set_window(w);
 }
 
+void Monitor::reconfigure_cell(const phy::CellConfig& cell) {
+  auto dit = decoders_.find(cell.id);
+  if (dit == decoders_.end()) return;
+  dit->second->reconfigure(cell);
+  trackers_.at(cell.id)->set_cell_prbs(cell.n_prbs());
+  cell_prbs_[cell.id] = cell.n_prbs();
+}
+
 }  // namespace pbecc::decoder

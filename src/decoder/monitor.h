@@ -70,6 +70,13 @@ class Monitor {
   // most recent RTprop of subframes).
   void set_tracker_window(util::Duration w);
 
+  // Carrier reconfiguration: the network changed a monitored cell's
+  // parameters (PRB count / control region geometry) mid-run. Pushes the
+  // new config into the cell's blind decoder (clearing its span memo),
+  // user tracker and the fusion-callback PRB table so downstream capacity
+  // estimates see the new Pcell immediately. Unknown cells are ignored.
+  void reconfigure_cell(const phy::CellConfig& cell);
+
   // Fraction of the cell-subframes expected over the recent accounting
   // window (~200 ms) that decoded successfully. 1.0 before any PDCCH has
   // been seen. Stalls lower the rate too: the denominator is wall time, so

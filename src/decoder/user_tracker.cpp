@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/check.h"
+
 namespace pbecc::decoder {
 
 void UserTracker::expire(std::int64_t current_sf) {
@@ -42,6 +44,36 @@ UserTracker::SubframeSummary UserTracker::on_subframe(
   s.idle_prbs = std::max(0, cell_prbs_ - s.allocated_prbs);
   s.raw_active_users = static_cast<int>(users_.size());
   s.data_users = data_users(own_rnti);
+
+  // The RNTI map only holds users with in-window observations, so it can
+  // never outgrow the observation history (RNTI churn must not leak).
+  PBECC_INVARIANT(users_.size() <= history_.size() || history_.empty(),
+                  "tracker_users_bounded_by_history");
+  if constexpr (check::kDeep) {
+    if (++deep_tick_ % 256 != 0) return s;
+    // Exact cross-check: per-user Ta counts and PRB sums are maintained
+    // incrementally on ingest/expire; re-derive both from the history.
+    std::int64_t ta_total = 0;
+    bool per_user_ok = true;
+    for (const auto& [rnti, a] : users_) {
+      ta_total += a.active_subframes;
+      std::int64_t ta = 0;
+      double prbs = 0;
+      for (const auto& o : history_) {
+        if (o.rnti == rnti) {
+          ++ta;
+          prbs += o.prbs;
+        }
+      }
+      if (ta != a.active_subframes || prbs != a.average_prbs) {
+        per_user_ok = false;
+      }
+    }
+    PBECC_DEEP_INVARIANT(
+        ta_total == static_cast<std::int64_t>(history_.size()),
+        "tracker_ta_matches_history");
+    PBECC_DEEP_INVARIANT(per_user_ok, "tracker_per_user_sums_exact");
+  }
   return s;
 }
 

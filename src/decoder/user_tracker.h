@@ -66,7 +66,14 @@ class UserTracker {
   std::vector<UserActivity> activity() const;
 
   void set_window(util::Duration w) { cfg_.window = w; }
+  // Carrier reconfiguration changed the cell's PRB count; idle-PRB
+  // computation uses the new total from the next subframe on.
+  void set_cell_prbs(int cell_prbs) { cell_prbs_ = cell_prbs; }
   int cell_prbs() const { return cell_prbs_; }
+  // History length (bounded by window subframes × messages per subframe);
+  // exposed for soak bound checks.
+  std::size_t history_size() const { return history_.size(); }
+  std::size_t tracked_users() const { return users_.size(); }
 
  private:
   void expire(std::int64_t current_sf);
@@ -83,6 +90,9 @@ class UserTracker {
   UserTrackerConfig cfg_;
   std::deque<Observation> history_;
   std::map<phy::Rnti, UserActivity> users_;
+  // Deep-check pacing: the full O(users x history) re-derivation only runs
+  // every few hundred subframes so -DPBECC_CHECK soaks stay tractable.
+  std::uint64_t deep_tick_ = 0;
 };
 
 }  // namespace pbecc::decoder

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "check/check.h"
 #include "obs/obs.h"
 #include "phy/error_model.h"
 #include "phy/transport_block.h"
@@ -267,6 +268,20 @@ void BaseStation::run_cell(CellState& cell) {
 
   record.idle_prbs = prbs_left;
 
+  // PRB ledger: every PRB of the carrier is accounted to exactly one of
+  // data / control / retransmission / idle, and none is double-booked.
+  {
+    int data_prbs = 0;
+    for (const auto& a : record.data_allocs) data_prbs += a.n_prbs;
+    PBECC_INVARIANT(record.idle_prbs >= 0 && record.control_prbs >= 0 &&
+                        record.retx_prbs >= 0,
+                    "bs_prb_ledger_nonnegative");
+    PBECC_INVARIANT(data_prbs + record.control_prbs + record.retx_prbs +
+                            record.idle_prbs ==
+                        total_prbs,
+                    "bs_prb_ledger_balanced");
+  }
+
   if constexpr (obs::kCompiled) {
     // Per-subframe PRB ledger: total = data + control + retx + idle.
     static obs::Counter& total = obs::counter("mac.prbs_total");
@@ -344,7 +359,9 @@ void BaseStation::transmit_tb(CellState& cell, UeState& ue, std::uint8_t proc,
   if (!error) {
     TransportBlock done = harq.complete(proc);
     loop_.schedule_at(decode_time, [this, ue_id = ue.cfg.id, done = std::move(done)]() mutable {
-      ues_.at(ue_id).reorder->on_tb_decoded(loop_.now(), std::move(done));
+      // The UE may have been removed between transmission and decode.
+      const auto it = ues_.find(ue_id);
+      if (it != ues_.end()) it->second.reorder->on_tb_decoded(loop_.now(), std::move(done));
     });
     return;
   }
@@ -367,7 +384,8 @@ void BaseStation::transmit_tb(CellState& cell, UeState& ue, std::uint8_t proc,
                 static_cast<std::int64_t>(dead.tb_seq));
     }
     loop_.schedule_at(decode_time, [this, ue_id = ue.cfg.id, seq = dead.tb_seq] {
-      ues_.at(ue_id).reorder->on_tb_abandoned(loop_.now(), seq);
+      const auto it = ues_.find(ue_id);
+      if (it != ues_.end()) it->second.reorder->on_tb_abandoned(loop_.now(), seq);
     });
   }
 }
@@ -436,7 +454,8 @@ void BaseStation::handover(UeId ue_id, const std::vector<phy::CellId>& new_cells
     for (TransportBlock& dead : harq.abandon_all()) {
       const auto seq = dead.tb_seq;
       loop_.schedule_at(loop_.now(), [this, ue_id, seq] {
-        ues_.at(ue_id).reorder->on_tb_abandoned(loop_.now(), seq);
+        const auto it = ues_.find(ue_id);
+        if (it != ues_.end()) it->second.reorder->on_tb_abandoned(loop_.now(), seq);
       });
       ++total_tbs_abandoned_;
       if constexpr (obs::kCompiled) {
@@ -450,6 +469,19 @@ void BaseStation::handover(UeId ue_id, const std::vector<phy::CellId>& new_cells
     }
   }
 
+  // Evict per-cell state for the cells left behind: the HARQ blocks there
+  // were just abandoned, and keeping entities/channel models for every
+  // cell ever visited would grow without bound under handover churn (a
+  // phone on a highway crosses hundreds of cells).
+  const auto leaving = [&](const auto& kv) {
+    return std::find(new_cells.begin(), new_cells.end(), kv.first) ==
+           new_cells.end();
+  };
+  std::erase_if(ue.harq, leaving);
+  std::erase_if(ue.channels, leaving);
+  std::erase_if(ue.ch_now, leaving);
+  std::erase_if(ue.last_served, leaving);
+
   // Install the new cell set: fresh HARQ entities and channel models for
   // cells the UE had not tracked before.
   ue.cfg.aggregated_cells = new_cells;
@@ -462,6 +494,21 @@ void BaseStation::handover(UeId ue_id, const std::vector<phy::CellId>& new_cells
     if (!ue.harq.contains(c)) ue.harq.emplace(c, HarqEntity{});
   }
   ue.ca = CaManager{new_cells, ue.cfg.ca};
+  // After eviction + install the tracked set is exactly the new cell set.
+  PBECC_INVARIANT(ue.harq.size() == new_cells.size() &&
+                      ue.channels.size() == new_cells.size(),
+                  "bs_handover_tracks_exactly_new_cells");
+}
+
+void BaseStation::remove_ue(UeId ue_id) {
+  auto it = ues_.find(ue_id);
+  if (it == ues_.end()) return;
+  ues_.erase(it);
+  delivery_.erase(ue_id);
+}
+
+std::size_t BaseStation::ue_tracked_cells(UeId ue) const {
+  return ues_.at(ue).harq.size();
 }
 
 std::int64_t BaseStation::queue_bytes(UeId ue) const {

@@ -111,8 +111,16 @@ class BaseStation {
   // HARQ state is not transferred between sites: transport blocks still in
   // flight on the old cells are abandoned (their packets are lost upward,
   // exactly the transient a real inter-site handover without data
-  // forwarding exhibits). The UE's queue and TB sequence continue.
+  // forwarding exhibits). The UE's queue and TB sequence continue. Per-cell
+  // state for cells left behind is evicted, so a UE churning through many
+  // cells does not accumulate HARQ entities and channel models forever.
   void handover(UeId ue, const std::vector<phy::CellId>& new_cells);
+
+  // Deregister a user (it left the network). In-flight deliveries and
+  // HARQ state are dropped; queued downlink packets are discarded. Safe
+  // to call between subframes — transmissions already scheduled for the
+  // removed UE are skipped when they fire.
+  void remove_ue(UeId ue);
 
   // --- Introspection (used by tests, benches, and the UE "modem API") ---
   std::int64_t queue_bytes(UeId ue) const;
@@ -132,6 +140,10 @@ class BaseStation {
   std::uint64_t total_tbs_sent() const { return total_tbs_sent_; }
   std::uint64_t total_tb_errors() const { return total_tb_errors_; }
   std::uint64_t total_tbs_abandoned() const { return total_tbs_abandoned_; }
+  // Registered users / per-UE tracked-cell count (soak bound checks: both
+  // must stay flat under churn, not grow monotonically).
+  std::size_t num_ues() const { return ues_.size(); }
+  std::size_t ue_tracked_cells(UeId ue) const;
 
  private:
   struct UeState {

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "check/check.h"
+
 namespace pbecc::mac {
 
 std::optional<std::uint8_t> HarqEntity::free_process() const {
@@ -12,8 +14,10 @@ std::optional<std::uint8_t> HarqEntity::free_process() const {
 }
 
 void HarqEntity::start(std::uint8_t process, TransportBlock tb, std::int64_t sf) {
+  PBECC_INVARIANT(process < kHarqProcesses, "harq_process_id_in_range");
   auto& p = procs_[process];
   if (p.busy) throw std::logic_error("HARQ process already busy");
+  PBECC_INVARIANT(tb.attempt == 0, "harq_fresh_tb_attempt_zero");
   p.busy = true;
   p.awaiting_retx = false;
   p.retx_sf = sf;  // informational
@@ -30,8 +34,13 @@ TransportBlock HarqEntity::complete(std::uint8_t process) {
 }
 
 bool HarqEntity::fail(std::uint8_t process, std::int64_t sf) {
+  PBECC_INVARIANT(process < kHarqProcesses, "harq_process_id_in_range");
   auto& p = procs_[process];
   if (!p.busy) throw std::logic_error("failing idle HARQ process");
+  // The retransmission counter can never exceed the cap: fail() stops
+  // incrementing at the cap and the process is abandoned instead.
+  PBECC_INVARIANT(p.tb.attempt <= kMaxRetransmissions,
+                  "harq_attempt_within_cap");
   if (p.tb.attempt >= kMaxRetransmissions) {
     // Out of retransmissions; process stays busy until the caller takes
     // the abandoned block via take_abandoned().

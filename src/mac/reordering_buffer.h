@@ -59,6 +59,7 @@ class ReorderingBuffer {
 
  private:
   void drain();
+  void check_order() const;
 
   Deliver deliver_;
   Config cfg_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "check/check.h"
 #include "obs/obs.h"
 
 namespace pbecc::pbe {
@@ -12,6 +13,12 @@ namespace {
 // loaded one may legitimately skip many subframes, so the window must be
 // generous or the active set flaps).
 constexpr util::Duration kCellActiveTimeout = 250 * util::kMillisecond;
+
+// A cell unmentioned by any observation for this long is gone (handover
+// completed, carrier deactivated): drop its state so churn through many
+// cells cannot grow `cells_` monotonically. Much longer than the active
+// timeout so a briefly silent serving cell keeps its window history.
+constexpr util::Duration kCellEvictTimeout = 5 * util::kSecond;
 }  // namespace
 
 CapacityEstimator::CapacityEstimator(util::Duration initial_window)
@@ -34,6 +41,16 @@ void CapacityEstimator::set_window(util::Duration rtprop) {
   }
 }
 
+void CapacityEstimator::set_primary_cell(phy::CellId cell) {
+  has_primary_ = true;
+  primary_cell_ = cell;
+}
+
+int CapacityEstimator::cell_prbs(phy::CellId cell) const {
+  const auto it = cells_.find(cell);
+  return it == cells_.end() ? -1 : it->second.cell_prbs;
+}
+
 void CapacityEstimator::on_observations(
     util::Time now, const std::vector<decoder::CellObservation>& obs,
     const RwHint& own_rw_hint) {
@@ -42,20 +59,51 @@ void CapacityEstimator::on_observations(
     auto it = cells_.find(o.cell);
     if (it == cells_.end()) {
       it = cells_.emplace(o.cell, CellState{window_}).first;
-      it->second.cell_prbs = o.cell_prbs;
+      if (!has_primary_) {
+        // First cell ever seen is the default primary; clients that know
+        // their carrier configuration override via set_primary_cell.
+        has_primary_ = true;
+        primary_cell_ = o.cell;
+      }
     }
     CellState& c = it->second;
     const auto& s = o.summary;
+    // Refresh from every observation: carrier reconfiguration changes a
+    // cell's PRB count mid-connection, and Eqns 1-2 divide the *current*
+    // Pcell among users — a stale value skews fair share for the rest of
+    // the run.
+    PBECC_INVARIANT(o.cell_prbs > 0, "estimator_cell_prbs_positive");
+    c.cell_prbs = o.cell_prbs;
+    c.last_seen = now;
 
     // Rw: from our own DCI when scheduled, else from our own CSI.
     const double rw = s.own_bits_per_prb > 0
                           ? s.own_bits_per_prb
                           : (own_rw_hint ? own_rw_hint(o.cell) : 0.0);
     if (rw > 0) c.rw.update(now, rw);
+    PBECC_INVARIANT(s.own_prbs >= 0 && s.idle_prbs >= 0 &&
+                        s.own_prbs + s.idle_prbs <= o.cell_prbs,
+                    "estimator_prb_accounting");
     c.pa.update(now, s.own_prbs);
     c.pidle.update(now, s.idle_prbs);
     c.users.update(now, std::max(1, s.data_users));
     if (s.own_prbs > 0) c.last_own_grant = now;
+  }
+  // Evict cells no observation has mentioned for a long time, so handover
+  // churn across a city's worth of cells cannot grow the map monotonically.
+  std::erase_if(cells_, [&](const auto& kv) {
+    return now - kv.second.last_seen > kCellEvictTimeout;
+  });
+  if constexpr (check::kDeep) {
+    for (const auto& [id, c] : cells_) {
+      // Window sizes are bounded by the (clamped) averaging window: each
+      // deque holds at most one sample per subframe of the window.
+      const std::size_t cap =
+          static_cast<std::size_t>(window_ / util::kSubframe) + 2;
+      PBECC_DEEP_INVARIANT(c.pa.size() <= cap && c.pidle.size() <= cap &&
+                               c.users.size() <= cap && c.rw.size() <= cap,
+                           "estimator_window_bounded");
+    }
   }
   obs_.updates->inc();
   if constexpr (obs::kCompiled) {
@@ -103,13 +151,15 @@ double CapacityEstimator::fair_share_capacity(util::Time now) const {
     bits += rw * (static_cast<double>(c.cell_prbs) / n);  // Eqns 1-2
   }
   if (!any_active) {
-    // Connection start: no grant yet anywhere — use the primary (first
-    // registered) cell's full fair share so the ramp has a target.
-    for (auto& [id, c] : cells_) {
+    // Connection start: no grant yet anywhere — use the primary cell's full
+    // fair share so the ramp has a deterministic target (never map order:
+    // cells_.begin() depends on which CellId happens to sort first).
+    const auto it = has_primary_ ? cells_.find(primary_cell_) : cells_.end();
+    if (it != cells_.end()) {
+      CellState& c = it->second;
       const double rw = c.rw.get(now, 0.0);
       const double n = std::max(c.users.get(now, 1.0), 1.0);
       bits += rw * (static_cast<double>(c.cell_prbs) / n);
-      break;
     }
   }
   return bits;

@@ -42,6 +42,17 @@ class CapacityEstimator {
   // above parameters over the most recent 40 subframes if the RTT is 40ms").
   void set_window(util::Duration rtprop);
 
+  // The connection-start fair-share fallback targets this cell. Defaults to
+  // the first cell ever observed; clients set it explicitly from their
+  // carrier configuration so the fallback never depends on map order.
+  void set_primary_cell(phy::CellId cell);
+
+  // Introspection for invariant checks and soak bounds.
+  std::size_t tracked_cells() const { return cells_.size(); }
+  // The PRB count currently on file for a cell (refreshed from every
+  // observation so carrier reconfiguration is visible); -1 if untracked.
+  int cell_prbs(phy::CellId cell) const;
+
   // Eqn 3, bits per subframe, summed over cells active for this user.
   double available_capacity(util::Time now) const;
   // Eqns 1-2, bits per subframe.
@@ -67,6 +78,7 @@ class CapacityEstimator {
     util::WindowedMean users;   // filtered data users N
     int cell_prbs = 0;
     util::Time last_own_grant = -1;
+    util::Time last_seen = 0;  // last observation mentioning this cell
 
     explicit CellState(util::Duration w) : rw(w), pa(w), pidle(w), users(w) {}
   };
@@ -74,6 +86,8 @@ class CapacityEstimator {
   util::Duration window_;
   mutable std::map<phy::CellId, CellState> cells_;
   util::Time last_update_ = 0;
+  bool has_primary_ = false;
+  phy::CellId primary_cell_ = 0;
 
   // Observability: last Cp/Cf estimates and the shared update counter.
   // Gauge names are process-global; with several concurrent PBE flows the

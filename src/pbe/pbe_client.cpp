@@ -11,6 +11,9 @@ namespace pbecc::pbe {
 PbeClient::PbeClient(PbeClientConfig cfg, ChannelQuery channel_query)
     : cfg_(std::move(cfg)), channel_(std::move(channel_query)),
       delay_(cfg_.delay) {
+  // The first configured cell is the primary carrier: the connection-start
+  // fair-share fallback must target it regardless of CellId ordering.
+  if (!cfg_.cells.empty()) estimator_.set_primary_cell(cfg_.cells.front().id);
   monitor_ = std::make_unique<decoder::Monitor>(
       cfg_.rnti, cfg_.cells,
       [this](const std::vector<decoder::CellObservation>& obs) {

@@ -6,8 +6,11 @@
 // update, O(1) query.
 #pragma once
 
+#include <cmath>
+#include <cstdint>
 #include <deque>
 
+#include "check/check.h"
 #include "util/time.h"
 
 namespace pbecc::util {
@@ -17,7 +20,14 @@ class WindowedExtremum {
  public:
   explicit WindowedExtremum(Duration window) : window_(window) {}
 
-  void set_window(Duration window) { window_ = window; }
+  // Shrinking the window expires immediately against the newest sample's
+  // time: PbeSender drives this from RTprop estimates, and a stale BtlBw
+  // must not survive until the next update() arrives.
+  void set_window(Duration window) {
+    const bool shrank = window < window_;
+    window_ = window;
+    if (shrank && !samples_.empty()) expire(samples_.back().time);
+  }
   Duration window() const { return window_; }
 
   void update(Time now, V value) {
@@ -37,6 +47,7 @@ class WindowedExtremum {
   }
 
   bool empty() const { return samples_.empty(); }
+  std::size_t size() const { return samples_.size(); }
   void clear() { samples_.clear(); }
 
  private:
@@ -72,21 +83,46 @@ using WindowedMin = WindowedExtremum<V, StrictlyLess<V>>;
 
 // Sliding-window mean over timestamped samples (used to average Rw, Pa and
 // Pidle over the most recent RTprop subframes, paper §4.2.1).
+//
+// The mean is maintained incrementally (add on update, subtract on expire),
+// which accumulates floating-point error over long runs: each subtraction
+// rounds, and with millions of expirations — or with cancellation-heavy
+// sample streams — the incremental sum walks away from the true sum of the
+// surviving samples. Two resets keep it exact over any horizon:
+//   - whenever the deque holds a single sample (window restart or full
+//     expiry), the sum is the sample: reset it exactly;
+//   - every kResumInterval expirations, recompute the sum from the deque.
 class WindowedMean {
  public:
+  // Resum period: 4096 expirations bounds accumulated rounding to a few
+  // thousand ulps between exact recomputes, while the O(n) resum amortizes
+  // to noise. Public so tests can target the boundary.
+  static constexpr std::uint64_t kResumInterval = 4096;
+
   explicit WindowedMean(Duration window) : window_(window) {}
 
-  void set_window(Duration window) { window_ = window; }
+  void set_window(Duration window) {
+    const bool shrank = window < window_;
+    window_ = window;
+    if (shrank && !samples_.empty()) expire(samples_.back().time);
+  }
+  Duration window() const { return window_; }
 
   void update(Time now, double value) {
     samples_.push_back({now, value});
     sum_ += value;
     expire(now);
+    // The push above precedes expiry, so the deque is never empty on this
+    // path — a window restart after a long gap instead leaves exactly the
+    // new sample. Its sum is known exactly.
+    if (samples_.size() == 1) sum_ = samples_.front().value;
+    deep_check_sum();
   }
 
   // Mean over the window; `fallback` when empty.
   double get(Time now, double fallback = 0.0) {
     expire(now);
+    deep_check_sum();
     if (samples_.empty()) return fallback;
     return sum_ / static_cast<double>(samples_.size());
   }
@@ -103,11 +139,41 @@ class WindowedMean {
     while (!samples_.empty() && samples_.front().time < now - window_) {
       sum_ -= samples_.front().value;
       samples_.pop_front();
+      if (++expirations_ % kResumInterval == 0) sum_ = exact_sum();
+    }
+    if (samples_.empty()) {
+      sum_ = 0.0;
+      return;
+    }
+  }
+
+  double exact_sum() const {
+    double s = 0.0;
+    for (const Sample& smp : samples_) s += smp.value;
+    return s;
+  }
+
+  void deep_check_sum() const {
+    if constexpr (check::kDeep) {
+      // Pace the O(n) verification so CHECK builds stay usable in soaks.
+      if (++deep_tick_ % 64 != 0) return;
+      // Generous tolerance relative to the mass of the window: the strict
+      // 1e-9 drift bound is enforced by the soak driver's exact mirror and
+      // the 10M-update regression test; this catches gross divergence
+      // (lost resets, double-subtracts) without false-firing under
+      // cancellation-heavy streams.
+      double mass = 0.0;
+      for (const Sample& smp : samples_) mass += std::abs(smp.value);
+      const double tol = 1e-6 * (mass > 1.0 ? mass : 1.0);
+      PBECC_DEEP_INVARIANT(std::abs(sum_ - exact_sum()) <= tol,
+                           "windowed_mean_sum_drift");
     }
   }
 
   Duration window_;
   double sum_ = 0.0;
+  std::uint64_t expirations_ = 0;
+  mutable std::uint64_t deep_tick_ = 0;
   std::deque<Sample> samples_;
 };
 

@@ -327,6 +327,93 @@ TEST(Reorder, DuplicateSequenceNumbersKeepFirstCopy) {
   EXPECT_EQ(rb.buffered_blocks(), 0u);
 }
 
+TEST(Reorder, ExpireSkipsMultipleConsecutiveGaps) {
+  using util::kMillisecond;
+  std::vector<std::uint64_t> out;
+  ReorderingBuffer rb([&](net::Packet p) { out.push_back(p.seq); });
+  auto mk = [](std::uint64_t tbseq, std::uint64_t pktseq) {
+    auto t = tb(tbseq);
+    net::Packet p;
+    p.seq = pktseq;
+    t.completed_packets.push_back(p);
+    return t;
+  };
+  // TBs 0-4 and 6-8 all lost without abandon notifications (handover wipe):
+  // the buffer holds 5 and 9 behind two separate head-of-line gaps.
+  rb.on_tb_decoded(0, mk(5, 15));
+  rb.on_tb_decoded(1 * kMillisecond, mk(9, 19));
+  rb.expire(59 * kMillisecond);
+  EXPECT_TRUE(out.empty());
+  // One expire() sweep must clear *both* stuck gaps (each TB has waited
+  // past the timeout), not just the first.
+  rb.expire(70 * kMillisecond);
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{15, 19}));
+  EXPECT_EQ(rb.expired_skips(), 2u);
+  EXPECT_EQ(rb.next_expected(), 10u);
+  EXPECT_EQ(rb.buffered_blocks(), 0u);
+}
+
+TEST(Reorder, AbandonedThenLateDecodeRescued) {
+  std::vector<std::uint64_t> out;
+  ReorderingBuffer rb([&](net::Packet p) { out.push_back(p.seq); });
+  auto mk = [](std::uint64_t tbseq, std::uint64_t pktseq) {
+    auto t = tb(tbseq);
+    net::Packet p;
+    p.seq = pktseq;
+    t.completed_packets.push_back(p);
+    return t;
+  };
+  // TB 1 is abandoned at handover while its final retransmission is still
+  // in flight — which then decodes. The data exists: rescue it rather than
+  // recording a loss. (TB 0 is still missing, so 1 sits buffered.)
+  rb.on_tb_abandoned(0, 1);
+  rb.on_tb_decoded(1, mk(1, 11));
+  EXPECT_TRUE(out.empty());
+  rb.on_tb_decoded(2, mk(0, 10));
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{10, 11}));
+}
+
+TEST(Reorder, SpuriousAbandonAfterDecodeKeepsData) {
+  std::vector<std::uint64_t> out;
+  ReorderingBuffer rb([&](net::Packet p) { out.push_back(p.seq); });
+  auto mk = [](std::uint64_t tbseq, std::uint64_t pktseq) {
+    auto t = tb(tbseq);
+    net::Packet p;
+    p.seq = pktseq;
+    t.completed_packets.push_back(p);
+    return t;
+  };
+  // Decode first, spurious abandon second (reversed race): the decoded
+  // packets must survive and deliver once the gap fills.
+  rb.on_tb_decoded(0, mk(1, 11));
+  rb.on_tb_abandoned(1, 1);
+  rb.on_tb_decoded(2, mk(0, 10));
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{10, 11}));
+}
+
+TEST(Reorder, DeliveryOrderedAfterSkip) {
+  using util::kMillisecond;
+  std::vector<std::uint64_t> out;
+  ReorderingBuffer rb([&](net::Packet p) { out.push_back(p.seq); });
+  auto mk = [](std::uint64_t tbseq, std::uint64_t pktseq) {
+    auto t = tb(tbseq);
+    net::Packet p;
+    p.seq = pktseq;
+    t.completed_packets.push_back(p);
+    return t;
+  };
+  // Gap 0 expires; the cursor jumps to 1. Later TBs must still come out in
+  // sequence order, including one that arrives after the skip.
+  rb.on_tb_decoded(0, mk(1, 11));
+  rb.on_tb_decoded(30 * kMillisecond, mk(3, 13));
+  rb.expire(60 * kMillisecond);  // skip gap 0, deliver 1; 3 (30 ms old)
+                                 // keeps waiting on gap 2
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{11}));
+  rb.on_tb_decoded(61 * kMillisecond, mk(2, 12));
+  EXPECT_EQ(out, (std::vector<std::uint64_t>{11, 12, 13}));
+  EXPECT_EQ(rb.next_expected(), 4u);
+}
+
 // --------------------------------------------------- carrier aggregation
 
 TEST(CarrierAggregation, QueueTriggeredActivation) {
@@ -610,6 +697,58 @@ TEST(BaseStation, ChannelStateDefaultBeforeFirstTick) {
   h.add_default_ue();
   const auto s = h.bs->channel_state(1, 1);
   EXPECT_GT(s.cqi, 0);  // neutral default, no throw
+}
+
+TEST(BaseStation, HandoverEvictsDepartedCellState) {
+  BsHarness h{{{1, 10.0}, {2, 10.0}, {3, 10.0}}};
+  h.add_default_ue(1, -92.0, {1, 2});
+  EXPECT_EQ(h.bs->ue_tracked_cells(1), 2u);
+  h.bs->start();
+  h.loop.schedule_at(5 * util::kMillisecond, [&] { h.enqueue_n(1, 300); });
+  h.loop.run_until(100 * util::kMillisecond);
+  // Hand over to cell 3 only: per-cell HARQ/channel state for cells 1-2
+  // must be evicted, not accumulated — a UE churning through a city of
+  // cells would otherwise grow its maps forever.
+  h.bs->handover(1, {3});
+  EXPECT_EQ(h.bs->ue_tracked_cells(1), 1u);
+  h.loop.run_until(200 * util::kMillisecond);
+  EXPECT_EQ(h.bs->ue_tracked_cells(1), 1u);
+  // Repeated handover cycles stay flat.
+  for (int i = 0; i < 10; ++i) {
+    h.bs->handover(1, {static_cast<phy::CellId>(1 + i % 3),
+                       static_cast<phy::CellId>(1 + (i + 1) % 3)});
+    EXPECT_EQ(h.bs->ue_tracked_cells(1), 2u);
+  }
+  // Delivery still works on the final cell pair.
+  const auto before = h.delivered.size();
+  h.loop.schedule_at(210 * util::kMillisecond, [&] { h.enqueue_n(1, 50, 300) ; });
+  h.loop.run_until(400 * util::kMillisecond);
+  EXPECT_GT(h.delivered.size(), before);
+}
+
+TEST(BaseStation, RemoveUeSafeWithInFlightDeliveries) {
+  BsHarness h;
+  h.add_default_ue(1);
+  h.add_default_ue(2);
+  EXPECT_EQ(h.bs->num_ues(), 2u);
+  h.bs->start();
+  h.loop.schedule_at(5 * util::kMillisecond, [&] {
+    h.enqueue_n(1, 100);
+    h.enqueue_n(2, 100);
+  });
+  // Remove UE 1 right after a tick: decode/abandon callbacks for its TBs
+  // are already scheduled one subframe out and must become no-ops instead
+  // of touching freed state.
+  h.loop.schedule_at(20 * util::kMillisecond + 1, [&] { h.bs->remove_ue(1); });
+  h.loop.run_until(util::kSecond);
+  EXPECT_EQ(h.bs->num_ues(), 1u);
+  EXPECT_THROW(h.bs->enqueue(1, net::Packet{}), std::out_of_range);
+  // UE 2 is unaffected and fully served.
+  EXPECT_GE(h.delivered.size(), 100u);
+  // Removing an unknown UE is a harmless no-op; the id can then be reused.
+  h.bs->remove_ue(1);
+  h.add_default_ue(1);
+  EXPECT_EQ(h.bs->num_ues(), 2u);
 }
 
 TEST(BaseStation, InvalidConfigThrows) {

@@ -129,6 +129,75 @@ TEST(CapacityEstimator, WindowFollowsRtprop) {
   EXPECT_LT(fast.available_capacity(325 * kSubframe), 5000.0);
 }
 
+TEST(CapacityEstimator, CellPrbsRefreshedOnCarrierReconfig) {
+  CapacityEstimator est;
+  util::Time t = 0;
+  // 30 subframes as a 50-PRB (10 MHz) carrier...
+  for (int sf = 0; sf < 30; ++sf) {
+    t = (sf + 1) * kSubframe;
+    est.on_observations(t, {obs(1, sf, 20, 1000.0, 10, 2, 50)}, nullptr);
+  }
+  EXPECT_EQ(est.cell_prbs(1), 50);
+  // ...then the network reconfigures it to 100 PRBs (20 MHz). Every
+  // observation refreshes the stored Pcell — Eqns 1-2 must divide the
+  // *current* total among users, not the connection-start value.
+  for (int sf = 30; sf < 80; ++sf) {
+    t = (sf + 1) * kSubframe;
+    est.on_observations(t, {obs(1, sf, 20, 1000.0, 10, 2, 100)}, nullptr);
+  }
+  EXPECT_EQ(est.cell_prbs(1), 100);
+  // Cf = Rw * Pcell / N = 1000 * 100 / 2.
+  EXPECT_NEAR(est.fair_share_capacity(t), 50000.0, 1.0);
+}
+
+TEST(CapacityEstimator, FairShareFallbackUsesPrimaryCell) {
+  // Two cells, never granted own PRBs, with very different fair shares.
+  const auto hint = [](phy::CellId c) { return c == 1 ? 1000.0 : 500.0; };
+  const auto feed = [&](CapacityEstimator& est) {
+    for (int sf = 0; sf < 10; ++sf) {
+      est.on_observations((sf + 1) * kSubframe,
+                          {obs(1, sf, 0, 0.0, 50, 1, 50),
+                           obs(2, sf, 0, 0.0, 100, 2, 100)},
+                          hint);
+    }
+  };
+  // Explicit primary = cell 2: fallback is cell 2's share, 500*100/2.
+  CapacityEstimator est2;
+  est2.set_primary_cell(2);
+  feed(est2);
+  EXPECT_NEAR(est2.fair_share_capacity(10 * kSubframe), 25000.0, 1.0);
+  // Explicit primary = cell 1: 1000*50/1 — deterministic per configuration,
+  // never a function of CellId map order.
+  CapacityEstimator est1;
+  est1.set_primary_cell(1);
+  feed(est1);
+  EXPECT_NEAR(est1.fair_share_capacity(10 * kSubframe), 50000.0, 1.0);
+  // Unset: defaults to the first cell ever observed (cell 1 here).
+  CapacityEstimator est_default;
+  feed(est_default);
+  EXPECT_NEAR(est_default.fair_share_capacity(10 * kSubframe), 50000.0, 1.0);
+}
+
+TEST(CapacityEstimator, EvictsCellsUnseenForFiveSeconds) {
+  CapacityEstimator est;
+  est.on_observations(kSubframe,
+                      {obs(1, 0, 10, 1000.0, 0, 1, 50),
+                       obs(2, 0, 10, 1000.0, 0, 1, 50)},
+                      nullptr);
+  EXPECT_EQ(est.tracked_cells(), 2u);
+  // Cell 2 goes silent (handover completed); cell 1 keeps reporting. After
+  // 5 s of silence cell 2's state is dropped so churn through many cells
+  // cannot grow the map monotonically.
+  util::Time t = 0;
+  for (int sf = 1; sf < 5200; ++sf) {
+    t = (sf + 1) * kSubframe;
+    est.on_observations(t, {obs(1, sf, 10, 1000.0, 0, 1, 50)}, nullptr);
+  }
+  EXPECT_EQ(est.tracked_cells(), 1u);
+  EXPECT_EQ(est.cell_prbs(2), -1);
+  EXPECT_EQ(est.cell_prbs(1), 50);
+}
+
 // -------------------------------------------------------- rate translator
 
 TEST(RateTranslator, RoundTripEqn5) {

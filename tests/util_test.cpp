@@ -2,7 +2,10 @@
 // bit vectors and CRC.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <deque>
+#include <utility>
 
 #include "util/bitvec.h"
 #include "util/crc.h"
@@ -281,6 +284,101 @@ TEST(WindowedMeanTest, Window) {
   EXPECT_DOUBLE_EQ(m.get(50), 15.0);
   EXPECT_DOUBLE_EQ(m.get(120), 20.0);  // first sample expired
   EXPECT_DOUBLE_EQ(m.get(500, 42.0), 42.0);
+}
+
+TEST(WindowedMeanTest, ShrinkExpiresImmediately) {
+  WindowedMean m{200};
+  m.update(0, 10);
+  m.update(100, 20);
+  m.update(190, 30);
+  ASSERT_EQ(m.size(), 3u);
+  // Shrinking must expire against the newest sample's time (190) right
+  // away, not wait for the next update: samples older than 190-50 go.
+  m.set_window(50);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_DOUBLE_EQ(m.get(190), 30.0);
+  // Growing the window never resurrects expired samples.
+  m.set_window(500);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(WindowedMaxTest, ShrinkExpiresImmediately) {
+  WindowedMax<double> f{200};
+  f.update(0, 50);   // the maximum, about to become stale
+  f.update(100, 3);
+  ASSERT_EQ(f.size(), 2u);
+  f.set_window(50);  // 50@t=0 is older than 100-50: must go *now*
+  EXPECT_EQ(f.size(), 1u);
+  EXPECT_DOUBLE_EQ(f.get(100), 3.0);
+}
+
+TEST(WindowedMeanTest, ExactAfterWindowRestart) {
+  WindowedMean m{100};
+  m.update(0, 1e15);
+  m.update(10, 3e15);
+  // Query far in the future: everything expires, the sum must reset to
+  // exactly zero (no residue from the 1e15-scale samples).
+  EXPECT_DOUBLE_EQ(m.get(1000, -1.0), -1.0);
+  m.update(1000, 1e-9);
+  EXPECT_DOUBLE_EQ(m.get(1000), 1e-9);
+  // Restart via update alone (push precedes expiry): single survivor's
+  // mean is bit-exact too.
+  m.update(5000, 2e-9);
+  EXPECT_DOUBLE_EQ(m.get(5000), 2e-9);
+}
+
+// The long-run drift regression: 10M updates of large positive values
+// (accumulating subtract-rounding residue in an unguarded incremental
+// sum), then a window restart into a tiny-value regime where any retained
+// residue dwarfs the true mean. Relative error vs a brute-force recompute
+// must stay under 1e-9 throughout.
+TEST(WindowedMeanTest, DriftBelow1e9After10MUpdates) {
+  Rng rng{97};
+  const Duration kWindow = 100;
+  WindowedMean m{kWindow};
+  std::deque<std::pair<Time, double>> mirror;
+
+  const auto exact_mean = [&](Time now) {
+    while (!mirror.empty() && mirror.front().first < now - kWindow) {
+      mirror.pop_front();
+    }
+    double sum = 0.0;
+    for (const auto& [ts, v] : mirror) sum += v;
+    return mirror.empty() ? 0.0 : sum / static_cast<double>(mirror.size());
+  };
+  double worst = 0.0;
+  const auto check = [&](Time now) {
+    const double exact = exact_mean(now);
+    const double inc = m.get(now, 0.0);
+    const double rel = std::abs(inc - exact) / std::abs(exact);
+    worst = std::max(worst, rel);
+    ASSERT_LT(rel, 1e-9) << "at t=" << now;
+  };
+
+  // Phase 1: 10M updates, one per tick, values in [1e5, 1e6).
+  Time t = 0;
+  for (int i = 0; i < 10'000'000; ++i) {
+    ++t;
+    const double v = rng.uniform(1e5, 1e6);
+    m.update(t, v);
+    mirror.emplace_back(t, v);
+    if (i % 100'000 == 0) check(t);
+  }
+  check(t);
+
+  // Phase 2: gap long enough to drain the window, then 10k tiny samples.
+  t += 10 * kWindow;
+  mirror.clear();
+  for (int i = 0; i < 10'000; ++i) {
+    ++t;
+    const double v = rng.uniform(1e-9, 2e-9);
+    m.update(t, v);
+    mirror.emplace_back(t, v);
+    if (i % 500 == 0) check(t);
+  }
+  check(t);
+  // The whole point of the exact-resum fix: worst-case drift is tiny.
+  EXPECT_LT(worst, 1e-9);
 }
 
 // ---------------------------------------------------------------- bitvec
