@@ -24,16 +24,31 @@
 //                          byte-identical fault schedule
 //     --threads N          worker threads for the parallel decode path
 //                          (default 1; results are identical for any N)
+//     --record FILE.pbt    capture the PBE measurement pipeline (PDCCH
+//                          batches, window updates, estimator probes) into
+//                          a binary trace; requires --algo pbe
+//     --replay FILE.pbt    re-drive the decoder/estimator pipeline from a
+//                          recorded trace instead of simulating; mutually
+//                          exclusive with --record
+//     --help               print this option summary
 //
 //   ./build/examples/run_experiment --algo all --location 31 --csv out.csv
 //   ./build/examples/run_experiment --algo pbe --trace out.jsonl \
 //       --metrics metrics.json
+//   ./build/examples/run_experiment --algo pbe --record run.pbt
+//   ./build/examples/run_experiment --replay run.pbt --threads 8
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "cap/replay.h"
+#include "cap/taps.h"
+#include "cap/trace_reader.h"
+#include "cap/trace_writer.h"
 #include "fault/fault.h"
 #include "obs/obs.h"
 #include "par/thread_pool.h"
@@ -57,7 +72,35 @@ struct Options {
   std::uint32_t trace_sample = 1;
   std::string fault_profile = "none";
   std::uint64_t fault_seed = 1;
+  std::string record;  // .pbt capture output
+  std::string replay;  // .pbt replay input
 };
+
+void usage(std::FILE* out) {
+  std::fprintf(out,
+               "usage: run_experiment [options]\n"
+               "  --algo NAME        pbe|abc|bbr|cubic|copa|verus|sprout|pcc|"
+               "vivace|all (default pbe)\n"
+               "  --location IDX     location profile 0..%d (default 2)\n"
+               "  --seconds N        flow length (default 12)\n"
+               "  --seed N           override the location's seed\n"
+               "  --csv FILE         append one summary row per run\n"
+               "  --timeseries FILE  100 ms window throughput series\n"
+               "  --trace FILE       pbecc::obs event timeline as JSONL\n"
+               "  --chrome-trace FILE  same timeline, Chrome trace_event\n"
+               "  --metrics FILE     counter/gauge/histogram registry JSON\n"
+               "  --trace-sample N   keep 1 in N high-frequency events\n"
+               "  --fault-profile P  none|blackout|flap|feedback-loss|"
+               "handover-storm\n"
+               "  --fault-seed N     fault schedule seed (default 1)\n"
+               "  --threads N        decode worker threads (default 1)\n"
+               "  --record FILE.pbt  capture the PBE pipeline into a binary\n"
+               "                     trace (requires --algo pbe)\n"
+               "  --replay FILE.pbt  re-drive the pipeline from a trace; no\n"
+               "                     simulation runs (excludes --record)\n"
+               "  --help             this summary\n",
+               sim::kNumLocations - 1);
+}
 
 Options parse(int argc, char** argv) {
   Options o;
@@ -95,10 +138,30 @@ Options parse(int argc, char** argv) {
       o.fault_seed = static_cast<std::uint64_t>(std::atoll(need("--fault-seed")));
     } else if (!std::strcmp(argv[i], "--threads")) {
       par::set_default_threads(std::atoi(need("--threads")));
+    } else if (!std::strcmp(argv[i], "--record")) {
+      o.record = need("--record");
+    } else if (!std::strcmp(argv[i], "--replay")) {
+      o.replay = need("--replay");
+    } else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
+      usage(stdout);
+      std::exit(0);
     } else {
-      std::fprintf(stderr, "unknown option %s\n", argv[i]);
+      std::fprintf(stderr, "unknown option %s (try --help)\n", argv[i]);
       std::exit(2);
     }
+  }
+  if (!o.record.empty() && !o.replay.empty()) {
+    std::fprintf(stderr,
+                 "--record and --replay are mutually exclusive: a run either "
+                 "captures a live simulation or replays an existing trace\n");
+    std::exit(2);
+  }
+  if (!o.record.empty() && o.algo != "pbe") {
+    std::fprintf(stderr,
+                 "--record captures the PBE measurement pipeline and needs "
+                 "--algo pbe (got '%s')\n",
+                 o.algo.c_str());
+    std::exit(2);
   }
   if (o.location < 0 || o.location >= sim::kNumLocations) {
     std::fprintf(stderr, "location must be 0..%d\n", sim::kNumLocations - 1);
@@ -120,9 +183,33 @@ void run_one(const Options& o, const std::string& algo) {
   auto loc = sim::location(o.location);
   if (o.seed != 0) loc.seed = o.seed;
   const auto profile = *fault::profile_by_name(o.fault_profile);
+
+  std::unique_ptr<cap::TraceWriter> writer;
+  cap::PipelineDigest digest;
+  sim::CaptureOptions capture;
+  if (!o.record.empty()) {
+    writer = std::make_unique<cap::TraceWriter>(o.record);
+    capture.writer = writer.get();
+    capture.digest = &digest;
+  }
+
   const auto r = sim::run_location(loc, algo, o.seconds * util::kSecond,
                                    profile.active() ? &profile : nullptr,
-                                   o.fault_seed);
+                                   o.fault_seed, capture);
+
+  if (writer) {
+    if (!writer->close()) {
+      std::fprintf(stderr, "record failed: %s\n", writer->error().c_str());
+      std::exit(1);
+    }
+    std::printf("record: %llu records (%llu bytes) -> %s\n",
+                static_cast<unsigned long long>(writer->records_written()),
+                static_cast<unsigned long long>(writer->bytes_written()),
+                o.record.c_str());
+    std::printf("digest: obs=0x%016llx probe=0x%016llx\n",
+                static_cast<unsigned long long>(digest.observation_digest()),
+                static_cast<unsigned long long>(digest.probe_digest()));
+  }
 
   std::printf("%-8s %s  tput %.2f Mbit/s  delay p50 %.1f / avg %.1f / "
               "p95 %.1f ms  CA=%s\n",
@@ -165,10 +252,42 @@ void run_one(const Options& o, const std::string& algo) {
   }
 }
 
+// Replay a .pbt trace through the decoder/estimator pipeline; prints the
+// same digest line a recording run does, so record→replay fidelity can be
+// checked by comparing the two outputs.
+int run_replay(const Options& o) {
+  cap::TraceReader reader(o.replay);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "replay: %s\n", reader.error().c_str());
+    return 1;
+  }
+  cap::PipelineDigest digest;
+  cap::ReplayDriver driver(reader.header(), &digest);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto stats = driver.run(reader);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (!reader.ok()) {
+    std::fprintf(stderr, "replay stopped: %s\n", reader.error().c_str());
+    return 1;
+  }
+  const double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  std::printf("replay: %llu batches (%llu cell-subframes), %llu window sets, "
+              "%llu probes in %.1f ms\n",
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.cell_subframes),
+              static_cast<unsigned long long>(stats.window_sets),
+              static_cast<unsigned long long>(stats.probes), ms);
+  std::printf("digest: obs=0x%016llx probe=0x%016llx\n",
+              static_cast<unsigned long long>(digest.observation_digest()),
+              static_cast<unsigned long long>(digest.probe_digest()));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
+  if (!o.replay.empty()) return run_replay(o);
 
   const bool tracing = !o.trace_jsonl.empty() || !o.trace_chrome.empty();
   const bool want_obs = tracing || !o.metrics_json.empty();

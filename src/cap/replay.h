@@ -1,0 +1,88 @@
+// Replay-driven monitor pipeline (DESIGN.md §11).
+//
+// ReplayDriver rebuilds the measurement pipeline a live PBE client runs —
+// per-cell blind decoders, message fusion, user trackers, and the capacity
+// estimator — purely from a trace header, then streams recorded batches
+// into Monitor::on_pdcch_batch. No MAC simulator, base station, or event
+// loop is instantiated: the decode path runs as fast as the CPU allows,
+// and (like the live batch path) is byte-identical for any thread count.
+//
+// PipelineDigest is the fidelity instrument: both the live client (via
+// pbe::ClientTaps) and the replay fold the same pipeline outputs — every
+// CellObservation field, and the estimator's Cf/Cp/active-cell answers at
+// each recorded probe point — into order-sensitive FNV-1a digests, so
+// record→replay equality is one 64-bit compare per stream.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cap/format.h"
+#include "cap/trace_reader.h"
+#include "decoder/monitor.h"
+#include "fault/fault.h"
+#include "pbe/capacity_estimator.h"
+#include "util/digest.h"
+
+namespace pbecc::cap {
+
+// Order-sensitive digest over the pipeline's two output streams.
+class PipelineDigest {
+ public:
+  void on_observations(const std::vector<decoder::CellObservation>& obs);
+  void on_probe(double cf_bits_sf, double cp_bits_sf, int active_cells);
+
+  std::uint64_t observation_digest() const { return obs_digest_; }
+  std::uint64_t probe_digest() const { return probe_digest_; }
+  std::uint64_t observations() const { return observations_; }
+  std::uint64_t probes() const { return probes_; }
+
+  bool operator==(const PipelineDigest&) const = default;
+
+ private:
+  std::uint64_t obs_digest_ = util::kFnv1aOffset;
+  std::uint64_t probe_digest_ = util::kFnv1aOffset;
+  std::uint64_t observations_ = 0;
+  std::uint64_t probes_ = 0;
+};
+
+struct ReplayStats {
+  std::uint64_t batches = 0;
+  std::uint64_t cell_subframes = 0;
+  std::uint64_t window_sets = 0;
+  std::uint64_t probes = 0;
+};
+
+class ReplayDriver {
+ public:
+  // `digest` (optional, unowned) receives the pipeline outputs exactly as
+  // a live client's capture digest does.
+  explicit ReplayDriver(const TraceHeader& header,
+                        PipelineDigest* digest = nullptr);
+
+  // Apply one record: batches decode, window records resize the averaging
+  // windows, probes query the estimator.
+  void step(const Record& rec);
+
+  // Drain a reader to end-of-trace or error (check reader.ok()).
+  ReplayStats run(TraceReader& reader);
+
+  const ReplayStats& stats() const { return stats_; }
+  const decoder::Monitor& monitor() const { return *monitor_; }
+  const pbe::CapacityEstimator& estimator() const { return estimator_; }
+
+ private:
+  PipelineDigest* digest_;
+  std::unique_ptr<fault::FaultInjector> faults_;
+  pbe::CapacityEstimator estimator_;
+  std::unique_ptr<decoder::Monitor> monitor_;
+  // Latest recorded per-cell inputs, consulted by the monitor's ber_fn and
+  // the estimator's own-CSI hint during the current batch.
+  std::map<phy::CellId, double> cur_ber_;
+  std::map<phy::CellId, double> cur_bpp_;
+  ReplayStats stats_{};
+};
+
+}  // namespace pbecc::cap

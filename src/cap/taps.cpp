@@ -1,0 +1,60 @@
+#include "cap/taps.h"
+
+namespace pbecc::cap {
+
+pbe::ClientTaps make_client_taps(TraceWriter* writer, PipelineDigest* digest) {
+  pbe::ClientTaps taps;
+  if (writer != nullptr) {
+    taps.on_batch = [writer](const std::vector<phy::PdcchSubframe>& sfs,
+                             const std::vector<double>& control_ber,
+                             const std::vector<double>& bits_per_prb) {
+      if (sfs.empty()) return;
+      BatchRecord batch;
+      batch.sf_index = sfs.front().sf_index;
+      batch.cells.reserve(sfs.size());
+      for (std::size_t i = 0; i < sfs.size(); ++i) {
+        CellCapture c;
+        c.cell = sfs[i].cell_id;
+        c.n_cces = sfs[i].n_cces;
+        c.coding = sfs[i].coding;
+        c.control_ber = control_ber[i];
+        c.bits_per_prb = bits_per_prb[i];
+        c.bits = sfs[i].bits;
+        c.cce_used = sfs[i].cce_used;
+        batch.cells.push_back(std::move(c));
+      }
+      writer->record_batch(batch);
+    };
+    taps.on_window_set = [writer](util::Time t, util::Duration w) {
+      writer->record_window(t, w);
+    };
+    taps.on_probe = [writer](util::Time t) { writer->record_probe(t); };
+  }
+  if (digest != nullptr) {
+    taps.on_observations =
+        [digest](const std::vector<decoder::CellObservation>& obs) {
+          digest->on_observations(obs);
+        };
+    taps.on_probe_values = [digest](double cf, double cp, int cells) {
+      digest->on_probe(cf, cp, cells);
+    };
+  }
+  return taps;
+}
+
+TraceHeader capture_header(const pbe::PbeClientConfig& cfg,
+                           const fault::FaultInjector* faults) {
+  TraceHeader h;
+  h.own_rnti = cfg.rnti;
+  h.monitor_seed = cfg.seed;
+  h.tracker = cfg.tracker;
+  h.cells = cfg.cells;
+  if (faults != nullptr) {
+    h.fault_active = true;
+    h.fault = faults->profile();
+    h.fault_seed = faults->seed();
+  }
+  return h;
+}
+
+}  // namespace pbecc::cap

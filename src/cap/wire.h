@@ -1,0 +1,164 @@
+// Byte-level wire codec for the .pbt trace format: little-endian fixed
+// integers, LEB128 varints, zigzag-coded signed varints, and IEEE-754
+// doubles by bit pattern. The reader is fully bounds-checked and never
+// throws: any malformed input flips it into a sticky failed state with a
+// message, so corrupt traces fail closed instead of reading out of range.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace pbecc::cap {
+
+inline std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+class ByteWriter {
+ public:
+  const std::vector<std::uint8_t>& buf() const { return buf_; }
+  std::vector<std::uint8_t> take() && { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+  void clear() { buf_.clear(); }
+
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void put_u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v));
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  }
+
+  void put_u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  // LEB128: low 7 bits first, high bit = continuation (at most 10 bytes).
+  void put_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void put_svarint(std::int64_t v) { put_varint(zigzag_encode(v)); }
+
+  void put_f64(double v) {
+    const auto bits = std::bit_cast<std::uint64_t>(v);
+    for (int i = 0; i < 8; ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+    }
+  }
+
+  void put_bytes(const void* data, std::size_t len) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    buf_.insert(buf_.end(), p, p + len);
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t len)
+      : data_(data), len_(len) {}
+
+  bool ok() const { return err_.empty(); }
+  const std::string& error() const { return err_; }
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return ok() ? len_ - pos_ : 0; }
+  bool at_end() const { return pos_ >= len_; }
+
+  std::uint8_t get_u8() {
+    if (!need(1)) return 0;
+    return data_[pos_++];
+  }
+
+  std::uint16_t get_u16() {
+    if (!need(2)) return 0;
+    const std::uint16_t v = static_cast<std::uint16_t>(
+        data_[pos_] | (static_cast<std::uint16_t>(data_[pos_ + 1]) << 8));
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t get_u32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t get_varint() {
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 70; shift += 7) {
+      if (!need(1)) return 0;
+      const std::uint8_t b = data_[pos_++];
+      if (shift == 63 && (b & 0x7Eu) != 0) {
+        fail("varint overflows 64 bits");
+        return 0;
+      }
+      v |= static_cast<std::uint64_t>(b & 0x7Fu) << shift;
+      if ((b & 0x80u) == 0) return v;
+    }
+    fail("varint longer than 10 bytes");
+    return 0;
+  }
+
+  std::int64_t get_svarint() { return zigzag_decode(get_varint()); }
+
+  double get_f64() {
+    if (!need(8)) return 0;
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) {
+      bits |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+              << (8 * i);
+    }
+    pos_ += 8;
+    return std::bit_cast<double>(bits);
+  }
+
+  // Pointer to `len` raw bytes (advances past them); nullptr on underflow.
+  const std::uint8_t* get_bytes(std::size_t len) {
+    if (!need(len)) return nullptr;
+    const std::uint8_t* p = data_ + pos_;
+    pos_ += len;
+    return p;
+  }
+
+  void fail(std::string msg) {
+    if (err_.empty()) err_ = std::move(msg);
+  }
+
+ private:
+  bool need(std::size_t n) {
+    if (!ok()) return false;
+    if (len_ - pos_ < n) {
+      fail("unexpected end of data at byte " + std::to_string(pos_));
+      return false;
+    }
+    return true;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+  std::string err_;
+};
+
+}  // namespace pbecc::cap

@@ -30,6 +30,8 @@ struct UserTrackerConfig {
   // Pave > 4 PRBs).
   int min_active_subframes = 2;   // Ta > 1
   double min_average_prbs = 4.0;  // Pave > 4 (strict)
+
+  bool operator==(const UserTrackerConfig&) const = default;
 };
 
 struct UserActivity {

@@ -84,6 +84,8 @@ struct FaultProfile {
   util::Duration handover_interval = 200 * util::kMillisecond;
 
   bool active() const;
+
+  bool operator==(const FaultProfile&) const = default;
 };
 
 // Canned profiles for `run_experiment --fault-profile`:

@@ -18,6 +18,7 @@ PbeClient::PbeClient(PbeClientConfig cfg, ChannelQuery channel_query)
       cfg_.rnti, cfg_.cells,
       [this](const std::vector<decoder::CellObservation>& obs) {
         if (obs.empty()) return;
+        if (taps_.on_observations) taps_.on_observations(obs);
         const auto now = util::subframe_start(obs.front().sf_index + 1);
         estimator_.on_observations(now, obs, [this](phy::CellId c) {
           const auto ch = channel_(c);
@@ -32,6 +33,23 @@ PbeClient::PbeClient(PbeClientConfig cfg, ChannelQuery channel_query)
 void PbeClient::on_pdcch(const phy::PdcchSubframe& sf) { monitor_->on_pdcch(sf); }
 
 void PbeClient::on_pdcch_batch(const std::vector<phy::PdcchSubframe>& sfs) {
+  if (taps_.on_batch) {
+    // Capture exactly what the pipeline will consume: the monitored cells'
+    // clean control regions plus, per cell, the base control BER the
+    // monitor's ber_fn would return and the own-CSI Rw hint the estimator
+    // would compute from current channel state.
+    std::vector<phy::PdcchSubframe> kept;
+    std::vector<double> bers, bpps;
+    for (const auto& sf : sfs) {
+      if (!monitor_->has_cell(sf.cell_id)) continue;
+      const auto ch = channel_(sf.cell_id);
+      const phy::Mcs mcs{ch.cqi, ch.sinr_db >= 14.0 ? 2 : 1};
+      kept.push_back(sf);
+      bers.push_back(ch.control_ber);
+      bpps.push_back(mcs.bits_per_prb());
+    }
+    if (!kept.empty()) taps_.on_batch(kept, bers, bpps);
+  }
   monitor_->on_pdcch_batch(sfs);
 }
 
@@ -124,6 +142,7 @@ void PbeClient::fill_feedback(const net::Packet& pkt, util::Time now,
                                              400 * util::kMillisecond);
     estimator_.set_window(rtprop_est_);
     monitor_->set_tracker_window(rtprop_est_);
+    if (taps_.on_window_set) taps_.on_window_set(now, rtprop_est_);
   }
 
   // --- Receive-rate window.
@@ -132,8 +151,10 @@ void PbeClient::fill_feedback(const net::Packet& pkt, util::Time now,
 
   // --- Capacity estimates, physical -> transport (Eqn 5).
   const double p = current_p();
-  const double cf_t = translator_.to_transport(estimator_.fair_share_capacity(now), p);
-  const double cp_t = translator_.to_transport(estimator_.available_capacity(now), p);
+  const double cf_phys = estimator_.fair_share_capacity(now);
+  const double cp_phys = estimator_.available_capacity(now);
+  const double cf_t = translator_.to_transport(cf_phys, p);
+  const double cp_t = translator_.to_transport(cp_phys, p);
   const double cf_bps = util::bits_per_subframe_to_bps(cf_t);
 
   // --- Carrier (de)activation: a newly activated cell restarts the
@@ -143,6 +164,10 @@ void PbeClient::fill_feedback(const net::Packet& pkt, util::Time now,
   // re-ramp starts from the current rate, not from zero — the paper's
   // from-zero ramp is for connection start, where there is no rate yet.
   const int cells_now = estimator_.active_cell_count(now);
+  // Probe taps sit after the third estimator query so a replay can repeat
+  // the exact fair_share -> available -> active_cells sequence at `now`.
+  if (taps_.on_probe) taps_.on_probe(now);
+  if (taps_.on_probe_values) taps_.on_probe_values(cf_phys, cp_phys, cells_now);
   if (cells_now > last_cell_count_ &&
       now - last_cell_increase_ > util::kSecond) {
     state_ = State::kStartup;

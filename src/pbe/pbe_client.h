@@ -42,6 +42,28 @@ struct PbeClientConfig {
   const fault::FaultInjector* faults = nullptr;
 };
 
+// Optional observation hooks into the client's measurement pipeline, used
+// by pbecc::cap to record traces and fidelity digests. Plain std::function
+// bundles keep this module free of any capture dependency; unset hooks
+// cost one branch. The hooks fire in pipeline order: on_batch before the
+// monitor decodes, on_observations as fused observations reach the
+// estimator, on_window_set when an RTprop update resizes the averaging
+// windows, on_probe/on_probe_values around each ACK's estimator queries.
+struct ClientTaps {
+  // One PDCCH tick, already filtered to monitored cells; control_ber[i]
+  // and bits_per_prb[i] are the pipeline inputs applied to sfs[i].
+  std::function<void(const std::vector<phy::PdcchSubframe>&,
+                     const std::vector<double>& control_ber,
+                     const std::vector<double>& bits_per_prb)>
+      on_batch;
+  std::function<void(util::Time, util::Duration window)> on_window_set;
+  std::function<void(util::Time)> on_probe;
+  std::function<void(const std::vector<decoder::CellObservation>&)>
+      on_observations;
+  std::function<void(double cf_bits_sf, double cp_bits_sf, int active_cells)>
+      on_probe_values;
+};
+
 class PbeClient {
  public:
   enum class State { kStartup, kWireless, kInternet };
@@ -60,6 +82,9 @@ class PbeClient {
 
   // Wire to FlowReceiver::set_feedback_filler.
   void fill_feedback(const net::Packet& pkt, util::Time now, net::Ack& ack);
+
+  // Install capture/digest hooks (pbecc::cap). Call before traffic starts.
+  void set_taps(ClientTaps taps) { taps_ = std::move(taps); }
 
   State state() const { return state_; }
   util::Duration rtprop_estimate() const { return rtprop_est_; }
@@ -85,6 +110,7 @@ class PbeClient {
 
   PbeClientConfig cfg_;
   ChannelQuery channel_;
+  ClientTaps taps_;
   CapacityEstimator estimator_;
   RateTranslator translator_;
   DelayMonitor delay_;

@@ -51,6 +51,8 @@ struct CellConfig {
   // Roughly one CCE per 1.33 PRBs with a 3-symbol control region; we use a
   // simple proportional rule that yields 21/42/84 CCEs for 5/10/20 MHz.
   int n_cces() const { return (n_prbs() * 84) / 100; }
+
+  bool operator==(const CellConfig&) const = default;
 };
 
 }  // namespace pbecc::phy

@@ -34,6 +34,8 @@ struct PdcchSubframe {
   PdcchCoding coding = PdcchCoding::kRepetition;
   util::BitVec bits;           // n_cces * kBitsPerCce bits
   std::vector<bool> cce_used;  // encoder-side occupancy (ground truth)
+
+  bool operator==(const PdcchSubframe&) const = default;
 };
 
 // Packs DCI messages into one subframe's control region.

@@ -85,12 +85,15 @@ LocationRunResult run_location(const LocationProfile& loc,
                                const std::string& algo,
                                util::Duration flow_len,
                                const fault::FaultProfile* fault,
-                               std::uint64_t fault_seed) {
+                               std::uint64_t fault_seed,
+                               const CaptureOptions& capture) {
   ScenarioConfig cfg = scenario_config_for(loc);
   if (fault != nullptr) {
     cfg.fault = *fault;
     cfg.fault_seed = fault_seed;
   }
+  cfg.capture = capture.writer;
+  cfg.digest = capture.digest;
   const auto n_cells = cfg.cells.size();
   Scenario s{std::move(cfg)};
   s.add_ue(ue_spec_for(loc));

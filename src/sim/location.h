@@ -53,11 +53,19 @@ struct LocationRunResult {
   std::uint64_t sim_cell_subframes = 0;  // simulated subframes x cells
   std::uint64_t decode_candidates = 0;   // blind-decode attempts (PBE only)
 };
+// Optional pbecc::cap hookup for a run: record the PBE pipeline into
+// `writer` and/or digest its outputs (both unowned, both may be null).
+struct CaptureOptions {
+  cap::TraceWriter* writer = nullptr;
+  cap::PipelineDigest* digest = nullptr;
+};
+
 // `fault` (optional) runs the flow under a deterministic chaos schedule
 // seeded with `fault_seed` (see fault::FaultProfile / --fault-profile).
 LocationRunResult run_location(const LocationProfile& loc, const std::string& algo,
                                util::Duration flow_len = 20 * util::kSecond,
                                const fault::FaultProfile* fault = nullptr,
-                               std::uint64_t fault_seed = 1);
+                               std::uint64_t fault_seed = 1,
+                               const CaptureOptions& capture = {});
 
 }  // namespace pbecc::sim

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "cap/taps.h"
 #include "obs/obs.h"
 #include "pbe/pbe_sender.h"
 #include "sim/algorithms.h"
@@ -203,6 +204,14 @@ int Scenario::add_flow(const FlowSpec& spec) {
           ch.control_ber += extra_ber;
           return ch;
         });
+    if ((cfg_.capture != nullptr || cfg_.digest != nullptr) &&
+        !capture_attached_) {
+      capture_attached_ = true;
+      if (cfg_.capture != nullptr && !cfg_.capture->begun()) {
+        cfg_.capture->begin(cap::capture_header(pcfg, faults_.get()));
+      }
+      ctx->client->set_taps(cap::make_client_taps(cfg_.capture, cfg_.digest));
+    }
     // Batched: the client's monitor decodes all of one tick's cells at
     // once, fanning out on the pbecc::par pool when --threads > 1.
     bs_->add_pdcch_batch_observer(

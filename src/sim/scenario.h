@@ -19,6 +19,11 @@
 #include "sim/metrics.h"
 #include "util/rng.h"
 
+namespace pbecc::cap {
+class TraceWriter;
+class PipelineDigest;
+}  // namespace pbecc::cap
+
 namespace pbecc::sim {
 
 struct CellSpec {
@@ -89,6 +94,12 @@ struct ScenarioConfig {
   // different fault schedules and vice versa.
   fault::FaultProfile fault{};
   std::uint64_t fault_seed = 1;
+  // Capture taps (pbecc::cap, both unowned, may be null): the first PBE
+  // flow added gets its measurement pipeline recorded into `capture`
+  // (begin() is called with the client's trace header) and/or its outputs
+  // folded into `digest` for record→replay fidelity checks.
+  cap::TraceWriter* capture = nullptr;
+  cap::PipelineDigest* digest = nullptr;
 };
 
 class Scenario {
@@ -151,6 +162,7 @@ class Scenario {
   mac::UeId next_bg_ue_ = 10000;
   std::uint64_t bg_flow_seq_ = 1u << 20;
   bool started_ = false;
+  bool capture_attached_ = false;  // taps go to the first PBE flow only
 };
 
 }  // namespace pbecc::sim

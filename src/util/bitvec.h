@@ -44,6 +44,27 @@ class BitVec {
     bits_.insert(bits_.end(), other.bits_.begin(), other.bits_.end());
   }
 
+  // Pack to bytes, MSB-first within each byte, the final byte zero-padded —
+  // the on-disk representation used by the pbecc::cap trace format.
+  std::vector<std::uint8_t> to_bytes() const {
+    std::vector<std::uint8_t> out((bits_.size() + 7) / 8, 0);
+    for (std::size_t i = 0; i < bits_.size(); ++i) {
+      if (bits_[i]) out[i / 8] |= static_cast<std::uint8_t>(0x80u >> (i % 8));
+    }
+    return out;
+  }
+
+  // Inverse of to_bytes(): read `nbits` bits from a packed byte buffer
+  // (which must hold at least ceil(nbits/8) bytes).
+  static BitVec from_bytes(const std::uint8_t* data, std::size_t nbits) {
+    BitVec v;
+    v.bits_.reserve(nbits);
+    for (std::size_t i = 0; i < nbits; ++i) {
+      v.bits_.push_back((data[i / 8] & (0x80u >> (i % 8))) != 0);
+    }
+    return v;
+  }
+
   bool operator==(const BitVec&) const = default;
 
  private:

@@ -2,8 +2,12 @@
 // synthetic control channel. LTE scrambles the DCI CRC with the target
 // user's RNTI so only that user (or a PBE-CC-style monitor trying every
 // RNTI hypothesis) validates it; we reproduce that masking.
+//
+// Also CRC-32 (IEEE 802.3, reflected) over byte buffers, used by the
+// pbecc::cap trace format to detect truncated or corrupted chunks.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "util/bitvec.h"
@@ -17,5 +21,10 @@ std::uint16_t crc16(const BitVec& bits);
 inline std::uint16_t crc16_rnti(const BitVec& bits, std::uint16_t rnti) {
   return crc16(bits) ^ rnti;
 }
+
+// CRC-32/ISO-HDLC (poly 0xEDB88320 reflected, init/xorout 0xFFFFFFFF) over
+// `len` bytes — the standard zlib/Ethernet CRC. Streamable: pass the
+// previous return value as `seed` to continue a running checksum.
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
 
 }  // namespace pbecc::util
