@@ -71,11 +71,12 @@ class WallTimer {
 //   --json <path>   write a JSON array of records on exit
 //   --threads N     size the pbecc::par default pool (0 = hardware)
 //
-// Each record is {"bench", "config", "wall_ms", "subframes_per_sec",
-// "decode_attempts", "threads"} — the schema bench/bench_gate.py and the
-// CI bench-smoke job consume. Benches call add() once per measured
-// configuration (pass 0 for fields that do not apply); the file is
-// written by write() or the destructor, whichever comes first.
+// Each record is {"schema_version", "bench", "config", "wall_ms",
+// "subframes_per_sec", "decode_attempts", "threads"}, keys always in that
+// order — the schema bench/bench_gate.py and the CI bench-smoke job
+// consume. Benches call add() once per measured configuration (pass 0 for
+// fields that do not apply); the file is written by write() or the
+// destructor, whichever comes first.
 class Reporter {
  public:
   Reporter(std::string bench_name, int argc, char** argv)
@@ -116,7 +117,8 @@ class Reporter {
     for (std::size_t i = 0; i < records_.size(); ++i) {
       const Record& r = records_[i];
       std::fprintf(f,
-                   "  {\"bench\": \"%s\", \"config\": \"%s\", "
+                   "  {\"schema_version\": 1, \"bench\": \"%s\", "
+                   "\"config\": \"%s\", "
                    "\"wall_ms\": %.3f, \"subframes_per_sec\": %.1f, "
                    "\"decode_attempts\": %llu, \"threads\": %d}%s\n",
                    bench_.c_str(), escape(r.config).c_str(), r.wall_ms,

@@ -14,14 +14,22 @@
 // returning.
 //
 // Exits non-zero if either assertion fails (CI-friendly).
+//
+//   --telemetry <path>  sample the Part-2 recovery run into a .tsv.pbt
+//                       telemetry recording (the degradation-state
+//                       timeline is the interesting series here)
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <map>
+#include <memory>
 
 #include "bench/bench_common.h"
 #include "pbe/pbe_sender.h"
 #include "sim/location.h"
 #include "sim/scenario.h"
+#include "tel/file.h"
+#include "tel/sampler.h"
 
 using namespace pbecc;
 
@@ -44,6 +52,10 @@ sim::LocationRunResult run_faulty(const std::string& algo, double duty,
 int main(int argc, char** argv) {
   bench::Reporter rep("bench_fault", argc, argv);
   const util::Duration flow_len = bench::flow_seconds(argc, argv, 12);
+  std::string telemetry_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--telemetry") == 0) telemetry_path = argv[i + 1];
+  }
   bench::header("Chaos sweep: throughput/delay vs DCI-blackout intensity");
 
   // ---------------- Part 1: intensity sweep, PBE-CC vs plain BBR.
@@ -99,6 +111,12 @@ int main(int argc, char** argv) {
     sim::ScenarioConfig cfg = sim::scenario_config_for(sim::location(kLocation));
     cfg.fault = profile;
     cfg.fault_seed = 3;
+    std::unique_ptr<tel::Sampler> telemetry;
+    if (!telemetry_path.empty()) {
+      telemetry = std::make_unique<tel::Sampler>();
+      telemetry->recorder().set_meta("source", "bench_fault_recovery");
+      cfg.telemetry = telemetry.get();
+    }
     sim::Scenario s{std::move(cfg)};
     s.add_ue(sim::ue_spec_for(sim::location(kLocation)));
     sim::FlowSpec flow;
@@ -133,6 +151,18 @@ int main(int argc, char** argv) {
     std::printf("  PRECISE re-entry after heal: %s%.0f ms (need <= 500)\n",
                 precise_again >= 0 ? "+" : "never; ", recover_ms);
     ok = ok && saw_fallback && precise_again >= 0 && recover_ms <= 500.0;
+
+    if (telemetry) {
+      std::string err;
+      if (!tel::write_file(telemetry->recorder(), telemetry_path, &err)) {
+        std::fprintf(stderr, "telemetry write failed: %s\n", err.c_str());
+        return 2;
+      }
+      std::printf("  telemetry: %llu samples -> %s\n",
+                  static_cast<unsigned long long>(
+                      telemetry->recorder().total_samples()),
+                  telemetry_path.c_str());
+    }
   }
 
   std::printf("\n  %s\n", ok ? "PASS" : "FAIL");

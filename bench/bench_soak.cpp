@@ -7,17 +7,25 @@
 //   --metrics <path>    write the merged soak report JSON (CI artifact)
 //   --json <path>       standard bench records (bench_gate.py schema)
 //   --abort             abort at the first invariant violation (debugging)
+//   --telemetry <path>  sample the pipeline soak into a .tsv.pbt telemetry
+//                       recording (est.*/decode.*/check.* series)
+//   --strict-checks     exit nonzero on any invariant violation even if
+//                       the harness checks passed (redundant today — kept
+//                       symmetric with run_experiment)
 //
 // The CI soak-smoke job runs this at 100k / 20k subframes with
 // -DPBECC_CHECK=ON and ASan; the acceptance run is the full default length.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "bench/bench_common.h"
 #include "check/check.h"
 #include "sim/soak.h"
+#include "tel/file.h"
+#include "tel/sampler.h"
 
 using namespace pbecc;
 
@@ -55,6 +63,8 @@ int main(int argc, char** argv) {
   sim::PipelineSoakConfig pcfg;
   sim::MacSoakConfig mcfg;
   std::string metrics_path;
+  std::string telemetry_path;
+  bool strict_checks = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--subframes") == 0 && i + 1 < argc) {
       pcfg.subframes = std::atoll(argv[++i]);
@@ -62,9 +72,23 @@ int main(int argc, char** argv) {
       mcfg.subframes = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
       metrics_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--telemetry") == 0 && i + 1 < argc) {
+      telemetry_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--strict-checks") == 0) {
+      strict_checks = true;
     } else if (std::strcmp(argv[i], "--abort") == 0) {
       check::set_abort_on_violation(true);
     }
+  }
+
+  std::unique_ptr<tel::Sampler> telemetry;
+  if (!telemetry_path.empty()) {
+    if (!tel::kCompiled) {
+      std::fprintf(stderr, "warning: built with -DPBECC_TEL=OFF; "
+                           "--telemetry output will be empty\n");
+    }
+    telemetry = std::make_unique<tel::Sampler>();
+    pcfg.telemetry = telemetry.get();
   }
 
   bench::header("Soak: decode->fusion->tracking->estimation pipeline");
@@ -99,7 +123,36 @@ int main(int argc, char** argv) {
     std::fclose(f);
   }
 
-  const bool ok = prep.ok() && mrep.ok();
+  if (telemetry) {
+    std::string err;
+    if (!tel::write_file(telemetry->recorder(), telemetry_path, &err)) {
+      std::fprintf(stderr, "telemetry write failed: %s\n", err.c_str());
+      return 2;
+    }
+    std::printf("telemetry: %llu samples in %zu series -> %s\n",
+                static_cast<unsigned long long>(
+                    telemetry->recorder().total_samples()),
+                telemetry->recorder().series().size(), telemetry_path.c_str());
+  }
+
+  // One-line invariant summary across both soaks (check totals are reset
+  // per soak, so sum the reports rather than re-reading the registry).
+  const std::uint64_t violations =
+      prep.invariant_violations + mrep.invariant_violations;
+  if (violations == 0) {
+    std::fprintf(stderr, "check: 0 invariant violations\n");
+  } else {
+    std::fprintf(stderr, "check: %llu invariant violations (%s%s%s)\n",
+                 static_cast<unsigned long long>(violations),
+                 prep.violation_digest.c_str(),
+                 !prep.violation_digest.empty() && !mrep.violation_digest.empty()
+                     ? "; "
+                     : "",
+                 mrep.violation_digest.c_str());
+  }
+
+  const bool ok =
+      prep.ok() && mrep.ok() && !(strict_checks && violations > 0);
   std::printf("\nsoak result: %s\n", ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 }

@@ -30,6 +30,14 @@
 //     --replay FILE.pbt    re-drive the decoder/estimator pipeline from a
 //                          recorded trace instead of simulating; mutually
 //                          exclusive with --record
+//     --telemetry FILE     sample the run into a .tsv.pbt telemetry
+//                          recording (estimate vs ground truth, flow state,
+//                          decode health; see telemetry_tool). Works for
+//                          live --algo pbe runs and for --replay (replay
+//                          emits the same est.*/decode.* series)
+//     --telemetry-interval MS  sampling cadence in sim-clock ms (default 10)
+//     --strict-checks      exit nonzero if any pbecc::check invariant
+//                          violations were recorded
 //     --help               print this option summary
 //
 //   ./build/examples/run_experiment --algo all --location 31 --csv out.csv
@@ -49,11 +57,14 @@
 #include "cap/taps.h"
 #include "cap/trace_reader.h"
 #include "cap/trace_writer.h"
+#include "check/check.h"
 #include "fault/fault.h"
 #include "obs/obs.h"
 #include "par/thread_pool.h"
 #include "sim/algorithms.h"
 #include "sim/location.h"
+#include "tel/file.h"
+#include "tel/sampler.h"
 
 using namespace pbecc;
 
@@ -74,6 +85,9 @@ struct Options {
   std::uint64_t fault_seed = 1;
   std::string record;  // .pbt capture output
   std::string replay;  // .pbt replay input
+  std::string telemetry;  // .tsv.pbt telemetry output
+  int telemetry_interval_ms = 10;
+  bool strict_checks = false;
 };
 
 void usage(std::FILE* out) {
@@ -98,6 +112,12 @@ void usage(std::FILE* out) {
                "                     trace (requires --algo pbe)\n"
                "  --replay FILE.pbt  re-drive the pipeline from a trace; no\n"
                "                     simulation runs (excludes --record)\n"
+               "  --telemetry FILE   sample the run into a .tsv.pbt telemetry\n"
+               "                     recording (live pbe runs and --replay)\n"
+               "  --telemetry-interval MS  sampling cadence, sim-clock ms\n"
+               "                     (default 10)\n"
+               "  --strict-checks    exit nonzero on any pbecc::check\n"
+               "                     invariant violation\n"
                "  --help             this summary\n",
                sim::kNumLocations - 1);
 }
@@ -142,6 +162,12 @@ Options parse(int argc, char** argv) {
       o.record = need("--record");
     } else if (!std::strcmp(argv[i], "--replay")) {
       o.replay = need("--replay");
+    } else if (!std::strcmp(argv[i], "--telemetry")) {
+      o.telemetry = need("--telemetry");
+    } else if (!std::strcmp(argv[i], "--telemetry-interval")) {
+      o.telemetry_interval_ms = std::atoi(need("--telemetry-interval"));
+    } else if (!std::strcmp(argv[i], "--strict-checks")) {
+      o.strict_checks = true;
     } else if (!std::strcmp(argv[i], "--help") || !std::strcmp(argv[i], "-h")) {
       usage(stdout);
       std::exit(0);
@@ -161,6 +187,17 @@ Options parse(int argc, char** argv) {
                  "--record captures the PBE measurement pipeline and needs "
                  "--algo pbe (got '%s')\n",
                  o.algo.c_str());
+    std::exit(2);
+  }
+  if (!o.telemetry.empty() && o.replay.empty() && o.algo != "pbe") {
+    std::fprintf(stderr,
+                 "--telemetry samples the PBE measurement pipeline and needs "
+                 "--algo pbe (got '%s')\n",
+                 o.algo.c_str());
+    std::exit(2);
+  }
+  if (o.telemetry_interval_ms < 1) {
+    std::fprintf(stderr, "--telemetry-interval must be >= 1 ms\n");
     std::exit(2);
   }
   if (o.location < 0 || o.location >= sim::kNumLocations) {
@@ -192,10 +229,36 @@ void run_one(const Options& o, const std::string& algo) {
     capture.writer = writer.get();
     capture.digest = &digest;
   }
+  std::unique_ptr<tel::Sampler> telemetry;
+  if (!o.telemetry.empty()) {
+    if (!tel::kCompiled) {
+      std::fprintf(stderr, "warning: built with -DPBECC_TEL=OFF; "
+                           "--telemetry output will be empty\n");
+    }
+    tel::SamplerConfig tcfg;
+    tcfg.interval = o.telemetry_interval_ms * util::kMillisecond;
+    telemetry = std::make_unique<tel::Sampler>(tcfg);
+    telemetry->recorder().set_meta("source", "live");
+    telemetry->recorder().set_meta("location", std::to_string(o.location));
+    telemetry->recorder().set_meta("fault_profile", o.fault_profile);
+    capture.telemetry = telemetry.get();
+  }
 
   const auto r = sim::run_location(loc, algo, o.seconds * util::kSecond,
                                    profile.active() ? &profile : nullptr,
                                    o.fault_seed, capture);
+
+  if (telemetry) {
+    std::string err;
+    if (!tel::write_file(telemetry->recorder(), o.telemetry, &err)) {
+      std::fprintf(stderr, "telemetry write failed: %s\n", err.c_str());
+      std::exit(1);
+    }
+    std::printf("telemetry: %llu samples in %zu series -> %s\n",
+                static_cast<unsigned long long>(
+                    telemetry->recorder().total_samples()),
+                telemetry->recorder().series().size(), o.telemetry.c_str());
+  }
 
   if (writer) {
     if (!writer->close()) {
@@ -263,6 +326,23 @@ int run_replay(const Options& o) {
   }
   cap::PipelineDigest digest;
   cap::ReplayDriver driver(reader.header(), &digest);
+  std::unique_ptr<tel::Sampler> telemetry;
+  if (!o.telemetry.empty()) {
+    if (!tel::kCompiled) {
+      std::fprintf(stderr, "warning: built with -DPBECC_TEL=OFF; "
+                           "--telemetry output will be empty\n");
+    }
+    tel::SamplerConfig tcfg;
+    tcfg.interval = o.telemetry_interval_ms * util::kMillisecond;
+    telemetry = std::make_unique<tel::Sampler>(tcfg);
+    telemetry->recorder().set_meta("source", "replay");
+    telemetry->recorder().set_meta(
+        "interval_us", std::to_string(telemetry->interval()));
+    telemetry->pipeline().attach(&driver.monitor(), &driver.estimator());
+    driver.set_batch_end_hook([p = &telemetry->pipeline()](std::int64_t sf) {
+      p->on_batch_end(sf);
+    });
+  }
   const auto t0 = std::chrono::steady_clock::now();
   const auto stats = driver.run(reader);
   const auto t1 = std::chrono::steady_clock::now();
@@ -280,14 +360,43 @@ int run_replay(const Options& o) {
   std::printf("digest: obs=0x%016llx probe=0x%016llx\n",
               static_cast<unsigned long long>(digest.observation_digest()),
               static_cast<unsigned long long>(digest.probe_digest()));
+  if (telemetry) {
+    std::string err;
+    if (!tel::write_file(telemetry->recorder(), o.telemetry, &err)) {
+      std::fprintf(stderr, "telemetry write failed: %s\n", err.c_str());
+      return 1;
+    }
+    std::printf("telemetry: %llu samples in %zu series -> %s\n",
+                static_cast<unsigned long long>(
+                    telemetry->recorder().total_samples()),
+                telemetry->recorder().series().size(), o.telemetry.c_str());
+  }
   return 0;
+}
+
+// One-line invariant summary at exit; --strict-checks turns violations
+// into a nonzero exit code (CI treats the run as failed).
+int finish_checks(const Options& o) {
+  const std::uint64_t v = check::violations();
+  if (v == 0) {
+    std::fprintf(stderr, "check: 0 invariant violations\n");
+    return 0;
+  }
+  std::fprintf(stderr, "check: %llu invariant violations (%s)\n",
+               static_cast<unsigned long long>(v),
+               check::describe_violations().c_str());
+  return o.strict_checks ? 1 : 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
-  if (!o.replay.empty()) return run_replay(o);
+  if (!o.replay.empty()) {
+    const int rc = run_replay(o);
+    const int checks = finish_checks(o);
+    return rc != 0 ? rc : checks;
+  }
 
   const bool tracing = !o.trace_jsonl.empty() || !o.trace_chrome.empty();
   const bool want_obs = tracing || !o.metrics_json.empty();
@@ -331,5 +440,5 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "failed to write %s\n", o.metrics_json.c_str());
     return 1;
   }
-  return 0;
+  return finish_checks(o);
 }

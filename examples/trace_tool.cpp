@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "cap/tools.h"
+#include "fault/fault.h"
 
 using namespace pbecc;
 
@@ -81,6 +82,18 @@ int cmd_info(const std::string& path) {
   return s.complete ? 0 : 1;
 }
 
+// Recover the canned-profile name from the header's fault schedule by
+// comparing against the registry; a schedule set programmatically that
+// matches no canned profile reports as "custom".
+std::string fault_profile_name(const cap::TraceHeader& h) {
+  if (!h.fault_active) return "none";
+  for (const auto& name : fault::profile_names()) {
+    const auto p = fault::profile_by_name(name);
+    if (p && p->active() && *p == h.fault) return name;
+  }
+  return "custom";
+}
+
 int cmd_stats(const std::string& path) {
   cap::TraceSummary s;
   std::string err;
@@ -89,6 +102,12 @@ int cmd_stats(const std::string& path) {
     return 1;
   }
   print_stream(s);
+  std::printf("fault:       %s", fault_profile_name(s.header).c_str());
+  if (s.header.fault_active) {
+    std::printf(" (seed %llu)",
+                static_cast<unsigned long long>(s.header.fault_seed));
+  }
+  std::printf("\n");
   for (const auto& [cell, n] : s.cell_counts) {
     const double pct =
         s.cell_subframes > 0

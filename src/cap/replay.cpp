@@ -82,6 +82,7 @@ void ReplayDriver::step(const Record& rec) {
         sfs.push_back(std::move(sf));
       }
       monitor_->on_pdcch_batch(sfs);
+      if (batch_end_) batch_end_(rec.batch.sf_index);
       ++stats_.batches;
       stats_.cell_subframes += sfs.size();
       break;

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -69,6 +70,15 @@ class ReplayDriver {
   // Drain a reader to end-of-trace or error (check reader.ok()).
   ReplayStats run(TraceReader& reader);
 
+  // Mirror of pbe::ClientTaps::on_batch_end: fires after each batch
+  // record's decode, with the record's subframe index. A plain
+  // std::function keeps this module free of any telemetry dependency;
+  // tel::PipelineSampler plugs in here so a replay exports the same
+  // est.* / decode.* series the live run recorded.
+  void set_batch_end_hook(std::function<void(std::int64_t)> hook) {
+    batch_end_ = std::move(hook);
+  }
+
   const ReplayStats& stats() const { return stats_; }
   const decoder::Monitor& monitor() const { return *monitor_; }
   const pbe::CapacityEstimator& estimator() const { return estimator_; }
@@ -82,6 +92,7 @@ class ReplayDriver {
   // the estimator's own-CSI hint during the current batch.
   std::map<phy::CellId, double> cur_ber_;
   std::map<phy::CellId, double> cur_bpp_;
+  std::function<void(std::int64_t)> batch_end_;
   ReplayStats stats_{};
 };
 

@@ -96,6 +96,7 @@ void BaseStation::tick() {
   for (auto& [id, ue] : ues_) {
     ue.newest_secondary_prbs_this_sf = 0;
     ue.total_prbs_this_sf = 0;
+    ue.prbs_this_sf_by_cell.clear();
     ue.reorder->expire(loop_.now());
     for (auto& [cell, model] : ue.channels) {
       ue.ch_now[cell] = model.sample(loop_.now());
@@ -176,6 +177,7 @@ void BaseStation::run_cell(CellState& cell) {
       prb_cursor += tb.n_prbs;
       record.retx_prbs += tb.n_prbs;
       ue.total_prbs_this_sf += tb.n_prbs;
+      ue.prbs_this_sf_by_cell[cell.cfg.id] += tb.n_prbs;
       if constexpr (obs::kCompiled) {
         static obs::Counter& retx = obs::counter("mac.harq_retx");
         retx.inc();
@@ -255,6 +257,7 @@ void BaseStation::run_cell(CellState& cell) {
     prb_cursor += a.n_prbs;
     record.data_allocs.push_back(a);
     ue.total_prbs_this_sf += a.n_prbs;
+    ue.prbs_this_sf_by_cell[cell.cfg.id] += a.n_prbs;
 
     // Track use of the newest secondary for deactivation decisions.
     const auto& active = ue.ca.active_cells();
@@ -267,6 +270,7 @@ void BaseStation::run_cell(CellState& cell) {
   }
 
   record.idle_prbs = prbs_left;
+  cell.last_idle_prbs = record.idle_prbs;
 
   // PRB ledger: every PRB of the carrier is accounted to exactly one of
   // data / control / retransmission / idle, and none is double-booked.
@@ -390,7 +394,7 @@ void BaseStation::transmit_tb(CellState& cell, UeState& ue, std::uint8_t proc,
   }
 }
 
-void BaseStation::update_explicit_rates() {
+std::map<phy::CellId, int> BaseStation::active_user_counts() const {
   constexpr util::Duration kActive = 200 * util::kMillisecond;
   const util::Time now = loop_.now();
 
@@ -406,6 +410,19 @@ void BaseStation::update_explicit_rates() {
       if (is_active(ue, c)) ++active_count[c];
     }
   }
+  return active_count;
+}
+
+void BaseStation::update_explicit_rates() {
+  constexpr util::Duration kActive = 200 * util::kMillisecond;
+  const util::Time now = loop_.now();
+  const std::map<phy::CellId, int> active_count = active_user_counts();
+
+  auto is_active = [&](const UeState& ue, phy::CellId cell) {
+    if (ue.queue_bytes > 0) return true;
+    const auto it = ue.last_served.find(cell);
+    return it != ue.last_served.end() && now - it->second <= kActive;
+  };
 
   for (auto& [id, ue] : ues_) {
     double bits_per_sf = 0;
@@ -418,7 +435,8 @@ void BaseStation::update_explicit_rates() {
       for (const auto& cc : cell_cfgs_) {
         if (cc.id == c) prbs = cc.n_prbs();
       }
-      const int n = std::max(active_count[c], 1);
+      const auto nit = active_count.find(c);
+      const int n = std::max(nit == active_count.end() ? 0 : nit->second, 1);
       bits_per_sf += (static_cast<double>(prbs) / n) * mcs.bits_per_prb() *
                      (1.0 - cfg_.protocol_overhead);
     }
@@ -430,6 +448,38 @@ void BaseStation::update_explicit_rates() {
 
 util::RateBps BaseStation::explicit_rate_bps(UeId ue) const {
   return ues_.at(ue).explicit_rate_bps;
+}
+
+std::vector<CellGroundTruth> BaseStation::ground_truth(UeId ue_id) const {
+  const UeState& ue = ues_.at(ue_id);
+  const std::map<phy::CellId, int> active_count = active_user_counts();
+  std::vector<CellGroundTruth> out;
+  for (phy::CellId c : ue.ca.active_cells()) {
+    const auto chit = ue.ch_now.find(c);
+    if (chit == ue.ch_now.end()) continue;  // no channel sample yet
+    CellGroundTruth gt;
+    gt.cell = c;
+    for (const auto& cc : cell_cfgs_) {
+      if (cc.id == c) gt.cell_prbs = cc.n_prbs();
+    }
+    const auto nit = active_count.find(c);
+    gt.active_users = std::max(nit == active_count.end() ? 0 : nit->second, 1);
+    for (const auto& cs : cells_) {
+      if (cs.cfg.id == c) gt.idle_prbs = cs.last_idle_prbs;
+    }
+    const auto pit = ue.prbs_this_sf_by_cell.find(c);
+    gt.own_prbs = pit == ue.prbs_this_sf_by_cell.end() ? 0 : pit->second;
+    const phy::Mcs mcs{chit->second.cqi, chit->second.sinr_db >= 14.0 ? 2 : 1};
+    gt.bits_per_prb = mcs.bits_per_prb();
+    gt.fair_bits_sf = gt.bits_per_prb * static_cast<double>(gt.cell_prbs) /
+                      static_cast<double>(gt.active_users);
+    gt.avail_bits_sf =
+        gt.bits_per_prb *
+        (static_cast<double>(gt.own_prbs) +
+         static_cast<double>(gt.idle_prbs) / static_cast<double>(gt.active_users));
+    out.push_back(gt);
+  }
+  return out;
 }
 
 void BaseStation::handover(UeId ue_id, const std::vector<phy::CellId>& new_cells) {

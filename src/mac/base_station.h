@@ -73,6 +73,26 @@ struct AllocationRecord {
   int idle_prbs = 0;
 };
 
+// Simulator-side ground truth for one UE on one of its serving cells: the
+// exact quantities PBE-CC's estimator reconstructs from decoded DCI
+// (Eqns 1-3), computed from scheduler state instead. Physical bits per
+// subframe, no protocol-overhead factor — directly comparable to
+// CapacityEstimator::fair_share_capacity / available_capacity, which apply
+// overhead later in the RateTranslator. Telemetry samples this to score
+// estimate accuracy against what the cell could actually schedule.
+struct CellGroundTruth {
+  phy::CellId cell = 0;
+  int cell_prbs = 0;
+  // Users the fair scheduler would currently divide the cell among
+  // (backlogged or served within the activity window); >= 1.
+  int active_users = 1;
+  int idle_prbs = 0;  // last completed subframe
+  int own_prbs = 0;   // this UE's PRBs on this cell, last completed subframe
+  double bits_per_prb = 0;   // from the UE's current channel sample
+  double fair_bits_sf = 0;   // bits_per_prb * cell_prbs / active_users
+  double avail_bits_sf = 0;  // bits_per_prb * (own + idle / active_users)
+};
+
 class BaseStation {
  public:
   using DeliveryHandler = std::function<void(net::Packet)>;
@@ -135,6 +155,9 @@ class BaseStation {
   // same quantity from decoded control messages at the endpoint; this
   // oracle exists for head-to-head ablations and as ground truth in tests.
   util::RateBps explicit_rate_bps(UeId ue) const;
+  // Unsmoothed per-cell ground truth for a UE's active aggregated cells,
+  // in cell-activation order (see CellGroundTruth above).
+  std::vector<CellGroundTruth> ground_truth(UeId ue) const;
   const std::vector<phy::CellConfig>& cells() const { return cell_cfgs_; }
   std::int64_t current_subframe() const { return sf_index_; }
   std::uint64_t total_tbs_sent() const { return total_tbs_sent_; }
@@ -161,6 +184,9 @@ class BaseStation {
     int newest_secondary_prbs_this_sf = 0;
     // PRBs across all serving cells this subframe (incl. retransmissions).
     int total_prbs_this_sf = 0;
+    // Same, split per cell (ground-truth telemetry reads it one subframe
+    // behind, after the tick completes).
+    std::map<phy::CellId, int> prbs_this_sf_by_cell;
     // Last data grant per cell; drives the explicit-feedback activity set.
     std::map<phy::CellId, util::Time> last_served;
     // Smoothed ABC-style explicit rate (see explicit_rate_bps()).
@@ -171,7 +197,12 @@ class BaseStation {
     phy::CellConfig cfg;
     std::unique_ptr<Scheduler> scheduler;
     ControlTrafficGenerator control;
+    // Idle PRBs of the last completed subframe (ground-truth telemetry).
+    int last_idle_prbs = 0;
   };
+
+  // Scheduler-visible sharer count per cell (the N of Eqns 1-2).
+  std::map<phy::CellId, int> active_user_counts() const;
 
   void tick();
   void run_cell(CellState& cell);

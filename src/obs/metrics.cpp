@@ -153,7 +153,9 @@ std::vector<std::pair<std::string, const ExpHistogram*>> Registry::histograms()
 
 std::string Registry::to_json() const {
   std::lock_guard<std::mutex> lk(m_);
-  std::string out = "{\n  \"counters\": {";
+  // schema_version first, then the sections in fixed order — consumers may
+  // rely on deterministic key order for textual diffs.
+  std::string out = "{\n  \"schema_version\": 1,\n  \"counters\": {";
   char buf[128];
   bool first = true;
   for (const auto& [n, c] : counters_) {

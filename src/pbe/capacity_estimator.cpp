@@ -173,6 +173,27 @@ int CapacityEstimator::active_cell_count(util::Time now) const {
   return std::max(n, 1);
 }
 
+std::vector<CapacityEstimator::CellSnapshot>
+CapacityEstimator::cell_snapshots(util::Time now) const {
+  std::vector<CellSnapshot> out;
+  out.reserve(cells_.size());
+  for (auto& [id, c] : cells_) {
+    CellSnapshot s;
+    s.cell = id;
+    s.active =
+        c.last_own_grant >= 0 && now - c.last_own_grant <= kCellActiveTimeout;
+    s.cell_prbs = c.cell_prbs;
+    s.rw = c.rw.get(now, 0.0);
+    s.users = std::max(c.users.get(now, 1.0), 1.0);
+    s.pa = c.pa.get(now, 0.0);
+    s.pidle = c.pidle.get(now, 0.0);
+    s.cf_bits_sf = s.rw * (static_cast<double>(s.cell_prbs) / s.users);
+    s.cp_bits_sf = s.active ? s.rw * (s.pa + s.pidle / s.users) : 0.0;
+    out.push_back(s);
+  }
+  return out;
+}
+
 double CapacityEstimator::max_users() const {
   double m = 1.0;
   for (auto& [id, c] : cells_) {

@@ -66,6 +66,23 @@ class CapacityEstimator {
   // diagnostics); 1 when no data yet.
   double max_users() const;
 
+  // Per-cell readout of the Eqn 1-3 terms, for telemetry sampling and
+  // Fig 5/6-style accuracy plots. Mirrors the aggregate queries exactly
+  // (same windows, same activity rule) and, like them, only expires window
+  // state monotonically — sampling never changes later estimates.
+  struct CellSnapshot {
+    phy::CellId cell = 0;
+    bool active = false;  // granted PRBs within the activity timeout
+    int cell_prbs = 0;
+    double rw = 0;        // bits per PRB
+    double users = 1;     // smoothed N, floored at 1
+    double pa = 0;        // own PRBs per subframe
+    double pidle = 0;     // idle PRBs per subframe
+    double cf_bits_sf = 0;  // rw * Pcell / N      (this cell's Eqn 1-2 term)
+    double cp_bits_sf = 0;  // rw * (Pa + Pidle/N) (this cell's Eqn 3 term)
+  };
+  std::vector<CellSnapshot> cell_snapshots(util::Time now) const;
+
   // Time of the last ingested observation (0 before the first); exposes
   // estimate staleness to the client's feedback-confidence score.
   util::Time last_update() const { return last_update_; }

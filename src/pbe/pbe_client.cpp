@@ -33,7 +33,19 @@ PbeClient::PbeClient(PbeClientConfig cfg, ChannelQuery channel_query)
 void PbeClient::on_pdcch(const phy::PdcchSubframe& sf) { monitor_->on_pdcch(sf); }
 
 void PbeClient::on_pdcch_batch(const std::vector<phy::PdcchSubframe>& sfs) {
-  if (taps_.on_batch) {
+  // Both taps apply only to batches carrying >=1 monitored cell — the
+  // same condition under which a capture emits a batch record, so replay
+  // sees identical tick streams.
+  std::int64_t monitored_sf = -1;
+  if (taps_.on_batch || taps_.on_batch_end) {
+    for (const auto& sf : sfs) {
+      if (monitor_->has_cell(sf.cell_id)) {
+        monitored_sf = sf.sf_index;
+        break;
+      }
+    }
+  }
+  if (taps_.on_batch && monitored_sf >= 0) {
     // Capture exactly what the pipeline will consume: the monitored cells'
     // clean control regions plus, per cell, the base control BER the
     // monitor's ber_fn would return and the own-CSI Rw hint the estimator
@@ -51,6 +63,7 @@ void PbeClient::on_pdcch_batch(const std::vector<phy::PdcchSubframe>& sfs) {
     if (!kept.empty()) taps_.on_batch(kept, bers, bpps);
   }
   monitor_->on_pdcch_batch(sfs);
+  if (taps_.on_batch_end && monitored_sf >= 0) taps_.on_batch_end(monitored_sf);
 }
 
 double PbeClient::current_p() const {

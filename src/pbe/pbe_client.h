@@ -62,6 +62,11 @@ struct ClientTaps {
       on_observations;
   std::function<void(double cf_bits_sf, double cp_bits_sf, int active_cells)>
       on_probe_values;
+  // Fires after the monitor has decoded a batch that contained at least
+  // one monitored cell — the same condition under which a capture writes a
+  // batch record, so a replay can fire its mirror hook at identical points
+  // (tel::PipelineSampler keys its cadence off this).
+  std::function<void(std::int64_t sf_index)> on_batch_end;
 };
 
 class PbeClient {

@@ -94,6 +94,7 @@ LocationRunResult run_location(const LocationProfile& loc,
   }
   cfg.capture = capture.writer;
   cfg.digest = capture.digest;
+  cfg.telemetry = capture.telemetry;
   const auto n_cells = cfg.cells.size();
   Scenario s{std::move(cfg)};
   s.add_ue(ue_spec_for(loc));

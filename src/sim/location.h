@@ -53,11 +53,13 @@ struct LocationRunResult {
   std::uint64_t sim_cell_subframes = 0;  // simulated subframes x cells
   std::uint64_t decode_candidates = 0;   // blind-decode attempts (PBE only)
 };
-// Optional pbecc::cap hookup for a run: record the PBE pipeline into
-// `writer` and/or digest its outputs (both unowned, both may be null).
+// Optional pbecc::cap / pbecc::tel hookup for a run: record the PBE
+// pipeline into `writer`, digest its outputs, and/or sample run telemetry
+// into `telemetry` (all unowned, all may be null).
 struct CaptureOptions {
   cap::TraceWriter* writer = nullptr;
   cap::PipelineDigest* digest = nullptr;
+  tel::Sampler* telemetry = nullptr;
 };
 
 // `fault` (optional) runs the flow under a deterministic chaos schedule

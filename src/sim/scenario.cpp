@@ -1,11 +1,15 @@
 #include "sim/scenario.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "cap/taps.h"
+#include "check/check.h"
 #include "obs/obs.h"
 #include "pbe/pbe_sender.h"
 #include "sim/algorithms.h"
+#include "tel/sampler.h"
 
 namespace pbecc::sim {
 
@@ -204,14 +208,39 @@ int Scenario::add_flow(const FlowSpec& spec) {
           ch.control_ber += extra_ber;
           return ch;
         });
+    // Capture and telemetry taps both attach to the first PBE flow; they
+    // compose into one ClientTaps so record+telemetry runs work.
+    pbe::ClientTaps taps{};
+    bool want_taps = false;
     if ((cfg_.capture != nullptr || cfg_.digest != nullptr) &&
         !capture_attached_) {
       capture_attached_ = true;
       if (cfg_.capture != nullptr && !cfg_.capture->begun()) {
         cfg_.capture->begin(cap::capture_header(pcfg, faults_.get()));
       }
-      ctx->client->set_taps(cap::make_client_taps(cfg_.capture, cfg_.digest));
+      taps = cap::make_client_taps(cfg_.capture, cfg_.digest);
+      want_taps = true;
     }
+    if constexpr (tel::kCompiled) {
+      if (cfg_.telemetry != nullptr && telemetry_flow_ < 0) {
+        telemetry_flow_ = static_cast<int>(flows_.size());
+        auto& rec = cfg_.telemetry->recorder();
+        rec.set_meta("algo", spec.algo);
+        rec.set_meta("seed", std::to_string(cfg_.seed));
+        rec.set_meta("interval_us", std::to_string(cfg_.telemetry->interval()));
+        rec.set_meta("fault_active", cfg_.fault.active() ? "1" : "0");
+        if (cfg_.fault.active()) {
+          rec.set_meta("fault_seed", std::to_string(cfg_.fault_seed));
+        }
+        auto& pipeline = cfg_.telemetry->pipeline();
+        pipeline.attach(&ctx->client->monitor(), &ctx->client->estimator());
+        taps.on_batch_end = [p = &pipeline](std::int64_t sf) {
+          p->on_batch_end(sf);
+        };
+        want_taps = true;
+      }
+    }
+    if (want_taps) ctx->client->set_taps(std::move(taps));
     // Batched: the client's monitor decodes all of one tick's cells at
     // once, fanning out on the pbecc::par pool when --threads > 1.
     bs_->add_pdcch_batch_observer(
@@ -284,10 +313,79 @@ void Scenario::schedule_bg_sessions(const BackgroundSpec& spec,
   arrival(arrival);
 }
 
+void Scenario::schedule_telemetry_sampling() {
+  if (!tel::kCompiled || cfg_.telemetry == nullptr || telemetry_flow_ < 0) {
+    return;
+  }
+  auto* ctx = flows_.at(static_cast<std::size_t>(telemetry_flow_)).get();
+  const mac::UeId ue = ctx->spec.ue;
+  tel::Recorder* rec = &cfg_.telemetry->recorder();
+  const util::Duration interval =
+      std::max<util::Duration>(cfg_.telemetry->interval(), util::kMillisecond);
+
+  const auto sample = [this, ue, rec, sender = ctx->sender.get(),
+                       client = ctx->client.get()](util::Time now) {
+    // Scheduler-side ground truth, one series set per active cell. The
+    // sampling event was scheduled before this tick's base-station event,
+    // so at t it reads state as of subframe t-1 — the same subframe the
+    // pipeline half's sample at t covers (estimator `now` convention).
+    for (const auto& gt : bs_->ground_truth(ue)) {
+      const std::string base = "truth.cell" + std::to_string(gt.cell) + ".";
+      rec->append_f64(base + "fair_bits_sf", "bits/sf", now, gt.fair_bits_sf);
+      rec->append_f64(base + "avail_bits_sf", "bits/sf", now, gt.avail_bits_sf);
+      rec->append_i64(base + "users", "users", now, gt.active_users);
+      rec->append_i64(base + "idle_prbs", "prbs", now, gt.idle_prbs);
+      rec->append_i64(base + "own_prbs", "prbs", now, gt.own_prbs);
+    }
+    // Flow transport state.
+    rec->append_f64("flow.pacing_bps", "bps", now,
+                    sender->controller().pacing_rate(now));
+    rec->append_f64("flow.cwnd_bytes", "bytes", now,
+                    sender->controller().cwnd_bytes(now));
+    rec->append_i64("flow.inflight_bytes", "bytes", now,
+                    static_cast<std::int64_t>(sender->bytes_in_flight()));
+    rec->append_i64("flow.delivered_bytes", "bytes", now,
+                    static_cast<std::int64_t>(sender->total_delivered_bytes()));
+    rec->append_i64("flow.srtt_us", "us", now, sender->smoothed_rtt());
+    // Degradation machine + client state (PBE flows).
+    if (const auto* ps =
+            dynamic_cast<const pbe::PbeSender*>(&sender->controller())) {
+      rec->append_i64("pbe.degradation_state", "state", now,
+                      static_cast<std::int64_t>(ps->degradation_state()));
+      rec->append_f64("pbe.confidence", "ratio", now,
+                      ps->degradation().confidence());
+      rec->append_f64("pbe.feedback_bps", "bps", now, ps->feedback_rate());
+      rec->append_i64("pbe.rtprop_us", "us", now, ps->rtprop());
+    }
+    if (client != nullptr) {
+      rec->append_i64("pbe.client_state", "state", now,
+                      static_cast<std::int64_t>(client->state()));
+    }
+    // Base-station queue depth and invariant violations.
+    rec->append_i64("bs.queue_bytes", "bytes", now, bs_->queue_bytes(ue));
+    rec->append_i64("check.violations", "count", now,
+                    static_cast<std::int64_t>(check::violations()));
+  };
+
+  // Recurring event on exact k*interval sim-clock boundaries. Each firing
+  // schedules the next, so a sample event always enters the queue before
+  // the same-timestamp base-station tick (FIFO tie-break) — see above.
+  const auto tick = [this, sample, interval](const auto& self) -> void {
+    const util::Time now = loop_.now();
+    const util::Time next = (now / interval) * interval + interval;
+    loop_.schedule_in(next - now, [this, sample, self] {
+      sample(loop_.now());
+      self(self);
+    });
+  };
+  tick(tick);
+}
+
 void Scenario::run_until(util::Time t) {
   if (!started_) {
     started_ = true;
     bs_->start();
+    schedule_telemetry_sampling();
     if (faults_ && cfg_.fault.handover_storm_duty > 0 &&
         cfg_.fault.handover_interval > 0) {
       // Storm driver: every handover_interval, while a storm window is

@@ -24,6 +24,10 @@ class TraceWriter;
 class PipelineDigest;
 }  // namespace pbecc::cap
 
+namespace pbecc::tel {
+class Sampler;
+}  // namespace pbecc::tel
+
 namespace pbecc::sim {
 
 struct CellSpec {
@@ -100,6 +104,11 @@ struct ScenarioConfig {
   // folded into `digest` for record→replay fidelity checks.
   cap::TraceWriter* capture = nullptr;
   cap::PipelineDigest* digest = nullptr;
+  // Run telemetry (pbecc::tel, unowned, may be null): the first PBE flow's
+  // measurement pipeline drives the sampler's est.*/decode.* series, and a
+  // sim-clock event loop samples ground truth, flow, degradation, queue and
+  // invariant series on the same cadence. No-op when PBECC_TEL is OFF.
+  tel::Sampler* telemetry = nullptr;
 };
 
 class Scenario {
@@ -141,6 +150,9 @@ class Scenario {
 
   void schedule_bg_sessions(const BackgroundSpec& spec,
                             std::vector<mac::UeId> users);
+  // Recurring sim-clock event recording truth/flow/degradation/queue
+  // series for the telemetry-attached flow (see attach_telemetry).
+  void schedule_telemetry_sampling();
   phy::Rnti rnti_for(mac::UeId ue) const;
 
   ScenarioConfig cfg_;
@@ -162,7 +174,8 @@ class Scenario {
   mac::UeId next_bg_ue_ = 10000;
   std::uint64_t bg_flow_seq_ = 1u << 20;
   bool started_ = false;
-  bool capture_attached_ = false;  // taps go to the first PBE flow only
+  bool capture_attached_ = false;    // taps go to the first PBE flow only
+  int telemetry_flow_ = -1;          // flow index telemetry samples, -1 = none
 };
 
 }  // namespace pbecc::sim

@@ -16,6 +16,7 @@
 #include "pbe/capacity_estimator.h"
 #include "phy/mcs.h"
 #include "phy/pdcch.h"
+#include "tel/sampler.h"
 #include "util/rng.h"
 #include "util/windowed_filter.h"
 
@@ -115,6 +116,13 @@ SoakReport run_pipeline_soak(const PipelineSoakConfig& cfg) {
       },
       [](phy::CellId) { return 0.002; },  // light monitor reception noise
       decoder::UserTrackerConfig{}, cfg.seed + 1);
+  if (tel::kCompiled && cfg.telemetry != nullptr) {
+    auto& rec = cfg.telemetry->recorder();
+    rec.set_meta("source", "pipeline_soak");
+    rec.set_meta("seed", std::to_string(cfg.seed));
+    rec.set_meta("interval_us", std::to_string(cfg.telemetry->interval()));
+    cfg.telemetry->pipeline().attach(&monitor, &estimator);
+  }
 
   // Background users per cell; RNTIs cycle through a per-cell free list so
   // a departing user's identifier is promptly reused by a new session.
@@ -235,6 +243,16 @@ SoakReport run_pipeline_soak(const PipelineSoakConfig& cfg) {
       batch.push_back(std::move(builder).build());
     }
     monitor.on_pdcch_batch(batch);
+    if (tel::kCompiled && cfg.telemetry != nullptr) {
+      cfg.telemetry->pipeline().on_batch_end(sf);
+      // check.violations rides the same cadence the pipeline half uses.
+      if (sf % std::max<std::int64_t>(
+                   cfg.telemetry->interval() / util::kSubframe, 1) == 0) {
+        cfg.telemetry->recorder().append_i64(
+            "check.violations", "count", util::subframe_start(sf + 1),
+            static_cast<std::int64_t>(check::violations()));
+      }
+    }
 
     // --- Drift lane. Three regimes, 100k subframes each: realistic large
     // positive rates; gappy low-rate traffic (drains the window, forcing

@@ -32,6 +32,10 @@
 
 #include "util/time.h"
 
+namespace pbecc::tel {
+class Sampler;
+}  // namespace pbecc::tel
+
 namespace pbecc::sim {
 
 struct PipelineSoakConfig {
@@ -49,6 +53,10 @@ struct PipelineSoakConfig {
   std::int64_t storm_len_sf = 2'000;          // ...this long, rotating fast
   std::int64_t window_jitter_period_sf = 5'000;  // RTprop window jitter
   std::int64_t check_period_sf = 1'000;       // bound + drift checks
+  // Optional run telemetry (unowned, may be null): the soak's monitor +
+  // estimator drive the sampler's pipeline half, plus a check.violations
+  // series on the same cadence. No-op when PBECC_TEL is OFF.
+  tel::Sampler* telemetry = nullptr;
 };
 
 struct MacSoakConfig {

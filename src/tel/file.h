@@ -1,0 +1,52 @@
+// On-disk format for telemetry recordings: `.tsv.pbt` (DESIGN.md §12).
+//
+// Layout (all little-endian, reusing the cap varint codec):
+//
+//   magic "PBTS" | u16 container version
+//   block*                      -- framed: u32 len | payload | u32 crc32
+//
+// The first block is the header (schema version, series count, sorted
+// meta key/value pairs); each following block is one series, in sorted
+// name order: name, unit, value kind, sample count, then the timestamps
+// as zigzag varint deltas and the values delta-coded (f64 as
+// varint(bits XOR previous bits), i64 as zigzag varint deltas). Delta
+// coding makes 10 ms cadence timestamps one byte each and flat stretches
+// of a series nearly free.
+//
+// Reading fails closed exactly like the .pbt trace reader: every length is
+// bounds-checked against a hard cap, every payload is CRC-verified, the
+// header's series count must match the blocks present, and trailing bytes
+// after the last series are an error — a truncated or bit-flipped file
+// yields an error message, never a silently shortened recording.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tel/series.h"
+
+namespace pbecc::tel {
+
+inline constexpr char kFileMagic[4] = {'P', 'B', 'T', 'S'};
+inline constexpr std::uint16_t kContainerVersion = 1;
+// No legitimate block approaches this; a corrupt length field must not
+// drive a multi-gigabyte allocation.
+inline constexpr std::uint32_t kMaxBlockBytes = 1u << 26;
+
+// Serialize the whole recording (meta + every series).
+std::vector<std::uint8_t> encode(const Recorder& rec);
+
+// Parse an encoded recording into `out` (which should be freshly
+// constructed). Returns false and sets `*err` on any malformed input;
+// `out` contents are unspecified on failure.
+bool decode(const std::uint8_t* data, std::size_t len, Recorder* out,
+            std::string* err);
+
+// File convenience wrappers. Both return false and set `*err` on I/O or
+// format errors.
+bool write_file(const Recorder& rec, const std::string& path,
+                std::string* err);
+bool read_file(const std::string& path, Recorder* out, std::string* err);
+
+}  // namespace pbecc::tel

@@ -1,0 +1,19 @@
+// Compile-time switch for the telemetry layer.
+//
+// The CMake option PBECC_TEL (default ON) defines PBECC_TEL_ENABLED on
+// every target that links pbecc_tel. When the option is OFF the API still
+// compiles — recorders drop samples on the floor and the wiring layers
+// skip installing sampling hooks entirely — so call sites never need
+// #ifdef guards and a release build pays nothing on the hot path (the
+// per-batch tap stays an unset std::function, exactly like PBECC_TRACE).
+#pragma once
+
+namespace pbecc::tel {
+
+#if defined(PBECC_TEL_ENABLED)
+inline constexpr bool kCompiled = true;
+#else
+inline constexpr bool kCompiled = false;
+#endif
+
+}  // namespace pbecc::tel

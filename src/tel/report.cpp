@@ -1,0 +1,444 @@
+#include "tel/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace pbecc::tel {
+
+namespace {
+
+constexpr double kPlotX0 = 56, kPlotX1 = 748, kPlotY0 = 10, kPlotY1 = 150;
+constexpr int kMaxPointsPerSeries = 1200;
+
+std::string esc(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string num(double v, const char* format = "%.6g") {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, format, v);
+  return buf;
+}
+
+struct ChartSeries {
+  const Series* s;
+  std::string label;
+  std::string css_class;  // series-1 / series-2
+};
+
+double x_of(util::Time t, util::Time t0, util::Time t1) {
+  const double span = std::max<double>(static_cast<double>(t1 - t0), 1.0);
+  return kPlotX0 + (static_cast<double>(t - t0) / span) * (kPlotX1 - kPlotX0);
+}
+
+double y_of(double v, double lo, double hi) {
+  const double span = std::max(hi - lo, 1e-12);
+  return kPlotY1 - ((v - lo) / span) * (kPlotY1 - kPlotY0);
+}
+
+// One line chart (single y axis). `spans` shade anomaly windows.
+std::string line_chart(const std::string& title, const std::string& unit,
+                       const std::vector<ChartSeries>& series,
+                       const std::vector<Anomaly>& spans) {
+  util::Time t0 = 0, t1 = 0;
+  double vmax = 0;
+  bool any = false;
+  for (const auto& cs : series) {
+    if (cs.s == nullptr || cs.s->size() == 0) continue;
+    if (!any) {
+      t0 = cs.s->t.front();
+      t1 = cs.s->t.back();
+      any = true;
+    } else {
+      t0 = std::min(t0, cs.s->t.front());
+      t1 = std::max(t1, cs.s->t.back());
+    }
+    for (std::size_t i = 0; i < cs.s->size(); ++i) {
+      vmax = std::max(vmax, cs.s->value(i));
+    }
+  }
+  if (!any) return "";
+  const double lo = 0, hi = vmax > 0 ? vmax * 1.05 : 1.0;
+
+  std::string svg;
+  svg += "<svg viewBox=\"0 0 760 176\" role=\"img\" aria-label=\"" +
+         esc(title) + "\">";
+  // Gridlines + axis labels (recessive chrome, text in muted ink).
+  for (const double frac : {0.0, 0.5, 1.0}) {
+    const double y = y_of(lo + frac * (hi - lo), lo, hi);
+    svg += "<line class=\"grid\" x1=\"" + num(kPlotX0) + "\" y1=\"" + num(y) +
+           "\" x2=\"" + num(kPlotX1) + "\" y2=\"" + num(y) + "\"/>";
+    svg += "<text class=\"tick\" x=\"" + num(kPlotX0 - 6) + "\" y=\"" +
+           num(y + 3) + "\" text-anchor=\"end\">" +
+           num(lo + frac * (hi - lo), "%.3g") + "</text>";
+  }
+  for (const double frac : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const util::Time t = t0 + static_cast<util::Time>(
+                                  frac * static_cast<double>(t1 - t0));
+    svg += "<text class=\"tick\" x=\"" + num(x_of(t, t0, t1)) +
+           "\" y=\"166\" text-anchor=\"middle\">" +
+           num(util::to_seconds(t), "%.1f") + "s</text>";
+  }
+  // Anomaly shading under the data marks.
+  for (const auto& a : spans) {
+    const double x0 = x_of(a.start, t0, t1), x1 = x_of(a.end, t0, t1);
+    svg += "<rect class=\"anomaly\" x=\"" + num(x0) + "\" y=\"" +
+           num(kPlotY0) + "\" width=\"" + num(std::max(x1 - x0, 2.0)) +
+           "\" height=\"" + num(kPlotY1 - kPlotY0) + "\"/>";
+  }
+  for (const auto& cs : series) {
+    if (cs.s == nullptr || cs.s->size() == 0) continue;
+    const std::size_t n = cs.s->size();
+    const std::size_t stride = std::max<std::size_t>(1, n / kMaxPointsPerSeries);
+    std::string pts;
+    for (std::size_t i = 0; i < n; i += stride) {
+      pts += num(x_of(cs.s->t[i], t0, t1), "%.1f") + "," +
+             num(y_of(cs.s->value(i), lo, hi), "%.1f") + " ";
+    }
+    svg += "<polyline class=\"line " + cs.css_class + "\" points=\"" + pts +
+           "\"/>";
+  }
+  svg += "<line class=\"cross\" x1=\"0\" y1=\"" + num(kPlotY0) +
+         "\" x2=\"0\" y2=\"" + num(kPlotY1) + "\" visibility=\"hidden\"/>";
+  svg += "</svg>";
+
+  // Embedded samples drive the hover tooltip (nearest timestamp).
+  std::string data = "[";
+  for (std::size_t k = 0; k < series.size(); ++k) {
+    const auto* s = series[k].s;
+    if (k) data += ",";
+    data += "{\"label\":\"" + esc(series[k].label) + "\",\"t\":[";
+    if (s != nullptr) {
+      const std::size_t stride =
+          std::max<std::size_t>(1, s->size() / kMaxPointsPerSeries);
+      for (std::size_t i = 0; i < s->size(); i += stride) {
+        if (i) data += ",";
+        data += num(util::to_seconds(s->t[i]), "%.3f");
+      }
+      data += "],\"v\":[";
+      bool first = true;
+      for (std::size_t i = 0; i < s->size(); i += stride) {
+        if (!first) data += ",";
+        first = false;
+        data += num(s->value(i), "%.6g");
+      }
+    } else {
+      data += "],\"v\":[";
+    }
+    data += "]}";
+  }
+  data += "]";
+
+  std::string html = "<figure class=\"chart\">";
+  html += "<figcaption>" + esc(title);
+  if (series.size() > 1) {
+    html += "<span class=\"legend\">";
+    for (const auto& cs : series) {
+      html += "<span class=\"key\"><span class=\"chip " + cs.css_class +
+              "\"></span>" + esc(cs.label) + "</span>";
+    }
+    html += "</span>";
+  }
+  html += "</figcaption>";
+  html += "<div class=\"plot\" data-unit=\"" + esc(unit) + "\">" + svg;
+  html += "<script type=\"application/json\" class=\"pts\">" + data +
+          "</script>";
+  html += "<div class=\"tip\" hidden></div></div></figure>";
+  return html;
+}
+
+const char* kStateNames[3] = {"PRECISE", "DEGRADED", "FALLBACK"};
+const char* kStateClasses[3] = {"st-good", "st-warn", "st-crit"};
+
+std::string state_timeline(const Series* st) {
+  if (st == nullptr || st->size() == 0) return "";
+  const util::Time t0 = st->t.front(), t1 = st->t.back();
+  std::string svg = "<svg viewBox=\"0 0 760 64\" role=\"img\" "
+                    "aria-label=\"degradation state timeline\">";
+  std::size_t i = 0;
+  while (i < st->size()) {
+    std::size_t j = i;
+    while (j + 1 < st->size() && st->i64[j + 1] == st->i64[i]) ++j;
+    const util::Time seg_end = j + 1 < st->size() ? st->t[j + 1] : t1;
+    const int state =
+        static_cast<int>(std::clamp<std::int64_t>(st->i64[i], 0, 2));
+    const double x0 = x_of(st->t[i], t0, t1), x1 = x_of(seg_end, t0, t1);
+    svg += "<rect class=\"" + std::string(kStateClasses[state]) + "\" x=\"" +
+           num(x0) + "\" y=\"10\" width=\"" + num(std::max(x1 - x0, 1.0)) +
+           "\" height=\"24\"><title>" + kStateNames[state] + " " +
+           num(util::to_seconds(st->t[i]), "%.2f") + "s-" +
+           num(util::to_seconds(seg_end), "%.2f") + "s</title></rect>";
+    // Direct label when the segment is wide enough to hold it — state is
+    // never encoded by color alone.
+    if (x1 - x0 > 70) {
+      svg += "<text class=\"seg\" x=\"" + num((x0 + x1) / 2) +
+             "\" y=\"26\" text-anchor=\"middle\">" + kStateNames[state] +
+             "</text>";
+    }
+    i = j + 1;
+  }
+  for (const double frac : {0.0, 0.5, 1.0}) {
+    const util::Time t = t0 + static_cast<util::Time>(
+                                  frac * static_cast<double>(t1 - t0));
+    svg += "<text class=\"tick\" x=\"" + num(x_of(t, t0, t1)) +
+           "\" y=\"52\" text-anchor=\"middle\">" +
+           num(util::to_seconds(t), "%.1f") + "s</text>";
+  }
+  svg += "</svg>";
+  std::string html = "<figure class=\"chart\"><figcaption>Degradation state"
+                     "<span class=\"legend\">";
+  for (int s = 0; s < 3; ++s) {
+    html += "<span class=\"key\"><span class=\"chip " +
+            std::string(kStateClasses[s]) + "\"></span>" + kStateNames[s] +
+            "</span>";
+  }
+  html += "</span></figcaption>" + svg + "</figure>";
+  return html;
+}
+
+std::string stat_tile(const std::string& label, const std::string& value,
+                      const std::string& detail) {
+  return "<div class=\"tile\"><div class=\"tile-label\">" + esc(label) +
+         "</div><div class=\"tile-value\">" + esc(value) +
+         "</div><div class=\"tile-detail\">" + esc(detail) + "</div></div>";
+}
+
+// Styling follows the repo's chart conventions: validated categorical
+// palette (slot 1 blue, slot 2 orange), status colors paired with text
+// labels, text in ink tokens, dark mode as its own selected steps.
+const char* kCss = R"css(
+:root { color-scheme: light dark; }
+body {
+  margin: 0; padding: 24px; background: #f9f9f7; color: #0b0b0b;
+  font: 14px/1.5 system-ui, -apple-system, "Segoe UI", sans-serif;
+  --surface-1: #fcfcfb; --text-primary: #0b0b0b; --text-secondary: #52514e;
+  --muted: #898781; --grid: #e1e0d9; --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6; --series-2: #eb6834;
+  --st-good: #0ca30c; --st-warn: #fab219; --st-crit: #d03b3b;
+}
+@media (prefers-color-scheme: dark) {
+  body {
+    background: #0d0d0d; color: #ffffff;
+    --surface-1: #1a1a19; --text-primary: #ffffff; --text-secondary: #c3c2b7;
+    --muted: #898781; --grid: #2c2c2a; --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5; --series-2: #d95926;
+  }
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+.sub { color: var(--text-secondary); margin-bottom: 20px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; margin-bottom: 20px; }
+.tile {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 16px; min-width: 150px;
+}
+.tile-label { color: var(--text-secondary); font-size: 12px; }
+.tile-value { font-size: 26px; font-weight: 600; }
+.tile-detail { color: var(--muted); font-size: 12px; }
+figure.chart {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px 16px; margin: 0 0 16px; max-width: 820px;
+}
+figcaption {
+  font-weight: 600; margin-bottom: 6px;
+  display: flex; justify-content: space-between; align-items: baseline;
+}
+.legend { font-weight: 400; font-size: 12px; color: var(--text-secondary); }
+.key { margin-left: 12px; }
+.chip {
+  display: inline-block; width: 10px; height: 10px; border-radius: 2px;
+  margin-right: 4px; vertical-align: baseline;
+}
+.chip.series-1 { background: var(--series-1); }
+.chip.series-2 { background: var(--series-2); }
+.chip.st-good { background: var(--st-good); }
+.chip.st-warn { background: var(--st-warn); }
+.chip.st-crit { background: var(--st-crit); }
+svg { width: 100%; height: auto; display: block; }
+.line { fill: none; stroke-width: 2; stroke-linejoin: round; }
+.line.series-1 { stroke: var(--series-1); }
+.line.series-2 { stroke: var(--series-2); }
+.grid { stroke: var(--grid); stroke-width: 1; }
+.tick, .seg { font-size: 10px; fill: var(--muted); }
+.seg { fill: #0b0b0b; font-weight: 600; }
+rect.st-good { fill: var(--st-good); }
+rect.st-warn { fill: var(--st-warn); }
+rect.st-crit { fill: var(--st-crit); }
+.anomaly { fill: var(--st-crit); opacity: 0.12; }
+.cross { stroke: var(--muted); stroke-width: 1; stroke-dasharray: 3 3; }
+.plot { position: relative; }
+.tip {
+  position: absolute; pointer-events: none; background: var(--surface-1);
+  border: 1px solid var(--border); border-radius: 6px; padding: 4px 8px;
+  font-size: 12px; color: var(--text-primary); white-space: nowrap;
+  box-shadow: 0 2px 8px rgba(0,0,0,0.15);
+}
+table { border-collapse: collapse; background: var(--surface-1); }
+th, td {
+  border: 1px solid var(--grid); padding: 4px 10px; text-align: right;
+  font-variant-numeric: tabular-nums;
+}
+th:first-child, td:first-child { text-align: left; }
+details { margin-bottom: 16px; }
+summary { cursor: pointer; color: var(--text-secondary); }
+)css";
+
+// Hover crosshair + tooltip: nearest sample by x, all series' values.
+const char* kJs = R"js(
+document.querySelectorAll('.plot').forEach(function (plot) {
+  var svg = plot.querySelector('svg');
+  var tip = plot.querySelector('.tip');
+  var cross = plot.querySelector('.cross');
+  var ptsEl = plot.querySelector('.pts');
+  if (!svg || !tip || !cross || !ptsEl) return;
+  var series = JSON.parse(ptsEl.textContent);
+  if (!series.length || !series[0].t.length) return;
+  var t0 = Infinity, t1 = -Infinity;
+  series.forEach(function (s) {
+    if (s.t.length) { t0 = Math.min(t0, s.t[0]); t1 = Math.max(t1, s.t[s.t.length - 1]); }
+  });
+  var X0 = 56, X1 = 748;
+  svg.addEventListener('mousemove', function (ev) {
+    var box = svg.getBoundingClientRect();
+    var xv = (ev.clientX - box.left) / box.width * 760;
+    if (xv < X0 || xv > X1) { tip.hidden = true; cross.setAttribute('visibility', 'hidden'); return; }
+    var tq = t0 + (xv - X0) / (X1 - X0) * (t1 - t0);
+    var lines = [tq.toFixed(2) + ' s'];
+    series.forEach(function (s) {
+      if (!s.t.length) return;
+      var lo = 0, hi = s.t.length - 1;
+      while (hi - lo > 1) { var m = (lo + hi) >> 1; if (s.t[m] < tq) lo = m; else hi = m; }
+      var i = (tq - s.t[lo] < s.t[hi] - tq) ? lo : hi;
+      lines.push(s.label + ': ' + Number(s.v[i]).toPrecision(4));
+    });
+    tip.textContent = lines.join('  ·  ');
+    tip.hidden = false;
+    tip.style.left = Math.min(ev.clientX - box.left + 12, box.width - 160) + 'px';
+    tip.style.top = '4px';
+    cross.setAttribute('x1', xv); cross.setAttribute('x2', xv);
+    cross.setAttribute('visibility', 'visible');
+  });
+  svg.addEventListener('mouseleave', function () {
+    tip.hidden = true; cross.setAttribute('visibility', 'hidden');
+  });
+});
+)js";
+
+}  // namespace
+
+std::string render_html(const Recorder& rec, const Summary& summary,
+                        const std::string& title) {
+  std::string html = "<!doctype html><html><head><meta charset=\"utf-8\">";
+  html += "<meta name=\"viewport\" content=\"width=device-width\">";
+  html += "<title>" + esc(title) + "</title><style>" + kCss +
+          "</style></head><body>";
+  html += "<h1>" + esc(title) + "</h1>";
+  std::string sub = "span " +
+                    num(util::to_seconds(summary.t_end - summary.t_begin),
+                        "%.1f") +
+                    " s · " + std::to_string(summary.n_series) + " series · " +
+                    std::to_string(summary.n_samples) + " samples";
+  for (const auto& [k, v] : rec.meta()) sub += " · " + k + "=" + v;
+  html += "<div class=\"sub\">" + esc(sub) + "</div>";
+
+  // --- Stat tiles.
+  html += "<div class=\"tiles\">";
+  for (const auto& c : summary.cells) {
+    if (c.err.n == 0) continue;
+    html += stat_tile("cell " + c.cell + " P95 rel error",
+                      num(c.err.p95_rel * 100, "%.1f") + "%",
+                      "P50 " + num(c.err.p50_rel * 100, "%.1f") + "% over " +
+                          std::to_string(c.err.n) + " samples");
+  }
+  if (summary.final_decode_success >= 0) {
+    html += stat_tile("decode success",
+                      num(summary.final_decode_success * 100, "%.1f") + "%",
+                      summary.candidates_per_sec >= 0
+                          ? num(summary.candidates_per_sec, "%.0f") +
+                                " candidates/s"
+                          : "");
+  }
+  if (summary.violations >= 0) {
+    html += stat_tile("invariant violations",
+                      std::to_string(summary.violations),
+                      summary.violations == 0 ? "clean run" : "check failed");
+  }
+  if (!summary.anomalies.empty() || !summary.cells.empty()) {
+    html += stat_tile("anomaly windows",
+                      std::to_string(summary.anomalies.size()),
+                      "rel error above bound");
+  }
+  html += "</div>";
+
+  // --- Per-cell capacity vs estimate.
+  for (const auto& c : summary.cells) {
+    std::vector<Anomaly> spans;
+    for (const auto& a : summary.anomalies) {
+      if (a.cell == c.cell) spans.push_back(a);
+    }
+    html += line_chart(
+        "Cell " + c.cell + " — schedulable capacity vs estimate", "bits/sf",
+        {{rec.find("truth.cell" + c.cell + ".fair_bits_sf"), "ground truth",
+          "series-1"},
+         {rec.find("est.cell" + c.cell + ".cf_bits_sf"), "estimate",
+          "series-2"}},
+        spans);
+  }
+
+  html += state_timeline(rec.find("pbe.degradation_state"));
+
+  html += line_chart("Sender pacing rate vs PBE feedback", "bps",
+                     {{rec.find("flow.pacing_bps"), "pacing", "series-1"},
+                      {rec.find("pbe.feedback_bps"), "feedback", "series-2"}},
+                     {});
+  html += line_chart("Base-station queue depth", "bytes",
+                     {{rec.find("bs.queue_bytes"), "queue", "series-1"}}, {});
+  html += line_chart("Decode success rate", "ratio",
+                     {{rec.find("decode.success_rate"), "success", "series-1"}},
+                     {});
+
+  // --- Accessible table view of the summary numbers.
+  html += "<details><summary>Summary table</summary><table><tr>"
+          "<th>cell</th><th>samples</th><th>P50 rel</th><th>P95 rel</th>"
+          "<th>mean rel</th><th>steps</th><th>mean lag ms</th></tr>";
+  for (const auto& c : summary.cells) {
+    html += "<tr><td>" + esc(c.cell) + "</td><td>" +
+            std::to_string(c.err.n) + "</td><td>" +
+            num(c.err.p50_rel * 100, "%.2f") + "%</td><td>" +
+            num(c.err.p95_rel * 100, "%.2f") + "%</td><td>" +
+            num(c.err.mean_rel * 100, "%.2f") + "%</td><td>" +
+            std::to_string(c.lag.steps) + "</td><td>" +
+            num(c.lag.mean_lag_ms, "%.0f") + "</td></tr>";
+  }
+  html += "</table></details>";
+
+  if (!summary.anomalies.empty()) {
+    html += "<details open><summary>Anomalies</summary><table><tr>"
+            "<th>cell</th><th>start s</th><th>end s</th><th>peak rel</th>"
+            "<th>samples</th></tr>";
+    for (const auto& a : summary.anomalies) {
+      html += "<tr><td>" + esc(a.cell) + "</td><td>" +
+              num(util::to_seconds(a.start), "%.2f") + "</td><td>" +
+              num(util::to_seconds(a.end), "%.2f") + "</td><td>" +
+              num(a.peak_rel_err * 100, "%.0f") + "%</td><td>" +
+              std::to_string(a.samples) + "</td></tr>";
+    }
+    html += "</table></details>";
+  }
+
+  html += "<script>" + std::string(kJs) + "</script></body></html>";
+  return html;
+}
+
+}  // namespace pbecc::tel

@@ -1,0 +1,20 @@
+// Self-contained single-file HTML dashboard for one telemetry recording:
+// per-cell capacity-vs-estimate charts with anomaly shading, the
+// degradation-state timeline, flow-rate and queue sparklines, and the
+// summary statistics as stat tiles plus an accessible table view. No
+// external assets — inline SVG and a few lines of vanilla JS for the
+// hover crosshair — so the file can be attached to CI runs and opened
+// anywhere.
+#pragma once
+
+#include <string>
+
+#include "tel/analyze.h"
+#include "tel/series.h"
+
+namespace pbecc::tel {
+
+std::string render_html(const Recorder& rec, const Summary& summary,
+                        const std::string& title);
+
+}  // namespace pbecc::tel

@@ -110,11 +110,52 @@ TEST_F(ObsTest, PercentileMonotoneOnWideRange) {
   }
 }
 
+TEST_F(ObsTest, PercentileOnEmptyHistogramIsZero) {
+  ExpHistogram h;
+  for (double p : {0.0, 50.0, 95.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(p), 0.0) << "p" << p;
+  }
+}
+
+TEST_F(ObsTest, PercentileWithSingleSampleIsThatSample) {
+  if constexpr (!kCompiled) GTEST_SKIP() << "record() compiled out";
+  ExpHistogram h;
+  h.record(37);
+  // Every quantile of a one-sample distribution is the sample; the [min,max]
+  // clamp must collapse the bucket-midpoint estimate to it exactly.
+  for (double p : {0.0, 1.0, 50.0, 95.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(h.percentile(p), 37.0) << "p" << p;
+  }
+}
+
+TEST_F(ObsTest, PercentileWithAllSamplesInOneBucket) {
+  if constexpr (!kCompiled) GTEST_SKIP() << "record() compiled out";
+  ExpHistogram h;
+  // 100 samples, all in bucket [64, 128).
+  for (int i = 0; i < 100; ++i) h.record(64 + (i % 64));
+  EXPECT_DOUBLE_EQ(h.percentile(0), 64.0);
+  EXPECT_DOUBLE_EQ(h.percentile(100), 127.0);
+  // Interior quantiles all resolve to the same bucket estimate, clamped
+  // within the exact extremes — monotone and in-range by construction.
+  double prev = 64.0;
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    const double q = h.percentile(p);
+    EXPECT_GE(q, prev) << "p" << p;
+    EXPECT_GE(q, 64.0) << "p" << p;
+    EXPECT_LE(q, 127.0) << "p" << p;
+    prev = q;
+  }
+}
+
 TEST_F(ObsTest, RegistryJsonContainsEverything) {
   counter("decoder.test_counter").inc(3);
   gauge("pbe.test_gauge").set(1.5);
   histogram("prof.test_hist").record(100);
   const std::string json = Registry::instance().to_json();
+  // Versioned schema, and the version leads the object so consumers can
+  // dispatch before parsing the sections.
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+  EXPECT_LT(json.find("\"schema_version\""), json.find("\"counters\""));
   EXPECT_NE(json.find("\"decoder.test_counter\""), std::string::npos);
   EXPECT_NE(json.find("\"pbe.test_gauge\""), std::string::npos);
   EXPECT_NE(json.find("\"prof.test_hist\""), std::string::npos);
