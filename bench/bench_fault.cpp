@@ -13,11 +13,22 @@
 // the sender must re-enter PRECISE within 500 ms (sim time) of the feed
 // returning.
 //
-// Exits non-zero if either assertion fails (CI-friendly).
+// Part 3 is the hybrid win-condition matrix (ISSUE 7 / DESIGN.md §13):
+// every canned fault profile x {pbe, bbr, hybrid}. The hybrid
+// (confidence-weighted PBE x delay-gradient blend) must deliver at least
+// 0.95x the best single estimator's throughput at PBE-like tail delay on
+// each chaos profile, and match PBE within 2% on the clean profile.
 //
-//   --telemetry <path>  sample the Part-2 recovery run into a .tsv.pbt
-//                       telemetry recording (the degradation-state
-//                       timeline is the interesting series here)
+// Exits non-zero if any assertion fails (CI-friendly).
+//
+//   --telemetry <path>   sample the Part-2 recovery run into a .tsv.pbt
+//                        telemetry recording (the degradation-state
+//                        timeline is the interesting series here)
+//   --chaos-json <path>  write the Part-3 matrix as a JSON array of
+//                        self-describing records (schema_version, fault
+//                        profile + seed, algo, throughput/delay metrics)
+//                        for bench_gate.py's `chaos` subcommand
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -25,6 +36,7 @@
 #include <memory>
 
 #include "bench/bench_common.h"
+#include "fault/fault.h"
 #include "pbe/pbe_sender.h"
 #include "sim/location.h"
 #include "sim/scenario.h"
@@ -53,15 +65,19 @@ int main(int argc, char** argv) {
   bench::Reporter rep("bench_fault", argc, argv);
   const util::Duration flow_len = bench::flow_seconds(argc, argv, 12);
   std::string telemetry_path;
+  std::string chaos_json_path;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--telemetry") == 0) telemetry_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--chaos-json") == 0) {
+      chaos_json_path = argv[i + 1];
+    }
   }
   bench::header("Chaos sweep: throughput/delay vs DCI-blackout intensity");
 
   // ---------------- Part 1: intensity sweep, PBE-CC vs plain BBR.
   // Every (algo, duty) point is an independent simulation: pool fan-out.
   const double duties[] = {0.0, 0.25, 0.5, 0.75, 1.0};
-  const std::vector<std::string> algos = {"pbe", "bbr"};
+  const std::vector<std::string> algos = {"pbe", "bbr", "hybrid"};
   struct Job {
     std::string algo;
     double duty;
@@ -87,7 +103,7 @@ int main(int argc, char** argv) {
                 jobs[j].duty, r.avg_tput_mbps, r.median_delay_ms,
                 r.p95_delay_ms);
   }
-  rep.add("2algo_x_5duty", wt.ms(),
+  rep.add("3algo_x_5duty", wt.ms(),
           static_cast<double>(sim_sfs) / (wt.ms() / 1000.0), attempts);
 
   // Under total blackout PBE-CC *is* its fallback BBR (after a short
@@ -162,6 +178,110 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(
                       telemetry->recorder().total_samples()),
                   telemetry_path.c_str());
+    }
+  }
+
+  // ---------------- Part 3: hybrid win-condition matrix over the canned
+  // chaos profiles. One independent simulation per (profile, algo) cell.
+  bench::header("Hybrid win conditions: canned profiles x {pbe, bbr, hybrid}");
+  {
+    constexpr std::uint64_t kChaosSeed = 1;
+    const auto& profiles = fault::profile_names();
+    const std::vector<std::string> chaos_algos = {"pbe", "bbr", "hybrid"};
+    struct Cell {
+      std::string profile;
+      std::string algo;
+    };
+    std::vector<Cell> cells;
+    for (const auto& p : profiles) {
+      for (const auto& a : chaos_algos) cells.push_back({p, a});
+    }
+    bench::WallTimer cwt;
+    std::uint64_t chaos_sfs = 0, chaos_attempts = 0;
+    const auto cell_results = par::parallel_map(cells.size(), [&](std::size_t j) {
+      const auto profile = fault::profile_by_name(cells[j].profile);
+      return sim::run_location(sim::location(kLocation), cells[j].algo,
+                               flow_len,
+                               profile->active() ? &*profile : nullptr,
+                               kChaosSeed);
+    });
+    std::map<std::string, std::map<std::string, sim::LocationRunResult>> m;
+    std::printf("\n  %-16s %-8s %10s %10s %10s\n", "profile", "algo",
+                "tput(Mb)", "p50-d(ms)", "p95-d(ms)");
+    for (std::size_t j = 0; j < cells.size(); ++j) {
+      const auto& r = cell_results[j];
+      m[cells[j].profile][cells[j].algo] = r;
+      chaos_sfs += r.sim_cell_subframes;
+      chaos_attempts += r.decode_candidates;
+      std::printf("  %-16s %-8s %10.2f %10.1f %10.1f\n",
+                  cells[j].profile.c_str(), cells[j].algo.c_str(),
+                  r.avg_tput_mbps, r.median_delay_ms, r.p95_delay_ms);
+    }
+    rep.add("chaos_matrix", cwt.ms(),
+            static_cast<double>(chaos_sfs) / (cwt.ms() / 1000.0),
+            chaos_attempts);
+
+    // Win conditions (also re-derived from the JSON by bench_gate.py
+    // `chaos`, so the CI artifact is auditable on its own):
+    //   chaos profiles: hybrid tput >= 0.95 x max(pbe, bbr)
+    //                   and hybrid p95 delay <= 1.1 x pbe p95;
+    //   clean profile:  hybrid tput within 2% of pbe.
+    std::printf("\n");
+    for (const auto& p : profiles) {
+      const auto& pbe = m[p]["pbe"];
+      const auto& bbr = m[p]["bbr"];
+      const auto& hyb = m[p]["hybrid"];
+      bool cell_ok;
+      if (p == "none") {
+        cell_ok = hyb.avg_tput_mbps >= 0.98 * pbe.avg_tput_mbps;
+        std::printf("  %-16s hybrid %.2f vs pbe %.2f Mbit/s "
+                    "(need >= 0.98x) %s\n",
+                    p.c_str(), hyb.avg_tput_mbps, pbe.avg_tput_mbps,
+                    cell_ok ? "ok" : "FAIL");
+      } else {
+        const double floor =
+            0.95 * std::max(pbe.avg_tput_mbps, bbr.avg_tput_mbps);
+        const double delay_cap = 1.1 * pbe.p95_delay_ms;
+        const bool tput_ok = hyb.avg_tput_mbps >= floor;
+        const bool delay_ok = hyb.p95_delay_ms <= delay_cap;
+        cell_ok = tput_ok && delay_ok;
+        std::printf("  %-16s hybrid %.2f Mbit/s (need >= %.2f) %s, "
+                    "p95 %.1f ms (need <= %.1f) %s\n",
+                    p.c_str(), hyb.avg_tput_mbps, floor,
+                    tput_ok ? "ok" : "FAIL", hyb.p95_delay_ms, delay_cap,
+                    delay_ok ? "ok" : "FAIL");
+      }
+      ok = ok && cell_ok;
+    }
+
+    if (!chaos_json_path.empty()) {
+      // Self-describing records, PR-6 JSON convention: schema_version
+      // first, fixed key order, fault profile + seed inline so a chaos
+      // artifact can be gated (and re-audited) with no side channel.
+      FILE* f = std::fopen(chaos_json_path.c_str(), "w");
+      if (!f) {
+        std::perror("--chaos-json open");
+        return 2;
+      }
+      std::fprintf(f, "[\n");
+      for (std::size_t j = 0; j < cells.size(); ++j) {
+        const auto& r = cell_results[j];
+        std::fprintf(
+            f,
+            "  {\"schema_version\": 1, \"bench\": \"bench_fault\", "
+            "\"part\": \"chaos\", \"fault_profile\": \"%s\", "
+            "\"fault_seed\": %llu, \"algo\": \"%s\", "
+            "\"flow_seconds\": %.1f, \"tput_mbps\": %.3f, "
+            "\"p50_delay_ms\": %.2f, \"p95_delay_ms\": %.2f}%s\n",
+            cells[j].profile.c_str(),
+            static_cast<unsigned long long>(kChaosSeed),
+            cells[j].algo.c_str(), util::to_seconds(flow_len),
+            r.avg_tput_mbps, r.median_delay_ms, r.p95_delay_ms,
+            j + 1 < cells.size() ? "," : "");
+      }
+      std::fprintf(f, "]\n");
+      if (std::fclose(f) != 0) return 2;
+      std::printf("\n  chaos matrix -> %s\n", chaos_json_path.c_str());
     }
   }
 

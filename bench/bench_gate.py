@@ -27,6 +27,17 @@ Subcommands:
       Rewrite BASELINE from BENCH, dropping fields that should not be
       pinned (wall_ms varies with the machine; subframes_per_sec is the
       gated signal).
+
+  chaos CHAOS_JSON [--tput-factor 0.95] [--delay-factor 1.10]
+           [--clean-factor 0.98]
+      Gate the hybrid win conditions on the Part-3 matrix bench_fault
+      emits via --chaos-json (records keyed by fault_profile + algo,
+      schema_version 1). Per chaos profile the hybrid must reach
+      TPUT_FACTOR x the best single estimator's throughput at
+      DELAY_FACTOR x PBE's P95 delay; on the clean profile ("none") it
+      must stay within CLEAN_FACTOR of PBE. The conditions are re-derived
+      here from the raw records, independent of the C++ assertions — a
+      bench binary that silently stopped enforcing them still fails CI.
 """
 
 import argparse
@@ -116,6 +127,48 @@ def cmd_write_baseline(args):
     return 0
 
 
+def cmd_chaos(args):
+    records = [r for r in load_records(args.chaos)
+               if r.get("part") == "chaos"]
+    if not records:
+        raise SystemExit(f"{args.chaos}: no part=chaos records")
+    matrix = {}
+    for r in records:
+        matrix.setdefault(r["fault_profile"], {})[r["algo"]] = r
+    failures = []
+    for profile, algos in sorted(matrix.items()):
+        missing = {"pbe", "bbr", "hybrid"} - set(algos)
+        if missing:
+            print(f"  INCOMPLETE {profile}: missing {sorted(missing)}")
+            failures.append(profile)
+            continue
+        pbe, bbr, hyb = algos["pbe"], algos["bbr"], algos["hybrid"]
+        if profile == "none":
+            need = args.clean_factor * pbe["tput_mbps"]
+            ok = hyb["tput_mbps"] >= need
+            print(f"  {'ok' if ok else 'FAIL':5s}{profile:16s} hybrid "
+                  f"{hyb['tput_mbps']:.2f} vs pbe {pbe['tput_mbps']:.2f} "
+                  f"Mbit/s (need >= {need:.2f})")
+        else:
+            need_tput = args.tput_factor * max(pbe["tput_mbps"],
+                                               bbr["tput_mbps"])
+            need_p95 = args.delay_factor * pbe["p95_delay_ms"]
+            ok = (hyb["tput_mbps"] >= need_tput
+                  and hyb["p95_delay_ms"] <= need_p95)
+            print(f"  {'ok' if ok else 'FAIL':5s}{profile:16s} hybrid "
+                  f"{hyb['tput_mbps']:.2f} Mbit/s (need >= {need_tput:.2f}), "
+                  f"p95 {hyb['p95_delay_ms']:.1f} ms "
+                  f"(need <= {need_p95:.1f})")
+        if not ok:
+            failures.append(profile)
+    if failures:
+        print(f"{len(failures)} chaos profile(s) failed the hybrid win "
+              f"conditions: {', '.join(failures)}")
+        return 1
+    print(f"chaos gate passed ({len(matrix)} profiles)")
+    return 0
+
+
 def main():
     p = argparse.ArgumentParser(description=__doc__)
     sub = p.add_subparsers(dest="cmd", required=True)
@@ -135,6 +188,13 @@ def main():
     w.add_argument("bench")
     w.add_argument("baseline")
     w.set_defaults(fn=cmd_write_baseline)
+
+    ch = sub.add_parser("chaos")
+    ch.add_argument("chaos")
+    ch.add_argument("--tput-factor", type=float, default=0.95)
+    ch.add_argument("--delay-factor", type=float, default=1.10)
+    ch.add_argument("--clean-factor", type=float, default=0.98)
+    ch.set_defaults(fn=cmd_chaos)
 
     args = p.parse_args()
     return args.fn(args)

@@ -4,7 +4,12 @@
 // command line and can emit machine-readable CSV for plotting.
 //
 //   run_experiment [options]
-//     --algo NAME        pbe|abc|bbr|cubic|copa|verus|sprout|pcc|vivace|all
+//     --algo NAME        pbe|abc|bbr|cubic|copa|verus|sprout|pcc|vivace|
+//                        gcc|hybrid|all  (--cc is an alias)
+//     --blend-* KNOB     hybrid tuning: --blend-zero-trust,
+//                        --blend-full-trust, --blend-deadband,
+//                        --blend-hold-ms, --blend-divergence-ratio,
+//                        --blend-penalty (see DESIGN.md §13)
 //     --location IDX     location profile 0..39 (default 2)
 //     --seconds N        flow length (default 12)
 //     --seed N           override the location's seed
@@ -88,13 +93,23 @@ struct Options {
   std::string telemetry;  // .tsv.pbt telemetry output
   int telemetry_interval_ms = 10;
   bool strict_checks = false;
+  sim::HybridBlendOverrides blend{};  // --blend-* knobs (hybrid only)
 };
 
 void usage(std::FILE* out) {
   std::fprintf(out,
                "usage: run_experiment [options]\n"
                "  --algo NAME        pbe|abc|bbr|cubic|copa|verus|sprout|pcc|"
-               "vivace|all (default pbe)\n"
+               "vivace|gcc|hybrid|all (default pbe; --cc is an alias)\n"
+               "  --blend-zero-trust X / --blend-full-trust X\n"
+               "                     hybrid: confidence endpoints of the\n"
+               "                     PHY-weight ramp (defaults 0.35 / 0.80)\n"
+               "  --blend-deadband X / --blend-hold-ms MS\n"
+               "                     hybrid: committed-weight hysteresis\n"
+               "                     (defaults 0.10 / 200)\n"
+               "  --blend-divergence-ratio X / --blend-penalty X\n"
+               "                     hybrid: cross-check trip ratio and\n"
+               "                     confidence penalty (defaults 1.6 / 0.45)\n"
                "  --location IDX     location profile 0..%d (default 2)\n"
                "  --seconds N        flow length (default 12)\n"
                "  --seed N           override the location's seed\n"
@@ -134,6 +149,20 @@ Options parse(int argc, char** argv) {
     };
     if (!std::strcmp(argv[i], "--algo")) {
       o.algo = need("--algo");
+    } else if (!std::strcmp(argv[i], "--cc")) {
+      o.algo = need("--cc");  // alias: congestion-control vocabulary
+    } else if (!std::strcmp(argv[i], "--blend-zero-trust")) {
+      o.blend.zero_trust_below = std::atof(need("--blend-zero-trust"));
+    } else if (!std::strcmp(argv[i], "--blend-full-trust")) {
+      o.blend.full_trust_above = std::atof(need("--blend-full-trust"));
+    } else if (!std::strcmp(argv[i], "--blend-deadband")) {
+      o.blend.deadband = std::atof(need("--blend-deadband"));
+    } else if (!std::strcmp(argv[i], "--blend-hold-ms")) {
+      o.blend.hold_ms = std::atof(need("--blend-hold-ms"));
+    } else if (!std::strcmp(argv[i], "--blend-divergence-ratio")) {
+      o.blend.divergence_ratio = std::atof(need("--blend-divergence-ratio"));
+    } else if (!std::strcmp(argv[i], "--blend-penalty")) {
+      o.blend.divergence_penalty = std::atof(need("--blend-penalty"));
     } else if (!std::strcmp(argv[i], "--location")) {
       o.location = std::atoi(need("--location"));
     } else if (!std::strcmp(argv[i], "--seconds")) {
@@ -182,17 +211,18 @@ Options parse(int argc, char** argv) {
                  "captures a live simulation or replays an existing trace\n");
     std::exit(2);
   }
-  if (!o.record.empty() && o.algo != "pbe") {
+  const bool pbe_pipeline = o.algo == "pbe" || o.algo == "hybrid";
+  if (!o.record.empty() && !pbe_pipeline) {
     std::fprintf(stderr,
                  "--record captures the PBE measurement pipeline and needs "
-                 "--algo pbe (got '%s')\n",
+                 "--algo pbe or hybrid (got '%s')\n",
                  o.algo.c_str());
     std::exit(2);
   }
-  if (!o.telemetry.empty() && o.replay.empty() && o.algo != "pbe") {
+  if (!o.telemetry.empty() && o.replay.empty() && !pbe_pipeline) {
     std::fprintf(stderr,
                  "--telemetry samples the PBE measurement pipeline and needs "
-                 "--algo pbe (got '%s')\n",
+                 "--algo pbe or hybrid (got '%s')\n",
                  o.algo.c_str());
     std::exit(2);
   }
@@ -392,6 +422,7 @@ int finish_checks(const Options& o) {
 
 int main(int argc, char** argv) {
   const Options o = parse(argc, argv);
+  sim::set_hybrid_blend_overrides(o.blend);
   if (!o.replay.empty()) {
     const int rc = run_replay(o);
     const int checks = finish_checks(o);

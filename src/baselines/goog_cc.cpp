@@ -1,0 +1,46 @@
+#include "baselines/goog_cc.h"
+
+#include <algorithm>
+
+namespace pbecc::baselines {
+
+GoogCc::GoogCc(GoogCcConfig cfg)
+    : cfg_(cfg), bwe_(cfg.bwe), rtprop_(cfg.rtprop_window) {}
+
+void GoogCc::on_ack(const net::AckSample& s) {
+  if (s.rtt > 0) {
+    rtprop_.update(s.now, s.rtt);
+    last_rtt_ = s.rtt;
+  }
+  bwe_.on_ack(s);
+  // A delay target below the loss cap means the delay path has caught up
+  // with (and gone under) the loss event; retire the cap.
+  if (loss_cap_ > 0 && bwe_.target_bps() <= loss_cap_) loss_cap_ = 0.0;
+}
+
+void GoogCc::on_loss(const net::LossSample& s) {
+  if (last_loss_cut_ >= 0 && s.now - last_loss_cut_ < cfg_.loss_backoff_hold) {
+    return;  // one cut per burst
+  }
+  const double basis = loss_cap_ > 0
+                           ? std::min<double>(loss_cap_, bwe_.target_bps())
+                           : bwe_.target_bps();
+  loss_cap_ = std::max(cfg_.loss_beta * basis, cfg_.bwe.aimd.min_rate);
+  last_loss_cut_ = s.now;
+}
+
+util::RateBps GoogCc::pacing_rate(util::Time) const {
+  const util::RateBps target = bwe_.target_bps();
+  if (loss_cap_ > 0) return std::min<util::RateBps>(target, loss_cap_);
+  return target;
+}
+
+double GoogCc::cwnd_bytes(util::Time now) const {
+  const util::Duration rtprop = rtprop_.get(now, last_rtt_);
+  const double bdp = pacing_rate(now) / util::kBitsPerByte *
+                     util::to_seconds(std::max<util::Duration>(rtprop, 1));
+  return std::max(cfg_.cwnd_gain * bdp,
+                  4.0 * static_cast<double>(cfg_.bwe.aimd.mss));
+}
+
+}  // namespace pbecc::baselines

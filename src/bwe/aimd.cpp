@@ -1,0 +1,162 @@
+#include "bwe/aimd.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pbecc::bwe {
+
+namespace {
+// EWMA retention for the capacity tracker (goog_cc uses ~0.05 sample
+// weight on both mean and deviation).
+constexpr double kSampleWeight = 0.05;
+// Samples this many normalized deviations outside the band reset the
+// tracker instead of updating it.
+constexpr double kResetDeviations = 3.0;
+}  // namespace
+
+void LinkCapacityTracker::on_overuse(double acked_bps) {
+  if (acked_bps <= 0) return;
+  if (!estimate_bps_.has_value()) {
+    estimate_bps_ = acked_bps;
+    return;
+  }
+  const double est = *estimate_bps_;
+  const double err = acked_bps - est;
+  estimate_bps_ = est + kSampleWeight * err;
+  // Normalized variance so the band scales with the link. goog_cc's
+  // clamp constants ([0.4, 2.5e3]) are calibrated for kbps, so normalize
+  // in that domain — in raw bps the band collapses to a few hundred bps
+  // and "near capacity" would never trigger.
+  const double norm_kbps = std::max(est, 1.0) / 1e3;
+  var_norm_ = (1.0 - kSampleWeight) * var_norm_ +
+              kSampleWeight * (err / 1e3) * (err / 1e3) / norm_kbps;
+  var_norm_ = std::clamp(var_norm_, 0.4, 2.5e3);
+}
+
+void LinkCapacityTracker::maybe_reset(double estimate_bps) {
+  if (!estimate_bps_.has_value()) return;
+  if (std::abs(estimate_bps - *estimate_bps_) >
+      kResetDeviations * stddev_bps()) {
+    estimate_bps_.reset();
+    var_norm_ = 0.4;
+  }
+}
+
+double LinkCapacityTracker::stddev_bps() const {
+  if (!estimate_bps_.has_value()) return 0.0;
+  return 1e3 * std::sqrt(var_norm_ * std::max(*estimate_bps_, 1.0) / 1e3);
+}
+
+AimdRateControl::AimdRateControl(AimdConfig cfg, util::RateBps initial_rate)
+    : cfg_(cfg),
+      target_(std::clamp(initial_rate, cfg.min_rate, cfg.max_rate)),
+      initial_target_(target_) {}
+
+void AimdRateControl::seed(util::RateBps bps) {
+  const util::RateBps seeded =
+      std::clamp(std::max(target_, bps), cfg_.min_rate, cfg_.max_rate);
+  if (seeded > target_) {
+    target_ = seeded;
+    seeded_ = true;
+  }
+}
+
+void AimdRateControl::change_state(BandwidthUsage usage) {
+  // goog_cc's RateControlState transitions: overuse always decreases,
+  // underuse always holds (the queue is draining — wait), normal leaves
+  // hold for increase (and a completed decrease re-arms via hold).
+  switch (usage) {
+    case BandwidthUsage::kOverusing:
+      state_ = State::kDecrease;
+      break;
+    case BandwidthUsage::kUnderusing:
+      state_ = State::kHold;
+      break;
+    case BandwidthUsage::kNormal:
+      if (state_ == State::kHold || state_ == State::kDecrease) {
+        state_ = State::kIncrease;
+      }
+      break;
+  }
+}
+
+util::RateBps AimdRateControl::update(util::Time now, BandwidthUsage usage,
+                                      double acked_bps, util::Duration rtt) {
+  change_state(usage);
+  if (first_update_ < 0) first_update_ = now;
+  const bool in_startup_grace = now - first_update_ < cfg_.startup_grace;
+  const double dt_s =
+      last_update_ >= 0
+          ? std::min(util::to_seconds(now - last_update_), 1.0)
+          : 0.0;
+  last_update_ = now;
+
+  switch (state_) {
+    case State::kHold:
+      break;
+    case State::kDecrease: {
+      const util::Duration spacing = std::clamp(
+          rtt, cfg_.min_decrease_interval, cfg_.max_decrease_interval);
+      if (last_decrease_ >= 0 && now - last_decrease_ < spacing) {
+        state_ = State::kHold;
+        break;
+      }
+      // Cut below what the path just delivered; that acked bitrate is a
+      // capacity-revealing sample for the tracker.
+      const double basis = acked_bps > 0 ? acked_bps : target_;
+      if (!in_startup_grace) capacity_.on_overuse(basis);
+      target_ = std::min<util::RateBps>(target_, cfg_.beta * basis);
+      last_decrease_ = now;
+      seeded_ = false;  // the cut is fresh evidence; the seed is spent
+      // One cut per verdict: go to hold until the trendline reports
+      // normal again (change_state re-arms increase from there).
+      state_ = State::kHold;
+      break;
+    }
+    case State::kIncrease: {
+      // No growth without delivery evidence. When the ACK stream is too
+      // sparse for an acked-bitrate estimate the max_vs_acked clamp below
+      // is inert and the trendline window never fills — multiplicative
+      // growth would then run away with nothing able to stop it (the
+      // feedback-loss chaos profile turns exactly this into a standing
+      // queue).
+      if (acked_bps <= 0) break;
+      const bool near_capacity =
+          capacity_.has_estimate() &&
+          std::abs(target_ - capacity_.estimate_bps()) <
+              kResetDeviations * capacity_.stddev_bps();
+      if (near_capacity) {
+        // Additive: about one MSS per RTT (scaled to this update's dt).
+        const double rtt_s = std::max(util::to_seconds(rtt), 1e-3);
+        const double additive_bps_per_s =
+            static_cast<double>(cfg_.mss) * util::kBitsPerByte / rtt_s;
+        target_ += additive_bps_per_s * dt_s;
+      } else {
+        const double rate = in_startup_grace ? cfg_.startup_increase_per_second
+                                             : cfg_.increase_per_second;
+        target_ *= std::pow(rate, dt_s);
+      }
+      capacity_.maybe_reset(target_);
+      break;
+    }
+  }
+
+  if (seeded_ && acked_bps > 0 &&
+      cfg_.max_vs_acked * acked_bps >= target_) {
+    seeded_ = false;  // delivery caught up with the seed; clamp re-arms
+  }
+  if (acked_bps > 0 && state_ == State::kIncrease && !seeded_) {
+    // Growth, not cuts, is what the clamp disciplines: the target may not
+    // run more than max_vs_acked ahead of what the path demonstrably
+    // delivers. Applying it outside kIncrease would let a transient dip in
+    // the acked estimate drag an already-committed target down.
+    target_ = std::min<util::RateBps>(target_, cfg_.max_vs_acked * acked_bps);
+  }
+  if (in_startup_grace) {
+    target_ = std::max(target_, initial_target_);
+  }
+  target_ = std::clamp(target_, cfg_.min_rate, cfg_.max_rate);
+  return target_;
+}
+
+}  // namespace pbecc::bwe

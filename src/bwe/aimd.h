@@ -1,0 +1,141 @@
+// AIMD rate control for the delay-gradient estimator, after goog_cc's
+// AimdRateControl + LinkCapacityTracker (SNIPPETS.md snippet 2;
+// /root/related naivertc idiom). The trendline's verdict drives a
+// three-state controller:
+//
+//   kOverusing  -> Decrease: cut to beta x the acked bitrate and teach the
+//                  capacity tracker what the link just demonstrated;
+//   kUnderusing -> Hold: the queue built by an overshoot is draining —
+//                  touching the rate now would misread the transient;
+//   kNormal     -> Increase: multiplicative (8%/s) while far from the
+//                  tracked link capacity, additive (~one MSS per RTT) once
+//                  inside its confidence band.
+//
+// The LinkCapacityTracker keeps an EWMA of capacity-revealing samples
+// (acked bitrate at each overuse-triggered decrease) plus a variance
+// estimate; "near capacity" means within 3 standard deviations, which is
+// what flips increase from multiplicative to additive. Estimates far
+// outside the band reset the tracker — the link genuinely changed.
+#pragma once
+
+#include <optional>
+
+#include "net/packet.h"
+#include "util/rate.h"
+#include "util/time.h"
+
+#include "bwe/trendline.h"
+
+namespace pbecc::bwe {
+
+class LinkCapacityTracker {
+ public:
+  // A capacity-revealing sample: the acked bitrate at the moment overuse
+  // forced a decrease (the link was saturated, so this *is* capacity).
+  void on_overuse(double acked_bps);
+  // A delay-based estimate far outside the band invalidates the tracked
+  // capacity (handover, carrier change): start over.
+  void maybe_reset(double estimate_bps);
+
+  bool has_estimate() const { return estimate_bps_.has_value(); }
+  double estimate_bps() const { return estimate_bps_.value_or(0.0); }
+  // Standard deviation of the tracked capacity, in bps.
+  double stddev_bps() const;
+
+ private:
+  std::optional<double> estimate_bps_;
+  // Variance is tracked normalized by the estimate (goog_cc idiom) so a
+  // 100 Mbit/s link and a 1 Mbit/s link use comparable bands.
+  double var_norm_ = 0.4;
+};
+
+struct AimdConfig {
+  double beta = 0.9;  // multiplicative decrease factor
+  // Multiplicative increase while far from the tracked capacity. Stock
+  // goog_cc uses 1.08/s — tuned for video sources that also send probe
+  // bursts. This estimator has no prober and must re-find cellular
+  // capacity on its own after an outage, so it climbs much faster and
+  // relies on the trendline cut (plus the max_vs_acked clamp) to rein in
+  // the overshoot.
+  double increase_per_second = 2.0;
+  util::RateBps min_rate = 1e5;
+  util::RateBps max_rate = 2.5e9;
+  std::int32_t mss = net::kDefaultMss;
+  // Increase is clamped to this multiple of the acked bitrate, so the
+  // target cannot run away from what the path demonstrably delivers.
+  double max_vs_acked = 1.25;
+  // Minimum spacing between multiplicative decreases. A sustained overuse
+  // verdict arrives on every ACK; cutting on each one compounds through
+  // the acked bitrate (pace lower -> deliver lower -> cut lower) and
+  // spirals to the floor. One cut, then let the queue drain and the acked
+  // estimate settle before judging again. The effective interval is the
+  // smoothed RTT clamped to [min_decrease_interval, max_decrease_interval].
+  util::Duration min_decrease_interval = 150 * util::kMillisecond;
+  // Upper clamp on that spacing. The RTT fed in includes the queue the
+  // overshoot itself built, so after a sharp capacity drop it can inflate
+  // faster than wall-clock time passes — an uncapped spacing then recedes
+  // forever and the controller never cuts again while the queue grows
+  // without bound (cut-starvation spiral; see bwe_test's capacity-drop
+  // convergence test).
+  util::Duration max_decrease_interval = 500 * util::kMillisecond;
+  // Growth rate during startup_grace. The steady-state rate is tuned for
+  // re-finding capacity after an outage, but a fresh flow knows nothing —
+  // like BBR's startup it should discover the link in RTTs, not seconds.
+  // The max_vs_acked clamp stays active, so the effective climb is a
+  // ladder bounded by demonstrated delivery, not open-loop growth.
+  double startup_increase_per_second = 6.0;
+  // For this long after the first update the target will not drop below
+  // the initial rate, and overuse cuts do not teach the capacity tracker.
+  // The first verdicts of a flow fire on the startup-burst delay
+  // transient with an acked basis that reflects the pacing ramp, not the
+  // link; cutting on them digs a hole that takes seconds to climb out of
+  // (and seeds the tracker with a bogus "capacity").
+  util::Duration startup_grace = util::kSecond;
+};
+
+class AimdRateControl {
+ public:
+  explicit AimdRateControl(AimdConfig cfg, util::RateBps initial_rate);
+
+  // One verdict from the trendline; `acked_bps` is the current acked
+  // bitrate (0 when unknown), `rtt` the smoothed RTT.
+  util::RateBps update(util::Time now, BandwidthUsage usage, double acked_bps,
+                       util::Duration rtt);
+
+  // Raise the target to at least `bps` (clamped to the configured range).
+  // Used by the hybrid sender to jump-start the sidecar from server-side
+  // capacity memory when the PHY feed collapses — the next overuse verdict
+  // cuts it right back if the memory is stale.
+  void seed(util::RateBps bps);
+
+  util::RateBps target_bps() const { return target_; }
+  const LinkCapacityTracker& link_capacity() const { return capacity_; }
+  // Time of the most recent overuse cut (-1 if none yet). The hybrid
+  // sender treats a fresh cut as congestion evidence that quarantines
+  // claim re-seeding.
+  util::Time last_decrease() const { return last_decrease_; }
+  // Exposed for tests: true while the controller is in its post-overuse
+  // hold (underuse / queue draining).
+  bool holding() const { return state_ == State::kHold; }
+
+ private:
+  enum class State { kHold, kIncrease, kDecrease };
+
+  void change_state(BandwidthUsage usage);
+
+  AimdConfig cfg_;
+  LinkCapacityTracker capacity_;
+  util::RateBps target_;
+  util::RateBps initial_target_;
+  State state_ = State::kHold;
+  util::Time first_update_ = -1;
+  util::Time last_update_ = -1;
+  util::Time last_decrease_ = -1;
+  // True between seed() and the first piece of evidence (an overuse cut,
+  // or the acked bitrate catching up): the max_vs_acked clamp is
+  // suspended, otherwise it would snap the seeded target straight back to
+  // the pre-seed acked level and the jump-start would be a no-op.
+  bool seeded_ = false;
+};
+
+}  // namespace pbecc::bwe

@@ -1,0 +1,70 @@
+#include "bwe/delay_bwe.h"
+
+#include <algorithm>
+
+namespace pbecc::bwe {
+
+DelayBasedBwe::DelayBasedBwe(DelayBasedBweConfig cfg)
+    : cfg_(cfg),
+      trendline_(cfg.trendline),
+      aimd_(cfg.aimd, cfg.initial_rate),
+      ack_rate_(cfg.ack_rate_window),
+      ack_rate_long_(cfg.ack_rate_long_window),
+      target_(std::clamp(cfg.initial_rate, cfg.aimd.min_rate,
+                         cfg.aimd.max_rate)) {}
+
+void DelayBasedBwe::on_ack(const net::AckSample& s) {
+  if (last_ack_ >= 0 && s.now - last_ack_ > cfg_.silence_reset) {
+    // The queue the old window described drained (or the path changed)
+    // during the gap; stale slope points would fake an under/overuse.
+    trendline_.reset();
+  }
+  last_ack_ = s.now;
+
+  // Acked bitrate: mean of the driver's delivery-rate samples over a short
+  // window. App-limited samples still count — they lower-bound capacity
+  // and the AIMD only uses acked_bps as a cut basis / runaway clamp.
+  // Until a window first holds a few samples the estimate is reported as
+  // 0 (unknown): the first packets of a flow produce wild per-packet
+  // rates that must not become a cut basis or growth clamp. Under heavy
+  // ACK loss the short window may never fill again, so a longer window
+  // backs it up — with acked stuck at 0 the AIMD has no sane cut basis
+  // (it cuts against its own target, compounding into a hole) and no
+  // growth clamp (it runs away into a standing queue). Once known the
+  // estimate stays sticky across spells both windows miss.
+  if (s.delivery_rate > 0) {
+    ack_rate_.update(s.now, s.delivery_rate);
+    ack_rate_long_.update(s.now, s.delivery_rate);
+  }
+  if (ack_rate_.size() >= 8) {
+    acked_bps_ = ack_rate_.get(s.now, acked_bps_);
+  } else if (ack_rate_long_.size() >= 8) {
+    acked_bps_ = ack_rate_long_.get(s.now, acked_bps_);
+  }
+
+  trendline_.update(s.now, util::to_seconds(s.one_way_delay) * 1e3);
+  target_ = aimd_.update(s.now, trendline_.state(), acked_bps_, s.rtt);
+  // Sparse-ACK cap: when the short acked window cannot fill but the long
+  // one still does, delivery is ACK-clocked (cwnd stalls, not pacing,
+  // bound it) and the AIMD's usual max_vs_acked headroom stands as queue
+  // instead of buying throughput — hold the target to a tight probing
+  // margin over measured delivery. When even the long window is starved
+  // the sticky estimate is stale, and capping against it freezes the
+  // flow at whatever rate the starvation began at; there the AIMD's own
+  // growth is the only probe left, so let it run (the trendline window
+  // is count-based and stays live on whatever ACKs do arrive, so a wrong
+  // guess is still cut within a verdict).
+  if (ack_rate_.size() < 8 && ack_rate_long_.size() >= 8 &&
+      acked_bps_ > 0) {
+    target_ = std::clamp(
+        std::min(target_, cfg_.sparse_headroom * acked_bps_),
+        cfg_.aimd.min_rate, cfg_.aimd.max_rate);
+  }
+}
+
+void DelayBasedBwe::seed_target(util::RateBps bps) {
+  aimd_.seed(bps);
+  target_ = aimd_.target_bps();
+}
+
+}  // namespace pbecc::bwe

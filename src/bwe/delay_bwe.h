@@ -1,0 +1,88 @@
+// DelayBasedBwe: the complete endpoint-only delay-gradient bandwidth
+// estimator (goog_cc lineage — trendline filter -> adaptive overuse
+// detector -> AIMD rate control with a LinkCapacityTracker).
+//
+// Two roles in this repository (ROADMAP item 4 / DESIGN.md §13):
+//   * standalone congestion controller (baselines::GoogCc, algo "gcc"),
+//     the delay-based baseline the paper's family of competitors lacked;
+//   * always-on sidecar inside the hybrid PBE sender: it consumes the
+//     same AckSample stream the PHY feedback rides in on, so whenever the
+//     physical-layer estimate goes blind or rogue there is a continuously
+//     maintained, endpoint-only estimate to blend toward.
+//
+// Everything here is a pure function of the ACK stream — no RNG, no wall
+// clock — so hybrid runs stay byte-identical across thread counts and
+// record→replay (the determinism suite gates this).
+#pragma once
+
+#include "net/congestion_controller.h"
+#include "util/windowed_filter.h"
+
+#include "bwe/aimd.h"
+#include "bwe/trendline.h"
+
+namespace pbecc::bwe {
+
+struct DelayBasedBweConfig {
+  TrendlineConfig trendline{};
+  AimdConfig aimd{};
+  util::RateBps initial_rate = 2e6;
+  // Acked-bitrate estimate: mean of the flow driver's delivery-rate
+  // samples over this window (uses util::WindowedMean, which already
+  // carries the exact re-sum discipline from DESIGN.md §10).
+  util::Duration ack_rate_window = 250 * util::kMillisecond;
+  // A silence longer than this resets the trendline window: delay samples
+  // from before a feed gap describe a queue that no longer exists.
+  util::Duration silence_reset = 500 * util::kMillisecond;
+  // Fallback window for the acked-bitrate estimate when ACK loss keeps
+  // the short window from filling (see delay_bwe.cpp).
+  util::Duration ack_rate_long_window = util::kSecond;
+  // Growth headroom over the acked estimate while in that sparse-ACK
+  // regime. Much tighter than aimd.max_vs_acked: an ACK-starved
+  // transport cannot turn pacing headroom into delivery, so anything
+  // beyond a small probing margin just stands as queue.
+  double sparse_headroom = 1.3;
+};
+
+class DelayBasedBwe {
+ public:
+  explicit DelayBasedBwe(DelayBasedBweConfig cfg = {});
+
+  // Feed every ACK (works for any flow; only now / one_way_delay /
+  // delivery_rate / rtt are consumed).
+  void on_ack(const net::AckSample& s);
+
+  // Jump-start the target to at least `bps` (hybrid: server-side capacity
+  // memory, applied when the PHY feed collapses). Evidence-safe — the next
+  // overuse verdict cuts an overambitious seed right back.
+  void seed_target(util::RateBps bps);
+
+  // The delay-based target rate. Const and clock-free on purpose: the
+  // value advances only with ACKs, so concurrent telemetry sampling reads
+  // the same committed state the pacing path does.
+  util::RateBps target_bps() const { return target_; }
+  double acked_bps() const { return acked_bps_; }
+  // True while the short acked window is full — the dense-ACK regime in
+  // which delivery evidence is fresh enough to corroborate (or cut) an
+  // ambitious seed within a window or two.
+  bool acked_fresh() const { return ack_rate_.size() >= 8; }
+
+  // Introspection for telemetry, the blend, and tests.
+  const TrendlineEstimator& trendline() const { return trendline_; }
+  const AimdRateControl& aimd() const { return aimd_; }
+  BandwidthUsage usage() const { return trendline_.state(); }
+
+ private:
+  DelayBasedBweConfig cfg_;
+  TrendlineEstimator trendline_;
+  AimdRateControl aimd_;
+  util::WindowedMean ack_rate_;
+  // Longer-window backup: still holds enough samples when ACK loss makes
+  // the short window unfillable.
+  util::WindowedMean ack_rate_long_;
+  util::Time last_ack_ = -1;
+  util::RateBps target_;
+  double acked_bps_ = 0.0;
+};
+
+}  // namespace pbecc::bwe

@@ -39,6 +39,8 @@ constexpr EventSchema kSchemas[kNumEventKinds] = {
      nullptr, false},
     {"degradation_switch", "pbe", nullptr, "old_state", "new_state", nullptr,
      nullptr, false},
+    {"estimator_cross_check", "pbe", nullptr, "diverged", nullptr, "phy_bps",
+     "delay_bps", false},
 };
 
 // Append one `"label": value` fragment per used payload slot.

@@ -46,6 +46,7 @@ enum class EventKind : std::uint8_t {
   // fault
   kFaultInjected,      // id=cell, id2=fault type (fault::FaultType), a=detail
   kDegradationSwitch,  // id2=old state, a=new state (pbe::DegradationState)
+  kEstimatorCrossCheck,  // id2=1 diverged / 0 agreed, x=phy_bps, y=delay_bps
   kKindCount,          // sentinel
 };
 

@@ -10,12 +10,101 @@ void DegradationMachine::on_feedback(util::Time now, double confidence) {
   advance(now);
 }
 
+double DegradationMachine::effective_confidence() const {
+  const double penalty =
+      diverged_ ? cfg_.blend.divergence_penalty : 1.0;
+  return std::clamp(conf_ * penalty, 0.0, 1.0);
+}
+
+void DegradationMachine::on_estimates(util::Time now, double phy_bps,
+                                      double delay_bps, double acked_bps,
+                                      double memory_bps, bool overusing) {
+  if (!cfg_.blend.enabled || last_feedback_ < 0) return;
+  last_phy_bps_ = phy_bps;
+  last_memory_bps_ = memory_bps;
+  if (delay_bps > 0 && phy_bps > 0) {
+    // Overclaiming (false DCIs, stale cell state) needs congestion
+    // corroboration: pacing at an honest PHY rate builds no queue, so a
+    // lying feed cannot avoid tripping `overusing` for long. Underclaiming
+    // is judged against capacity memory, not acked bitrate: pacing follows
+    // the claim, so acked collapses to match any underreport within one
+    // window and delivery evidence alone can never refute it. Note the
+    // clean-run invariant that keeps both branches quiet: delay_bps <=
+    // max_vs_acked x acked and acked tracks the PHY pace, so with
+    // divergence_ratio > max_vs_acked an honest feed cannot trip the
+    // overclaim branch, and honest cell-share variation stays well inside
+    // memory_ratio.
+    const bool overclaim =
+        overusing && phy_bps > cfg_.blend.divergence_ratio * delay_bps;
+    const bool underclaim =
+        memory_bps > 0 && memory_bps > cfg_.blend.memory_ratio * phy_bps;
+    const bool agree = phy_bps <= cfg_.blend.agree_ratio * delay_bps &&
+                       (acked_bps <= 0 ||
+                        acked_bps <= cfg_.blend.agree_ratio * phy_bps);
+    if (overclaim || underclaim) {
+      if (diverge_since_ < 0) diverge_since_ = now;
+      agree_since_ = -1;
+      if (!diverged_ &&
+          now - diverge_since_ >= cfg_.blend.divergence_after) {
+        diverged_ = true;
+        if (cross_check_hook_) cross_check_hook_(now, phy_bps, delay_bps, true);
+      }
+    } else {
+      diverge_since_ = -1;
+      if (agree) {
+        if (agree_since_ < 0) agree_since_ = now;
+        if (diverged_ && now - agree_since_ >= cfg_.blend.agree_hold) {
+          diverged_ = false;
+          if (cross_check_hook_) {
+            cross_check_hook_(now, phy_bps, delay_bps, false);
+          }
+        }
+      } else {
+        agree_since_ = -1;
+      }
+    }
+  }
+  update_weight(now);
+  advance(now);
+}
+
+void DegradationMachine::update_weight(util::Time now) {
+  const bool stale = now - last_feedback_ > cfg_.feedback_timeout;
+  const double conf = stale ? 0.0 : effective_confidence();
+  const double lo = cfg_.blend.zero_trust_below;
+  const double hi = cfg_.blend.full_trust_above;
+  const double target =
+      std::clamp((conf - lo) / std::max(hi - lo, 1e-9), 0.0, 1.0);
+  // Deadband + hold: at most one committed move per hold window, and no
+  // move at all for noise smaller than the deadband. (The hold is safe in
+  // the downward direction too because the pacing blend separately floors
+  // itself at the delay target whenever memory contradicts the claim — a
+  // stuck-high weight on a floor report cannot throttle the flow.)
+  if (std::abs(target - blend_weight_) <= cfg_.blend.deadband) return;
+  if (last_weight_commit_ >= 0 &&
+      now - last_weight_commit_ < cfg_.blend.hold) {
+    return;
+  }
+  // Up-moves pay one extra gate: no commit while capacity memory
+  // contradicts the claim. A feed that recovers decode health while still
+  // reporting a floor/stale rate must not reclaim weight 1 for the
+  // divergence detector's full trip time.
+  if (target > blend_weight_ && last_memory_bps_ > 0 && last_phy_bps_ > 0 &&
+      last_memory_bps_ > cfg_.blend.memory_ratio * last_phy_bps_) {
+    return;
+  }
+  blend_weight_ = target;
+  last_weight_commit_ = now;
+}
+
 void DegradationMachine::advance(util::Time now) {
   if (last_feedback_ < 0) return;  // not engaged until first valid feedback
 
+  const double conf = effective_confidence();
   const bool stale = now - last_feedback_ > cfg_.feedback_timeout;
-  const bool healthy = !stale && conf_ >= cfg_.recover_above;
-  const bool unhealthy = stale || conf_ < cfg_.degrade_below;
+  const bool healthy = !stale && conf >= cfg_.recover_above;
+  const bool unhealthy = stale || conf < cfg_.degrade_below;
+  if (cfg_.blend.enabled) update_weight(now);
 
   if (healthy) {
     if (healthy_since_ < 0) healthy_since_ = now;

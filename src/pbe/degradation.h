@@ -35,6 +35,55 @@ enum class DegradationState : std::uint8_t {
   kFallback = 2,
 };
 
+// Confidence-weighted blending of the PHY capacity estimate with the
+// delay-gradient sidecar (DESIGN.md §13). Off by default: the discrete
+// PRECISE/DEGRADED/FALLBACK behaviour is exactly what it was before the
+// hybrid existed. When enabled, the machine additionally maintains
+//
+//   * a blend weight w in [0,1] — the share of pacing authority the PHY
+//     estimate holds. w maps from *effective* confidence: 1 at or above
+//     full_trust_above (clean runs are bit-identical to pure PBE), 0 at or
+//     below zero_trust_below, linear between. The committed weight moves
+//     only when the target has left a deadband around it AND a hold has
+//     elapsed since the last commit, so bounded confidence noise can flip
+//     it at most once per hold window;
+//   * a divergence verdict — PHY sustainedly claiming more than the
+//     delay-gradient estimate confirms (the dangerous direction: false
+//     DCIs and stale cell state inflate capacity; underclaiming is merely
+//     conservative) multiplies the confidence fed to both the state
+//     machine and the weight by divergence_penalty until the two
+//     estimates agree again for agree_hold.
+struct BlendConfig {
+  bool enabled = false;
+  // Effective-confidence endpoints of the weight ramp. full_trust_above
+  // sits above recover_above so a link healthy enough to be PRECISE but
+  // jittery still cedes a little authority to the delay estimate.
+  double zero_trust_below = 0.35;
+  double full_trust_above = 0.80;
+  // Committed-weight hysteresis: move only if |target - committed| exceeds
+  // the deadband and `hold` has passed since the previous move.
+  double deadband = 0.10;
+  util::Duration hold = 200 * util::kMillisecond;
+  // Divergence: phy > divergence_ratio x delay estimate, sustained for
+  // divergence_after, flags the PHY feed; agreement (phy back inside
+  // agree_ratio x delay) sustained for agree_hold clears it.
+  double divergence_ratio = 1.6;
+  double agree_ratio = 1.3;
+  // Underclaim: server-side capacity memory (recent BtlBw / achieved-rate
+  // maximum) exceeding memory_ratio x the claim flags the feed from the
+  // other side. Memory, not instantaneous acked bitrate, because pacing
+  // follows the claim: within one window acked collapses to match any
+  // underreport, and the lie becomes self-consistent. 2.0 = "the path
+  // delivered twice your claim seconds ago" — far outside honest
+  // cell-share variation, so clean runs never trip it.
+  double memory_ratio = 2.0;
+  util::Duration divergence_after = 300 * util::kMillisecond;
+  util::Duration agree_hold = 200 * util::kMillisecond;
+  // Multiplier on the raw confidence while diverged. 0.45 x a perfect 1.0
+  // lands below degrade_below, so a confidently-wrong feed still degrades.
+  double divergence_penalty = 0.45;
+};
+
 struct DegradationConfig {
   // Confidence below this is unhealthy; above recover_above is healthy;
   // the band in between holds the current state (dual-threshold
@@ -55,6 +104,8 @@ struct DegradationConfig {
   util::Duration recover_hold = 100 * util::kMillisecond;
   // DEGRADED hold-and-decay half-life for the held pacing rate.
   util::Duration hold_half_life = 500 * util::kMillisecond;
+  // Hybrid blending (inert unless blend.enabled).
+  BlendConfig blend{};
 };
 
 class DegradationMachine {
@@ -62,13 +113,45 @@ class DegradationMachine {
   // (now, from, to) — fired on every state change, after state_ updates.
   using TransitionHook =
       std::function<void(util::Time, DegradationState, DegradationState)>;
+  // (now, phy_bps, delay_bps, diverged) — fired each time the divergence
+  // verdict flips (both directions), after diverged_ updates. The sender
+  // turns this into the kEstimatorCrossCheck obs event.
+  using CrossCheckHook =
+      std::function<void(util::Time, double, double, bool)>;
 
   explicit DegradationMachine(DegradationConfig cfg = {}) : cfg_(cfg) {}
 
   void set_transition_hook(TransitionHook hook) { hook_ = std::move(hook); }
+  void set_cross_check_hook(CrossCheckHook hook) {
+    cross_check_hook_ = std::move(hook);
+  }
 
   // A valid (plausible) feedback word arrived carrying this confidence.
   void on_feedback(util::Time now, double confidence);
+
+  // Hybrid only: both estimators' current opinions, once per ACK.
+  // `phy_bps` is the PHY capacity claim, `delay_bps` the delay-gradient
+  // target, `acked_bps` the measured acked bitrate (0 when unknown),
+  // `memory_bps` the server-side capacity memory (recent BtlBw /
+  // achieved-rate maximum, 0 when unknown), and `overusing` the
+  // trendline's current verdict. Two divergence modes:
+  //
+  //   overclaim  — phy > divergence_ratio x delay WHILE overusing. The
+  //                congestion evidence is required because a low delay
+  //                target with no delay growth merely means the sidecar
+  //                has not had to probe that high (it is not driving
+  //                pacing) — not that the PHY feed lies.
+  //   underclaim — memory > memory_ratio x phy. The path having recently
+  //                delivered far more than the claim refutes it; memory
+  //                is used instead of acked because pacing-at-the-claim
+  //                drags acked down to the claim within one window.
+  //
+  // Either, sustained for divergence_after, flags the feed. Runs the
+  // divergence detector and the blend-weight commit. No-op unless
+  // blend.enabled — legacy callers never reach this, so discrete-machine
+  // behaviour is untouched.
+  void on_estimates(util::Time now, double phy_bps, double delay_bps,
+                    double acked_bps, double memory_bps, bool overusing);
 
   // Advance the clock (call from every ack and packet send); drives the
   // watchdog when feedback stops arriving entirely.
@@ -79,19 +162,37 @@ class DegradationMachine {
   // connection that has not yet heard from its client.
   bool engaged() const { return last_feedback_ >= 0; }
   double confidence() const { return conf_; }
+  // Raw confidence x divergence penalty — what the state machine and the
+  // blend weight actually consume.
+  double effective_confidence() const;
+  // Committed share of pacing authority held by the PHY estimate. 1.0
+  // whenever blending is disabled.
+  double phy_weight() const { return blend_weight_; }
+  bool diverged() const { return diverged_; }
   util::Time last_feedback_time() const { return last_feedback_; }
   const DegradationConfig& config() const { return cfg_; }
 
  private:
   void transition(util::Time now, DegradationState to);
+  void update_weight(util::Time now);
 
   DegradationConfig cfg_;
   TransitionHook hook_;
+  CrossCheckHook cross_check_hook_;
   DegradationState state_ = DegradationState::kPrecise;
   double conf_ = 1.0;
   util::Time last_feedback_ = -1;
   util::Time healthy_since_ = -1;
   util::Time unhealthy_since_ = -1;
+  // Blend state (inert unless cfg_.blend.enabled).
+  double blend_weight_ = 1.0;
+  util::Time last_weight_commit_ = -1;
+  bool diverged_ = false;
+  util::Time diverge_since_ = -1;
+  util::Time agree_since_ = -1;
+  // Latest estimator snapshot (for the up-move agreement gate).
+  double last_phy_bps_ = 0.0;
+  double last_memory_bps_ = 0.0;
 };
 
 }  // namespace pbecc::pbe

@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "baselines/bbr.h"
+#include "bwe/delay_bwe.h"
 #include "net/congestion_controller.h"
 #include "pbe/degradation.h"
 #include "pbe/misreport_detector.h"
@@ -44,6 +45,35 @@ struct PbeSenderConfig {
   MisreportDetectorConfig misreport{};
   // Graceful-degradation thresholds (DESIGN.md §8).
   DegradationConfig degradation{};
+  // Hybrid PBE x delay estimation (DESIGN.md §13): blend the PHY capacity
+  // with the delay-gradient sidecar's target by the degradation machine's
+  // confidence weight, instead of the cliff-edge hold/fallback path. The
+  // sidecar itself runs regardless (it must be warm the moment the PHY
+  // feed goes suspect); `hybrid` only controls whether it holds pacing
+  // authority.
+  bool hybrid = false;
+  bwe::DelayBasedBweConfig bwe{};
+  // Hybrid claim re-seed quarantine: a healthy PHY claim may jump-start
+  // the sidecar only if the sidecar's last overuse cut is older than this.
+  // Congestion evidence fresher than the claim wins — without the
+  // quarantine an inflated claim under heavy ACK loss re-seeds on every
+  // ACK, out-shouting the cuts that keep refuting it (2x the AIMD's
+  // min_decrease_interval: one full cut-and-settle cycle must complete).
+  util::Duration reseed_quarantine = 300 * util::kMillisecond;
+  // ... and only while the smoothed RTT is within this factor of RTprop.
+  // The trendline is a *gradient* detector: a standing queue holds the
+  // delay level high at zero slope, reads as kNormal, and (because the
+  // seed overwrites the sidecar target the divergence check compares
+  // against) would let an inflated claim re-assert itself forever. The
+  // RTT level is the evidence a standing queue cannot hide from.
+  double reseed_max_rtt_ratio = 1.3;
+  // The re-seed value itself is capped at this multiple of the best
+  // delivery evidence (capacity memory / acked bitrate): trust is ramped,
+  // not granted. A corrupted 45 Mbit/s claim against half a megabit of
+  // demonstrated delivery must not out-rank the evidence 90x in one ACK;
+  // an honest claim still gets there in a few windows, because each seed
+  // raises delivery, which raises the evidence, which raises the cap.
+  double reseed_evidence_ratio = 4.0;
   std::uint64_t seed = 5;
 };
 
@@ -66,9 +96,18 @@ class PbeSender : public net::CongestionController {
   const MisreportDetector& misreport_detector() const { return misreport_; }
   DegradationState degradation_state() const { return degradation_.state(); }
   const DegradationMachine& degradation() const { return degradation_; }
+  bool hybrid() const { return cfg_.hybrid; }
+  // The always-on delay-gradient sidecar.
+  const bwe::DelayBasedBwe& delay_bwe() const { return delay_bwe_; }
+  // Share of pacing authority the PHY estimate currently holds (1.0 when
+  // not hybrid).
+  double blend_weight() const { return degradation_.phy_weight(); }
 
  private:
   void decode_feedback(const net::AckSample& s);
+  // The PHY half of the blend: feedback rate with DEGRADED/FALLBACK
+  // hold-and-decay and the misreport cap applied.
+  util::RateBps phy_rate(util::Time now) const;
   void on_degradation_switch(util::Time now, DegradationState from,
                              DegradationState to);
   void enter_internet_mode(util::Time now);
@@ -87,6 +126,9 @@ class PbeSender : public net::CongestionController {
 
   // Graceful degradation of the feedback loop.
   DegradationMachine degradation_;
+  // Delay-gradient sidecar: fed every ACK so the endpoint-only estimate is
+  // always current; holds pacing authority only in hybrid mode.
+  bwe::DelayBasedBwe delay_bwe_;
   // Present only in FALLBACK: a plain BBR that ignores PBE feedback.
   std::unique_ptr<baselines::Bbr> fallback_bbr_;
   // DEGRADED hold-and-decay anchor: the last trusted rate and when it was

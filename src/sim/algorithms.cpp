@@ -2,9 +2,12 @@
 
 #include <stdexcept>
 
+#include <cmath>
+
 #include "baselines/bbr.h"
 #include "baselines/copa.h"
 #include "baselines/cubic.h"
+#include "baselines/goog_cc.h"
 #include "baselines/pcc.h"
 #include "baselines/sprout.h"
 #include "baselines/verus.h"
@@ -12,13 +15,42 @@
 
 namespace pbecc::sim {
 
+namespace {
+HybridBlendOverrides g_blend_overrides;
+
+void apply_blend_overrides(pbe::BlendConfig& b) {
+  const HybridBlendOverrides& o = g_blend_overrides;
+  if (!std::isnan(o.zero_trust_below)) b.zero_trust_below = o.zero_trust_below;
+  if (!std::isnan(o.full_trust_above)) b.full_trust_above = o.full_trust_above;
+  if (!std::isnan(o.deadband)) b.deadband = o.deadband;
+  if (o.hold_ms >= 0) {
+    b.hold = static_cast<util::Duration>(o.hold_ms * util::kMillisecond);
+  }
+  if (!std::isnan(o.divergence_ratio)) b.divergence_ratio = o.divergence_ratio;
+  if (!std::isnan(o.divergence_penalty)) {
+    b.divergence_penalty = o.divergence_penalty;
+  }
+}
+}  // namespace
+
+void set_hybrid_blend_overrides(const HybridBlendOverrides& overrides) {
+  g_blend_overrides = overrides;
+}
+
 const std::vector<std::string>& all_algorithms() {
   static const std::vector<std::string> kAll = {
       "pbe", "bbr", "cubic", "verus", "sprout", "copa", "pcc", "vivace"};
   return kAll;
 }
 
-bool needs_pbe_client(const std::string& name) { return name == "pbe"; }
+const std::vector<std::string>& extra_algorithms() {
+  static const std::vector<std::string> kExtra = {"gcc", "hybrid"};
+  return kExtra;
+}
+
+bool needs_pbe_client(const std::string& name) {
+  return name == "pbe" || name == "hybrid";
+}
 
 std::unique_ptr<net::CongestionController> make_controller(
     const std::string& name, std::uint64_t seed) {
@@ -54,6 +86,21 @@ std::unique_ptr<net::CongestionController> make_controller(
     baselines::PccConfig cfg;
     cfg.seed = seed;
     return std::make_unique<baselines::PccVivace>(cfg);
+  }
+  if (name == "gcc") {
+    // Delay-gradient BWE (goog_cc lineage) as a standalone baseline: the
+    // endpoint-only half of the hybrid, measurable on its own.
+    return std::make_unique<baselines::GoogCc>();
+  }
+  if (name == "hybrid") {
+    // PBE with the always-on delay-gradient sidecar holding a
+    // confidence-weighted share of pacing authority (DESIGN.md §13).
+    pbe::PbeSenderConfig cfg;
+    cfg.name = "hybrid";
+    cfg.hybrid = true;
+    apply_blend_overrides(cfg.degradation.blend);
+    cfg.seed = seed;
+    return std::make_unique<pbe::PbeSender>(cfg);
   }
   throw std::invalid_argument("unknown congestion control algorithm: " + name);
 }

@@ -356,6 +356,20 @@ void Scenario::schedule_telemetry_sampling() {
                       ps->degradation().confidence());
       rec->append_f64("pbe.feedback_bps", "bps", now, ps->feedback_rate());
       rec->append_i64("pbe.rtprop_us", "us", now, ps->rtprop());
+      // Hybrid estimator cross-check (DESIGN.md §13). The sidecar runs for
+      // every PbeSender, so the delay-side series are always meaningful;
+      // blend weight is pinned at 1 for non-hybrid flows.
+      rec->append_f64("pbe.blend_weight", "ratio", now, ps->blend_weight());
+      rec->append_i64("pbe.divergence", "bool", now,
+                      ps->degradation().diverged() ? 1 : 0);
+      rec->append_f64("bwe.target_bps", "bps", now,
+                      ps->delay_bwe().target_bps());
+      rec->append_f64("bwe.acked_bps", "bps", now,
+                      ps->delay_bwe().acked_bps());
+      rec->append_f64("bwe.trendline_slope", "ms/ms", now,
+                      ps->delay_bwe().trendline().slope());
+      rec->append_i64("bwe.overuse_state", "state", now,
+                      static_cast<std::int64_t>(ps->delay_bwe().usage()));
     }
     if (client != nullptr) {
       rec->append_i64("pbe.client_state", "state", now,

@@ -1,0 +1,458 @@
+// pbecc::bwe unit tests: the delay-gradient estimator that backs both the
+// "gcc" baseline and the hybrid PBE sender's sidecar (DESIGN.md §13).
+//
+//   * TrendlineEstimator on canned inter-arrival patterns — capacity step
+//     (queue growth), queue drain, bounded jitter — with convergence
+//     bounds on how fast each verdict must land;
+//   * AimdRateControl state behaviour: cut basis, hold, clamp, seed,
+//     startup grace;
+//   * DelayBasedBwe closed-loop convergence against a toy bottleneck;
+//   * the 10M-update float-drift regression (DESIGN.md §10 discipline):
+//     the trendline's fitted slope must stay within 1e-9 of a brute-force
+//     mirror fit after ten million updates of epoch re-anchoring;
+//   * DegradationMachine blend-weight hysteresis: bounded confidence noise
+//     commits at most one weight move per hold window.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "bwe/delay_bwe.h"
+#include "pbe/degradation.h"
+
+namespace pbecc::bwe {
+namespace {
+
+constexpr util::Time kMs = util::kMillisecond;
+
+// Feed `n` samples at a fixed 5 ms cadence with per-sample delay from `fn`.
+template <typename Fn>
+util::Time drive(TrendlineEstimator& tr, util::Time start, int n, Fn fn) {
+  util::Time t = start;
+  for (int i = 0; i < n; ++i, t += 5 * kMs) tr.update(t, fn(i));
+  return t;
+}
+
+// --- trendline: canned patterns ------------------------------------------
+
+TEST(Trendline, FlatDelayStaysNormal) {
+  TrendlineEstimator tr;
+  drive(tr, 0, 200, [](int) { return 30.0; });
+  EXPECT_EQ(tr.state(), BandwidthUsage::kNormal);
+  EXPECT_NEAR(tr.slope(), 0.0, 1e-12);
+}
+
+// Capacity step down: delay starts growing ~2 ms per sample (a queue
+// building at a saturated bottleneck). The verdict must land within 40
+// samples of the onset — 200 ms at this cadence, fast enough that the
+// AIMD cuts before the queue doubles the base RTT.
+TEST(Trendline, SustainedQueueGrowthIsOveruseWithinBound) {
+  TrendlineEstimator tr;
+  util::Time t = drive(tr, 0, 60, [](int) { return 30.0; });  // settle
+  ASSERT_EQ(tr.state(), BandwidthUsage::kNormal);
+  int verdict_at = -1;
+  for (int i = 0; i < 80; ++i, t += 5 * kMs) {
+    tr.update(t, 30.0 + 2.0 * i);
+    if (tr.state() == BandwidthUsage::kOverusing) {
+      verdict_at = i;
+      break;
+    }
+  }
+  ASSERT_GE(verdict_at, 0) << "never declared overuse";
+  EXPECT_LE(verdict_at, 40);
+  EXPECT_GT(tr.slope(), 0.0);
+}
+
+// Queue drain: delay falling back down reads as underuse (the AIMD holds,
+// letting the queue empty instead of re-filling it).
+TEST(Trendline, QueueDrainIsUnderuse) {
+  TrendlineEstimator tr;
+  util::Time t = drive(tr, 0, 60, [](int) { return 130.0; });
+  int verdict_at = -1;
+  for (int i = 0; i < 80; ++i, t += 5 * kMs) {
+    tr.update(t, std::max(30.0, 130.0 - 2.0 * i));
+    if (tr.state() == BandwidthUsage::kUnderusing) {
+      verdict_at = i;
+      break;
+    }
+  }
+  ASSERT_GE(verdict_at, 0) << "never declared underuse";
+  EXPECT_LE(verdict_at, 40);
+}
+
+// Bounded jitter (deterministic ±3 ms square wave) must not trip overuse:
+// the EWMA plus the adaptive threshold absorb zero-mean noise.
+TEST(Trendline, BoundedJitterStaysNormal) {
+  TrendlineEstimator tr;
+  drive(tr, 0, 400, [](int i) { return 30.0 + ((i % 2 == 0) ? 3.0 : -3.0); });
+  EXPECT_EQ(tr.state(), BandwidthUsage::kNormal);
+}
+
+// The detector must not act on a window still filling: even a steep ramp
+// reads kNormal until window_size points have arrived.
+TEST(Trendline, NoVerdictBeforeWindowFills) {
+  TrendlineConfig cfg;
+  TrendlineEstimator tr(cfg);
+  util::Time t = 0;
+  for (std::size_t i = 0; i + 1 < cfg.window_size; ++i, t += 5 * kMs) {
+    tr.update(t, 30.0 + 5.0 * static_cast<double>(i));
+    EXPECT_EQ(tr.state(), BandwidthUsage::kNormal) << "point " << i;
+  }
+}
+
+// The threshold adapts toward |trend|: a sustained in-band excursion pulls
+// it up (the link's own noise widens the deadband), a quiet link pulls it
+// down to the floor — and reset() must not clear it either way: the noise
+// floor survives a feed gap.
+TEST(Trendline, ThresholdAdaptsAndSurvivesReset) {
+  TrendlineEstimator tr;
+  const double initial = tr.threshold_ms();
+  // Sustained 0.25 ms/ms ramp: modified trend ~20 ms, above the initial
+  // threshold but inside the +15 ms outlier cutoff, so k_up applies.
+  drive(tr, 0, 300, [](int i) { return 30.0 + 1.25 * i; });
+  EXPECT_GT(tr.threshold_ms(), initial);
+  const double adapted = tr.threshold_ms();
+  tr.reset();
+  EXPECT_EQ(tr.threshold_ms(), adapted);
+  EXPECT_EQ(tr.num_points(), 0u);
+  EXPECT_EQ(tr.state(), BandwidthUsage::kNormal);
+
+  // Flat delay from here: the threshold decays toward its floor.
+  TrendlineEstimator quiet;
+  drive(quiet, 0, 600, [](int) { return 30.0; });
+  EXPECT_LT(quiet.threshold_ms(), initial);
+}
+
+// --- trendline: 10M-update float-drift regression ------------------------
+
+// Brute-force mirror: absolute arrival times, its own EWMA (same formula,
+// same order of operations), and a least-squares fit recomputed from
+// scratch with times relative to the window head. The estimator re-anchors
+// its epoch on every expiry (ten million subtract-and-store cycles); this
+// test is the regression net that all that re-anchoring leaves the fitted
+// slope within 1e-9 of the exact fit.
+struct MirrorFit {
+  std::deque<double> t_ms, d_ms;
+  double smoothed = 0.0;
+  bool have = false;
+
+  void update(double t_abs_ms, double delay_ms, std::size_t window) {
+    smoothed = have ? 0.9 * smoothed + 0.1 * delay_ms : delay_ms;
+    have = true;
+    t_ms.push_back(t_abs_ms);
+    d_ms.push_back(smoothed);
+    if (t_ms.size() > window) {
+      t_ms.pop_front();
+      d_ms.pop_front();
+    }
+  }
+
+  double slope() const {
+    const std::size_t n = t_ms.size();
+    if (n < 2) return 0.0;
+    const double t0 = t_ms.front();
+    double sum_t = 0.0, sum_d = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum_t += t_ms[i] - t0;
+      sum_d += d_ms[i];
+    }
+    const double mt = sum_t / static_cast<double>(n);
+    const double md = sum_d / static_cast<double>(n);
+    double cov = 0.0, var = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      cov += (t_ms[i] - t0 - mt) * (d_ms[i] - md);
+      var += (t_ms[i] - t0 - mt) * (t_ms[i] - t0 - mt);
+    }
+    return var > 0.0 ? cov / var : 0.0;
+  }
+};
+
+TEST(TrendlineDrift, TenMillionUpdatesStayWithin1e9OfBruteForce) {
+  TrendlineConfig cfg;
+  TrendlineEstimator tr(cfg);
+  MirrorFit mirror;
+
+  constexpr int kUpdates = 10'000'000;
+  constexpr int kCheckEvery = 100'000;
+  util::Time t = 0;
+  double max_err = 0.0;
+  for (int i = 0; i < kUpdates; ++i) {
+    // Deterministic non-trivial signal: slow delay swell + fast ripple,
+    // non-uniform cadence. No RNG — the stream must be reproducible.
+    const double delay =
+        30.0 + 10.0 * ((i / 1000) % 7) + 2.0 * static_cast<double>(i % 5);
+    t += (4 + i % 3) * kMs;
+    tr.update(t, delay);
+    mirror.update(static_cast<double>(t) / 1000.0, delay, cfg.window_size);
+    if ((i + 1) % kCheckEvery == 0) {
+      max_err = std::max(max_err, std::abs(tr.slope() - mirror.slope()));
+    }
+  }
+  max_err = std::max(max_err, std::abs(tr.slope() - mirror.slope()));
+  EXPECT_LT(max_err, 1e-9) << "slope drifted from the brute-force fit";
+}
+
+// --- AIMD ----------------------------------------------------------------
+
+// Grace is measured from the first update() call, so every test that wants
+// steady-state behaviour burns it with one update and then jumps the clock.
+util::Time past_grace(AimdRateControl& aimd, const AimdConfig& cfg) {
+  aimd.update(0, BandwidthUsage::kNormal, 0.0, 40 * kMs);
+  return cfg.startup_grace + 100 * kMs;
+}
+
+TEST(Aimd, OveruseCutsToBetaTimesAcked) {
+  AimdConfig cfg;
+  AimdRateControl aimd(cfg, 10e6);
+  util::Time t = past_grace(aimd, cfg);
+  aimd.update(t, BandwidthUsage::kNormal, 8e6, 40 * kMs);
+  t += 100 * kMs;
+  const double target =
+      aimd.update(t, BandwidthUsage::kOverusing, 8e6, 40 * kMs);
+  EXPECT_DOUBLE_EQ(target, cfg.beta * 8e6);
+  EXPECT_EQ(aimd.last_decrease(), t);
+}
+
+TEST(Aimd, CutsAreRateLimited) {
+  AimdConfig cfg;
+  AimdRateControl aimd(cfg, 10e6);
+  util::Time t = past_grace(aimd, cfg);
+  aimd.update(t, BandwidthUsage::kOverusing, 8e6, 40 * kMs);
+  const double after_first = aimd.target_bps();
+  // A second verdict inside min_decrease_interval must not cut again.
+  t += cfg.min_decrease_interval / 2;
+  aimd.update(t, BandwidthUsage::kOverusing, 5e6, 40 * kMs);
+  EXPECT_DOUBLE_EQ(aimd.target_bps(), after_first);
+}
+
+TEST(Aimd, UnderuseHoldsTheRate) {
+  AimdConfig cfg;
+  AimdRateControl aimd(cfg, 10e6);
+  util::Time t = past_grace(aimd, cfg);
+  aimd.update(t, BandwidthUsage::kNormal, 9e6, 40 * kMs);
+  const double before = aimd.target_bps();
+  for (int i = 0; i < 20; ++i) {
+    t += 20 * kMs;
+    aimd.update(t, BandwidthUsage::kUnderusing, 9e6, 40 * kMs);
+  }
+  EXPECT_TRUE(aimd.holding());
+  EXPECT_DOUBLE_EQ(aimd.target_bps(), before);
+}
+
+TEST(Aimd, IncreaseIsClampedToAckedMultiple) {
+  AimdConfig cfg;
+  AimdRateControl aimd(cfg, 10e6);
+  util::Time t = past_grace(aimd, cfg);
+  // Many normal verdicts with delivery pinned at 8 Mbit/s: growth may not
+  // outrun max_vs_acked x acked.
+  for (int i = 0; i < 200; ++i) {
+    t += 20 * kMs;
+    aimd.update(t, BandwidthUsage::kNormal, 8e6, 40 * kMs);
+  }
+  EXPECT_LE(aimd.target_bps(), cfg.max_vs_acked * 8e6 * (1.0 + 1e-12));
+}
+
+TEST(Aimd, SeedSuspendsTheClampUntilEvidence) {
+  AimdConfig cfg;
+  AimdRateControl aimd(cfg, 2e6);
+  util::Time t = past_grace(aimd, cfg);
+  aimd.update(t, BandwidthUsage::kNormal, 2e6, 40 * kMs);
+  aimd.seed(20e6);
+  EXPECT_DOUBLE_EQ(aimd.target_bps(), 20e6);
+  // Next normal verdict with stale acked (2 Mbit/s): a live clamp would
+  // snap the target back to 2.5 Mbit/s and the jump-start would be void.
+  t += 20 * kMs;
+  aimd.update(t, BandwidthUsage::kNormal, 2e6, 40 * kMs);
+  EXPECT_GE(aimd.target_bps(), 20e6);
+  // ...but an overuse verdict is evidence, and cuts it like any target.
+  t += 200 * kMs;
+  const double cut = aimd.update(t, BandwidthUsage::kOverusing, 3e6, 40 * kMs);
+  EXPECT_DOUBLE_EQ(cut, cfg.beta * 3e6);
+}
+
+TEST(Aimd, StartupGraceFloorsAtInitialRate) {
+  AimdConfig cfg;
+  AimdRateControl aimd(cfg, 5e6);
+  // Overuse on the very first verdicts (the startup-burst transient): the
+  // target must not dig below the initial rate, and the capacity tracker
+  // must not learn the bogus basis.
+  util::Time t = 10 * kMs;
+  for (int i = 0; i < 3; ++i) {
+    t += cfg.min_decrease_interval + 10 * kMs;
+    aimd.update(t, BandwidthUsage::kOverusing, 0.2e6, 40 * kMs);
+  }
+  EXPECT_GE(aimd.target_bps(), 5e6);
+  EXPECT_FALSE(aimd.link_capacity().has_estimate());
+}
+
+// --- DelayBasedBwe: closed-loop convergence ------------------------------
+
+// Toy bottleneck: serves `capacity` bps; pacing above it builds queue at
+// the excess rate, below it drains. Delivery tracks min(target, capacity).
+// Drives the full estimator (trendline -> AIMD -> sparse cap) through the
+// ACK interface exactly as a flow driver would.
+struct ToyLink {
+  double capacity;
+  double queue_ms = 0.0;
+
+  net::AckSample ack(util::Time now, double paced_bps, double dt_s) {
+    const double served = std::min(paced_bps, capacity);
+    queue_ms += (paced_bps - capacity) / capacity * dt_s * 1e3;
+    queue_ms = std::max(queue_ms, 0.0);
+    net::AckSample s;
+    s.now = now;
+    s.one_way_delay =
+        static_cast<util::Duration>((20.0 + queue_ms) * 1000.0);
+    s.rtt = 2 * s.one_way_delay;
+    s.delivery_rate = served;
+    return s;
+  }
+};
+
+double converge(DelayBasedBwe& bwe, ToyLink& link, util::Time from,
+                util::Time until) {
+  constexpr util::Time kDt = 5 * kMs;
+  for (util::Time t = from; t < until; t += kDt) {
+    bwe.on_ack(link.ack(t, bwe.target_bps(),
+                        static_cast<double>(kDt) / 1e6));
+  }
+  return bwe.target_bps();
+}
+
+TEST(DelayBwe, ConvergesUpToCapacity) {
+  DelayBasedBwe bwe;  // initial 2 Mbit/s
+  ToyLink link{12e6};
+  const double target = converge(bwe, link, 0, 6 * util::kSecond);
+  // Converged into the AIMD's operating band around capacity: above the
+  // post-cut floor (beta x capacity, minus margin), below the probing
+  // ceiling (max_vs_acked x capacity).
+  EXPECT_GE(target, 0.8 * 12e6);
+  EXPECT_LE(target, 1.3 * 12e6);
+}
+
+// Capacity step down. Two properties, each the regression net for a real
+// failure mode:
+//   * the target must re-converge near the new capacity. Before the
+//     max_decrease_interval clamp this spiralled: the queue built by the
+//     overshoot inflated the RTT (and with it the cut spacing) faster
+//     than wall time passed, so no cut ever landed and the target stayed
+//     at the old capacity while the queue grew at ~2 s of delay per
+//     second of wall time;
+//   * any residual queue creep must stay under the trendline's detection
+//     floor. A gradient detector cannot see overshoot below
+//     min_threshold / (gain x window) ~ 7.5% of capacity, so a small
+//     standing-queue creep is inherent to this estimator class (the
+//     hybrid's RTT-level re-seed gate exists because of exactly this) —
+//     but it must be that floor, not a runaway.
+TEST(DelayBwe, TracksACapacityDrop) {
+  DelayBasedBwe bwe;
+  ToyLink link{12e6};
+  converge(bwe, link, 0, 6 * util::kSecond);
+  link.capacity = 4e6;  // step down
+  converge(bwe, link, 6 * util::kSecond, 9 * util::kSecond);  // settle
+  const double queue_settled = link.queue_ms;
+  const double target =
+      converge(bwe, link, 9 * util::kSecond, 22 * util::kSecond);
+  EXPECT_GE(target, 0.7 * 4e6);
+  EXPECT_LE(target, 1.15 * 4e6);
+  const double creep_ms_per_s = (link.queue_ms - queue_settled) / 13.0;
+  EXPECT_LT(creep_ms_per_s, 60.0) << "queue creep above the detection floor";
+}
+
+TEST(DelayBwe, TracksACapacityRaise) {
+  DelayBasedBwe bwe;
+  ToyLink link{4e6};
+  converge(bwe, link, 0, 6 * util::kSecond);
+  link.capacity = 12e6;
+  const double target =
+      converge(bwe, link, 6 * util::kSecond, 14 * util::kSecond);
+  EXPECT_GE(target, 0.8 * 12e6);
+}
+
+TEST(DelayBwe, SilenceResetsTheTrendlineWindow) {
+  DelayBasedBwe bwe;
+  ToyLink link{8e6};
+  converge(bwe, link, 0, 2 * util::kSecond);
+  ASSERT_GT(bwe.trendline().num_points(), 0u);
+  // A gap longer than silence_reset: the next ACK arrives to an empty
+  // window (plus its own fresh point).
+  net::AckSample s = link.ack(3 * util::kSecond, bwe.target_bps(), 0.005);
+  bwe.on_ack(s);
+  EXPECT_EQ(bwe.trendline().num_points(), 1u);
+}
+
+TEST(DelayBwe, SeedLiftsTheTargetImmediately) {
+  DelayBasedBwe bwe;
+  EXPECT_LT(bwe.target_bps(), 10e6);
+  bwe.seed_target(10e6);
+  EXPECT_DOUBLE_EQ(bwe.target_bps(), 10e6);
+}
+
+// --- blend-weight hysteresis (DegradationMachine) ------------------------
+
+// Property: bounded confidence noise commits at most one weight move per
+// hold window — i.e. consecutive committed-weight changes are at least
+// `hold` apart, for any noise sequence inside the deadband-scale band.
+TEST(BlendHysteresis, AtMostOneWeightMovePerHoldWindow) {
+  pbe::DegradationConfig cfg;
+  cfg.blend.enabled = true;
+  pbe::DegradationMachine m(cfg);
+
+  // Confidence oscillating across the whole trust ramp: raw targets swing
+  // well past the deadband, so an unhysteresed weight would flip on nearly
+  // every feedback.
+  std::vector<util::Time> commits;
+  double prev_w = m.phy_weight();
+  // Deterministic pseudo-noise: i*7919 mod 101 spans [0,100] uniformly.
+  for (int i = 0; i < 1000; ++i) {
+    const util::Time t = i * 10 * kMs;
+    const double noise = static_cast<double>((i * 7919) % 101) / 100.0;
+    const double conf =
+        cfg.blend.zero_trust_below +
+        noise * (cfg.blend.full_trust_above - cfg.blend.zero_trust_below);
+    m.on_feedback(t, conf);
+    m.on_estimates(t, 10e6, 10e6, 10e6, 10e6, false);
+    if (m.phy_weight() != prev_w) {
+      commits.push_back(t);
+      prev_w = m.phy_weight();
+    }
+  }
+  ASSERT_GT(commits.size(), 1u) << "weight never moved — test is vacuous";
+  for (std::size_t i = 1; i < commits.size(); ++i) {
+    EXPECT_GE(commits[i] - commits[i - 1], cfg.blend.hold)
+        << "two weight commits inside one hold window (commits " << i - 1
+        << " and " << i << ")";
+  }
+}
+
+// Small oscillations inside the deadband must never move the weight at
+// all, no matter how long they persist.
+TEST(BlendHysteresis, DeadbandAbsorbsSmallOscillation) {
+  pbe::DegradationConfig cfg;
+  cfg.blend.enabled = true;
+  pbe::DegradationMachine m(cfg);
+  // Center of the ramp, wobble worth ~half the deadband in weight terms.
+  const double mid =
+      0.5 * (cfg.blend.zero_trust_below + cfg.blend.full_trust_above);
+  const double span = cfg.blend.full_trust_above - cfg.blend.zero_trust_below;
+  const double wobble = 0.4 * cfg.blend.deadband * span;
+  m.on_feedback(0, mid);
+  m.on_estimates(0, 10e6, 10e6, 10e6, 10e6, false);
+  // Let the first commit land, then wobble.
+  m.on_feedback(cfg.blend.hold + 10 * kMs, mid);
+  m.on_estimates(cfg.blend.hold + 10 * kMs, 10e6, 10e6, 10e6, 10e6, false);
+  const double committed = m.phy_weight();
+  for (int i = 0; i < 500; ++i) {
+    const util::Time t = cfg.blend.hold + (20 + i * 10) * kMs;
+    const double conf = mid + ((i % 2 == 0) ? wobble : -wobble);
+    m.on_feedback(t, conf);
+    m.on_estimates(t, 10e6, 10e6, 10e6, 10e6, false);
+    ASSERT_EQ(m.phy_weight(), committed) << "iteration " << i;
+  }
+}
+
+}  // namespace
+}  // namespace pbecc::bwe

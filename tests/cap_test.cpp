@@ -506,7 +506,8 @@ struct LiveCapture {
 };
 
 LiveCapture record_live(const std::string& profile_name, std::uint64_t seed,
-                        const std::string& trace_path) {
+                        const std::string& trace_path,
+                        const std::string& algo = "pbe") {
   par::set_default_threads(1);
   auto loc = sim::location(26);  // 3-cell busy indoor
   loc.seed = seed;
@@ -516,7 +517,7 @@ LiveCapture record_live(const std::string& profile_name, std::uint64_t seed,
   LiveCapture out;
   sim::CaptureOptions capture{&writer, &out.digest};
   const auto r =
-      sim::run_location(loc, "pbe", 2 * util::kSecond,
+      sim::run_location(loc, algo, 2 * util::kSecond,
                         profile.active() ? &profile : nullptr,
                         /*fault_seed=*/3, capture);
   EXPECT_TRUE(writer.close()) << writer.error();
@@ -575,6 +576,24 @@ INSTANTIATE_TEST_SUITE_P(
       }
       return name + "_seed" + std::to_string(std::get<1>(info.param));
     });
+
+// Hybrid lane: the blended sender shapes the traffic the monitor observes
+// (different pacing -> different grants -> different capture stream), so
+// its recordings must replay to the same digests too — under the profile
+// that swings the blend weight hardest.
+TEST(CapFidelity, HybridRecordReplayAcrossThreadCounts) {
+  const auto path = tmp_path("fidelity_hybrid.pbt");
+  const auto live = record_live("blackout", 2, path, "hybrid");
+  EXPECT_GT(live.digest.observations(), 0u);
+  EXPECT_GT(live.digest.probes(), 0u);
+
+  const auto serial = replay_trace(path, 1);
+  const auto parallel = replay_trace(path, 8);
+  par::set_default_threads(1);
+  EXPECT_TRUE(live.digest == serial);
+  EXPECT_TRUE(live.digest == parallel);
+  std::remove(path.c_str());
+}
 
 // Capture must be passive: the taps may not perturb the simulation they
 // observe. (They only read const channel state and copy pipeline outputs.)

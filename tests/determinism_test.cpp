@@ -29,7 +29,7 @@ struct RunDigest {
 };
 
 RunDigest run_once(const std::string& profile_name, std::uint64_t seed,
-                   int threads) {
+                   int threads, const std::string& algo = "pbe") {
   par::set_default_threads(threads);
   obs::Trace::instance().start(obs::TraceConfig{});
 
@@ -37,7 +37,7 @@ RunDigest run_once(const std::string& profile_name, std::uint64_t seed,
   loc.seed = seed;
   const auto profile = *fault::profile_by_name(profile_name);
   const auto r =
-      sim::run_location(loc, "pbe", 3 * util::kSecond,
+      sim::run_location(loc, algo, 3 * util::kSecond,
                         profile.active() ? &profile : nullptr, /*fault_seed=*/3);
 
   obs::Trace::instance().stop();
@@ -97,6 +97,45 @@ INSTANTIATE_TEST_SUITE_P(
                  ? "handover_storm_" + std::to_string(std::get<1>(info.param))
                  : std::get<0>(info.param) + "_" +
                        std::to_string(std::get<1>(info.param));
+    });
+
+// Hybrid lane: the blended sender adds the delay-gradient sidecar, the
+// divergence detector, and the claim re-seed to the ACK path — all of
+// which must stay pure functions of the ACK stream (DESIGN.md §13). Same
+// byte-identity contract, across the profile that exercises the blend
+// hardest (blackout drives the full weight swing) and the clean one.
+class HybridDeterminismTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::uint64_t>> {
+ protected:
+  void TearDown() override { par::set_default_threads(1); }
+};
+
+TEST_P(HybridDeterminismTest, SerialAndParallelAreByteIdentical) {
+  const auto& [profile, seed] = GetParam();
+  const auto serial = run_once(profile, seed, 1, "hybrid");
+  const auto parallel = run_once(profile, seed, 8, "hybrid");
+
+  EXPECT_EQ(serial.tput, parallel.tput);
+  EXPECT_EQ(serial.attempts, parallel.attempts);
+  ASSERT_EQ(serial.wins.size(), parallel.wins.size());
+  for (std::size_t i = 0; i < serial.wins.size(); ++i) {
+    ASSERT_EQ(serial.wins[i], parallel.wins[i]) << "window " << i;
+  }
+  ASSERT_EQ(serial.delays.size(), parallel.delays.size());
+  for (std::size_t i = 0; i < serial.delays.size(); ++i) {
+    ASSERT_EQ(serial.delays[i], parallel.delays[i]) << "delay sample " << i;
+  }
+  EXPECT_EQ(serial.trace_digest, parallel.trace_digest);
+  EXPECT_TRUE(serial == parallel);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByProfile, HybridDeterminismTest,
+    ::testing::Combine(::testing::Values("none", "blackout"),
+                       ::testing::Values(std::uint64_t{11}, std::uint64_t{12})),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_" +
+             std::to_string(std::get<1>(info.param));
     });
 
 // The convolutional-PDCCH decode path (Viterbi + span memoization) has its

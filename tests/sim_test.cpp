@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "pbe/pbe_sender.h"
 #include "sim/algorithms.h"
 #include "sim/location.h"
 #include "sim/metrics.h"
@@ -129,9 +130,32 @@ TEST(Algorithms, FactoryConstructsAll) {
   EXPECT_THROW(make_controller("quic", 1), std::invalid_argument);
 }
 
+// The extras (delay-gradient baseline + hybrid) construct through the same
+// factory but stay out of all_algorithms() so paper-figure sweeps keep the
+// paper's competitor set.
+TEST(Algorithms, ExtraAlgorithmsConstruct) {
+  ASSERT_EQ(extra_algorithms(), (std::vector<std::string>{"gcc", "hybrid"}));
+  for (const auto& name : extra_algorithms()) {
+    auto cc = make_controller(name, 1);
+    ASSERT_NE(cc, nullptr) << name;
+    EXPECT_EQ(cc->name(), name);
+    EXPECT_GT(cc->pacing_rate(0), 0.0) << name;
+  }
+  // The hybrid is a PbeSender with the sidecar holding pacing authority.
+  auto hybrid = make_controller("hybrid", 1);
+  auto& sender = dynamic_cast<pbe::PbeSender&>(*hybrid);
+  EXPECT_TRUE(sender.hybrid());
+  EXPECT_TRUE(sender.degradation().config().blend.enabled);
+  EXPECT_EQ(sender.blend_weight(), 1.0);  // full PHY trust until evidence
+}
+
 TEST(Algorithms, PbeNeedsClient) {
   EXPECT_TRUE(needs_pbe_client("pbe"));
   EXPECT_FALSE(needs_pbe_client("bbr"));
+  // The hybrid consumes PHY feedback, so it needs the client; the pure
+  // delay-gradient baseline is endpoint-only.
+  EXPECT_TRUE(needs_pbe_client("hybrid"));
+  EXPECT_FALSE(needs_pbe_client("gcc"));
 }
 
 // -------------------------------------------------------------- locations
