@@ -15,13 +15,26 @@ Subcommands:
       not exist are skipped with a warning — a bench that did not run in
       this smoke must not crash the merge.
 
-  compare BENCH BASELINE [--threshold 0.25]
+  compare BENCH BASELINE [--threshold 0.25] [--strict]
       Fail (exit 1) if any (bench, config) record present in both files
       regressed by more than THRESHOLD in subframes_per_sec. Records the
       baseline lacks are reported as new; baseline records absent from the
-      run are a warning, not a failure (the bench may simply not have run);
-      records with a zero baseline throughput are skipped
-      (wall-clock-only records).
+      run are a warning by default (the bench may simply not have run) —
+      with --strict they fail the gate, for jobs that are supposed to have
+      produced every baselined record (a bench binary that silently
+      crashed or was dropped from the merge must not pass); records with a
+      zero baseline throughput are skipped (wall-clock-only records).
+
+  speedup BENCH --bench NAME --base CONFIG --test CONFIG
+          [--min-ratio 2.0]
+      Gate a required improvement rather than the absence of a regression:
+      find the NAME/CONFIG base and test records in BENCH and fail unless
+      the test record's decode-candidate throughput (decode_attempts per
+      wall_ms) is at least MIN_RATIO x the base record's. Used by the CI
+      decode-bench job to hold the lockstep SIMD decoder to >= 2x the
+      scalar path on the replay corpus. Both records must exist, come from
+      the same run (equal decode_attempts — same work), and have nonzero
+      wall_ms.
 
   write-baseline BENCH BASELINE
       Rewrite BASELINE from BENCH, dropping fields that should not be
@@ -97,6 +110,10 @@ def cmd_compare(args):
     for k in sorted(set(new) - set(base)):
         print(f"  NEW      {k[0]}/{k[1]} (not in baseline)")
     if missing:
+        if args.strict:
+            print(f"{len(missing)} baseline record(s) absent from the run "
+                  f"— failing (--strict)", file=sys.stderr)
+            return 1
         print(f"warning: {len(missing)} baseline record(s) absent from the "
               f"run (bench not executed?) — not gating on them",
               file=sys.stderr)
@@ -105,6 +122,38 @@ def cmd_compare(args):
               f"{100 * args.threshold:.0f}% vs {args.baseline}")
         return 1
     print("bench gate passed")
+    return 0
+
+
+def cmd_speedup(args):
+    records = [r for r in load_records(args.bench_file)
+               if r.get("bench") == args.bench]
+    by_config = {r["config"]: r for r in records}
+    for cfg in (args.base, args.test):
+        if cfg not in by_config:
+            raise SystemExit(
+                f"{args.bench_file}: no {args.bench}/{cfg} record")
+    base, test = by_config[args.base], by_config[args.test]
+    for r in (base, test):
+        if r.get("wall_ms", 0.0) <= 0:
+            raise SystemExit(
+                f"{args.bench}/{r['config']}: wall_ms missing or zero "
+                f"(speedup needs raw run records, not a slimmed baseline)")
+    if base.get("decode_attempts") != test.get("decode_attempts"):
+        print(f"  base {base['decode_attempts']} vs test "
+              f"{test['decode_attempts']} decode attempts — the two configs "
+              f"did different work, ratio is meaningless")
+        return 1
+    base_cps = base["decode_attempts"] * 1000.0 / base["wall_ms"]
+    test_cps = test["decode_attempts"] * 1000.0 / test["wall_ms"]
+    ratio = test_cps / base_cps if base_cps > 0 else 0.0
+    ok = ratio >= args.min_ratio
+    print(f"  {'ok' if ok else 'TOO SLOW':9s}{args.bench}: {args.test} "
+          f"{test_cps:.0f} vs {args.base} {base_cps:.0f} candidates/s "
+          f"({ratio:.2f}x, need >= {args.min_ratio:.2f}x)")
+    if not ok:
+        return 1
+    print("speedup gate passed")
     return 0
 
 
@@ -182,7 +231,16 @@ def main():
     c.add_argument("bench")
     c.add_argument("baseline")
     c.add_argument("--threshold", type=float, default=0.25)
+    c.add_argument("--strict", action="store_true")
     c.set_defaults(fn=cmd_compare)
+
+    s = sub.add_parser("speedup")
+    s.add_argument("bench_file")
+    s.add_argument("--bench", required=True)
+    s.add_argument("--base", required=True)
+    s.add_argument("--test", required=True)
+    s.add_argument("--min-ratio", type=float, default=2.0)
+    s.set_defaults(fn=cmd_speedup)
 
     w = sub.add_parser("write-baseline")
     w.add_argument("bench")

@@ -6,20 +6,152 @@
 // double-checks record→replay digest equality while it is at it.
 //
 //   bench_replay [--seconds N] [--threads N] [--json out.json]
+//
+// Corpus mode (DESIGN.md §14, the SIMD decode throughput gate):
+//
+//   bench_replay --record-corpus FILE.pbt [--seconds N]
+//     Record a seed-pinned convolutional-PDCCH run (location 26, the
+//     3-cell busy profile) into FILE.pbt and exit. The corpus is fully
+//     deterministic: same build => byte-identical file.
+//
+//   bench_replay --corpus FILE.pbt [--lanes N] [--threads N] [--json out]
+//     Replay FILE.pbt twice through fresh pipelines — once with the
+//     scalar per-candidate decoder (lanes=1, the pre-batching hot path)
+//     and once with the lockstep batch decoder (lanes=N, default 8) —
+//     verify the two runs' pipeline digests are identical, and report
+//     decode candidates/s for both. bench_gate.py's `speedup` command
+//     gates the simd:scalar candidate-throughput ratio in CI.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "bench/bench_common.h"
 #include "cap/replay.h"
 #include "cap/trace_reader.h"
 #include "cap/trace_writer.h"
+#include "decoder/blind_decoder.h"
 #include "sim/location.h"
 
 using namespace pbecc;
 
+namespace {
+
+// Seed-pinned recording of the Viterbi decode corpus: the same 3-cell busy
+// location the live/replay bench uses, but with convolutional control
+// coding so every candidate pays the full trellis walk.
+int record_corpus(const char* path, util::Duration flow_len) {
+  bench::header("Viterbi decode corpus recording");
+  cap::TraceWriter writer(path);
+  cap::PipelineDigest digest;
+  sim::CaptureOptions capture{&writer, &digest};
+  auto loc = sim::location(26);  // 3-cell busy indoor
+  loc.convolutional_pdcch = true;
+  const auto live = sim::run_location(loc, "pbe", flow_len, nullptr, 1, capture);
+  if (!writer.close()) {
+    std::fprintf(stderr, "corpus record failed: %s\n", writer.error().c_str());
+    return 1;
+  }
+  std::printf("corpus: %llu records (%llu bytes) -> %s\n",
+              static_cast<unsigned long long>(writer.records_written()),
+              static_cast<unsigned long long>(writer.bytes_written()), path);
+  std::printf("corpus: %llu decode candidates live, digest obs=0x%016llx "
+              "probe=0x%016llx\n",
+              static_cast<unsigned long long>(live.decode_candidates),
+              static_cast<unsigned long long>(digest.observation_digest()),
+              static_cast<unsigned long long>(digest.probe_digest()));
+  return 0;
+}
+
+struct CorpusRun {
+  double wall_ms = 0;
+  double sf_per_sec = 0;
+  double cand_per_sec = 0;
+  std::uint64_t candidates = 0;
+  cap::PipelineDigest digest;
+  bool ok = false;
+};
+
+CorpusRun replay_corpus_once(const char* path, int lanes) {
+  CorpusRun out;
+  decoder::set_decode_lanes(lanes);
+  cap::TraceReader reader(path);
+  if (!reader.ok()) {
+    std::fprintf(stderr, "corpus open failed: %s\n", reader.error().c_str());
+    return out;
+  }
+  cap::ReplayDriver driver(reader.header(), &out.digest);
+  const bench::WallTimer timer;
+  const auto stats = driver.run(reader);
+  out.wall_ms = timer.ms();
+  if (!reader.ok()) {
+    std::fprintf(stderr, "corpus replay failed: %s\n", reader.error().c_str());
+    return out;
+  }
+  out.candidates = driver.monitor().total_candidates_tried();
+  out.sf_per_sec =
+      static_cast<double>(stats.cell_subframes) / (out.wall_ms / 1000.0);
+  out.cand_per_sec =
+      static_cast<double>(out.candidates) / (out.wall_ms / 1000.0);
+  std::printf("%-13s %9.0f candidates/s  (%llu candidates, %.1f ms wall, "
+              "%llu batches, %llu early-aborted)\n",
+              lanes == 1 ? "corpus_scalar" : "corpus_simd", out.cand_per_sec,
+              static_cast<unsigned long long>(out.candidates), out.wall_ms,
+              static_cast<unsigned long long>(driver.monitor().total_lane_batches()),
+              static_cast<unsigned long long>(driver.monitor().total_early_aborts()));
+  out.ok = true;
+  return out;
+}
+
+// Scalar-vs-lockstep A/B over a recorded corpus. Candidate counts must
+// match exactly (same work) and pipeline digests must be byte-identical
+// (same results) — only then is the throughput ratio meaningful.
+int run_corpus(const char* path, int lanes, bench::Reporter& reporter) {
+  bench::header("Viterbi decode corpus throughput (scalar vs lockstep)");
+  const CorpusRun scalar = replay_corpus_once(path, 1);
+  if (!scalar.ok) return 1;
+  const CorpusRun simd = replay_corpus_once(path, lanes);
+  if (!simd.ok) return 1;
+  reporter.add("corpus_scalar", scalar.wall_ms, scalar.sf_per_sec,
+               scalar.candidates);
+  reporter.add("corpus_simd", simd.wall_ms, simd.sf_per_sec, simd.candidates);
+  if (!(scalar.digest == simd.digest) || scalar.candidates != simd.candidates) {
+    std::fprintf(stderr,
+                 "EQUIVALENCE MISMATCH: scalar obs=0x%016llx cand=%llu vs "
+                 "simd obs=0x%016llx cand=%llu\n",
+                 static_cast<unsigned long long>(scalar.digest.observation_digest()),
+                 static_cast<unsigned long long>(scalar.candidates),
+                 static_cast<unsigned long long>(simd.digest.observation_digest()),
+                 static_cast<unsigned long long>(simd.candidates));
+    return 1;
+  }
+  std::printf("equivalence: digests match (obs=0x%016llx), lockstep %.2fx "
+              "scalar candidate throughput\n",
+              static_cast<unsigned long long>(scalar.digest.observation_digest()),
+              simd.cand_per_sec / scalar.cand_per_sec);
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bench::Reporter reporter("bench_replay", argc, argv);
   const util::Duration flow_len = bench::flow_seconds(argc, argv, 6);
+  const char* record_path = nullptr;
+  const char* corpus_path = nullptr;
+  int lanes = decoder::decode_lanes();
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (!std::strcmp(argv[i], "--record-corpus")) {
+      record_path = argv[i + 1];
+    } else if (!std::strcmp(argv[i], "--corpus")) {
+      corpus_path = argv[i + 1];
+    } else if (!std::strcmp(argv[i], "--lanes")) {
+      lanes = std::atoi(argv[i + 1]);
+    }
+  }
+  if (record_path != nullptr) return record_corpus(record_path, flow_len);
+  if (corpus_path != nullptr) return run_corpus(corpus_path, lanes, reporter);
+
   const char* trace_path = "bench_replay.tmp.pbt";
 
   bench::header("PDCCH capture/replay throughput");

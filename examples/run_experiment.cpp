@@ -29,6 +29,13 @@
 //                          byte-identical fault schedule
 //     --threads N          worker threads for the parallel decode path
 //                          (default 1; results are identical for any N)
+//     --lanes N            blind-decode candidates per lockstep batch
+//                          (1..16, default 8; 1 = scalar path; results are
+//                          identical for any N)
+//     --conv-pdcch         encode every cell's control channel with the
+//                          36.212 convolutional code instead of repetition
+//                          coding (exercises the Viterbi hot path; used to
+//                          record the bench_replay decode corpus)
 //     --record FILE.pbt    capture the PBE measurement pipeline (PDCCH
 //                          batches, window updates, estimator probes) into
 //                          a binary trace; requires --algo pbe
@@ -63,6 +70,7 @@
 #include "cap/trace_reader.h"
 #include "cap/trace_writer.h"
 #include "check/check.h"
+#include "decoder/blind_decoder.h"
 #include "fault/fault.h"
 #include "obs/obs.h"
 #include "par/thread_pool.h"
@@ -92,6 +100,7 @@ struct Options {
   std::string replay;  // .pbt replay input
   std::string telemetry;  // .tsv.pbt telemetry output
   int telemetry_interval_ms = 10;
+  bool conv_pdcch = false;
   bool strict_checks = false;
   sim::HybridBlendOverrides blend{};  // --blend-* knobs (hybrid only)
 };
@@ -123,6 +132,10 @@ void usage(std::FILE* out) {
                "handover-storm\n"
                "  --fault-seed N     fault schedule seed (default 1)\n"
                "  --threads N        decode worker threads (default 1)\n"
+               "  --lanes N          lockstep decode lanes, 1..16 (default 8;\n"
+               "                     1 = scalar path; identical results)\n"
+               "  --conv-pdcch       convolutional control coding on every\n"
+               "                     cell (records a Viterbi decode corpus)\n"
                "  --record FILE.pbt  capture the PBE pipeline into a binary\n"
                "                     trace (requires --algo pbe)\n"
                "  --replay FILE.pbt  re-drive the pipeline from a trace; no\n"
@@ -187,6 +200,10 @@ Options parse(int argc, char** argv) {
       o.fault_seed = static_cast<std::uint64_t>(std::atoll(need("--fault-seed")));
     } else if (!std::strcmp(argv[i], "--threads")) {
       par::set_default_threads(std::atoi(need("--threads")));
+    } else if (!std::strcmp(argv[i], "--lanes")) {
+      decoder::set_decode_lanes(std::atoi(need("--lanes")));
+    } else if (!std::strcmp(argv[i], "--conv-pdcch")) {
+      o.conv_pdcch = true;
     } else if (!std::strcmp(argv[i], "--record")) {
       o.record = need("--record");
     } else if (!std::strcmp(argv[i], "--replay")) {
@@ -249,6 +266,7 @@ Options parse(int argc, char** argv) {
 void run_one(const Options& o, const std::string& algo) {
   auto loc = sim::location(o.location);
   if (o.seed != 0) loc.seed = o.seed;
+  loc.convolutional_pdcch = o.conv_pdcch;
   const auto profile = *fault::profile_by_name(o.fault_profile);
 
   std::unique_ptr<cap::TraceWriter> writer;

@@ -1,6 +1,7 @@
 #include "decoder/blind_decoder.h"
 
 #include <algorithm>
+#include <atomic>
 #include <string>
 #include <utility>
 
@@ -9,6 +10,29 @@
 #include "phy/convolutional.h"
 
 namespace pbecc::decoder {
+
+namespace {
+
+std::atomic<int> g_decode_lanes{8};
+
+// Smallest integer `matches` count that satisfies region_agrees()'s
+// `matches >= frac * total` double comparison — derived with the same
+// double arithmetic so the lockstep path's integer threshold is exactly
+// the scalar path's acceptance boundary.
+std::int32_t min_passing_matches(double frac, std::size_t total) {
+  auto m = static_cast<std::int32_t>(frac * static_cast<double>(total));
+  while (static_cast<double>(m) < frac * static_cast<double>(total)) ++m;
+  return m;
+}
+
+}  // namespace
+
+void set_decode_lanes(int lanes) {
+  g_decode_lanes.store(std::clamp(lanes, 1, phy::kMaxDecodeLanes),
+                       std::memory_order_relaxed);
+}
+
+int decode_lanes() { return g_decode_lanes.load(std::memory_order_relaxed); }
 
 BlindDecoder::BlindDecoder(phy::CellConfig cell) : cell_(cell) {
   for (int i = 0; i < 4; ++i) {
@@ -21,6 +45,9 @@ BlindDecoder::BlindDecoder(phy::CellConfig cell) : cell_(cell) {
   obs_.decoded = &obs::counter("decoder.messages_decoded");
   obs_.subframes = &obs::counter("decoder.subframes_decoded");
   obs_.memo_hits = &obs::counter("decoder.memo_hits");
+  obs_.lane_batches = &obs::counter("decoder.lane_batches");
+  obs_.early_aborts = &obs::counter("decoder.early_aborts");
+  obs_.screen_rejects = &obs::counter("decoder.crc_screen_rejects");
 }
 
 void BlindDecoder::reconfigure(const phy::CellConfig& cell) {
@@ -161,6 +188,146 @@ BlindDecoder::CandidateResult BlindDecoder::try_candidate(
   return res;
 }
 
+std::uint64_t BlindDecoder::decode_block(const phy::PdcchSubframe& sf, int al,
+                                         const int* starts,
+                                         const util::BitVec* spans,
+                                         const std::size_t* miss,
+                                         std::size_t n_miss,
+                                         CandidateResult* out) {
+  const auto region_bits = static_cast<std::size_t>(al) * phy::kBitsPerCce;
+  const auto ai = static_cast<std::size_t>(al_index(al));
+  std::uint64_t batches = 0;
+  if (sf.coding == phy::PdcchCoding::kConvolutional) {
+    // Per-format waves: every still-undecided missing candidate decodes
+    // format f's shape in one lockstep Viterbi batch. A candidate that
+    // validates drops out of the remaining waves, exactly like the scalar
+    // format loop's break.
+    //
+    // Every wave rate-matches the same span, so scan each span exactly
+    // once into vote prefix sums: each format's log-likelihoods then cost
+    // one subtraction per mother bit. Thread-local storage — blocks on
+    // different pool threads get their own.
+    const std::size_t pre_stride = region_bits + 1;
+    thread_local std::vector<std::int32_t> prefixes;
+    if (prefixes.size() < n_miss * pre_stride) {
+      prefixes.resize(n_miss * pre_stride);
+    }
+    for (std::size_t m = 0; m < n_miss; ++m) {
+      const util::BitVec& span = spans[miss[m]];
+      std::int32_t* pre = prefixes.data() + m * pre_stride;
+      pre[0] = 0;
+      for (std::size_t b = 0; b < region_bits; ++b) {
+        pre[b + 1] = pre[b] + (span.bit(b) ? 1 : -1);
+      }
+    }
+    std::array<bool, phy::kMaxDecodeLanes> done{};
+    for (int f = 0; f < phy::kNumDciFormats; ++f) {
+      const auto format = static_cast<phy::DciFormat>(f);
+      const int msg_bits = phy::dci_payload_bits(format) + 16;
+      const std::size_t steps =
+          static_cast<std::size_t>(msg_bits) + phy::kConvTailBits;
+      if (region_bits < 2 * steps) continue;  // infeasible rate, no attempt
+
+      // The acceptance test downstream is region_agrees(): re-encoded
+      // matches >= 0.85 * region_bits. The final Viterbi metric M and the
+      // match count are linked exactly (matches = (M + T) / 2), so the
+      // threshold doubles as the per-lane early-abort floor and replaces
+      // the re-encode pass entirely.
+      const std::int32_t thr =
+          2 * min_passing_matches(0.85, region_bits) -
+          static_cast<std::int32_t>(region_bits);
+
+      std::array<phy::BatchDecodeJob, phy::kMaxDecodeLanes> jobs;
+      std::array<std::size_t, phy::kMaxDecodeLanes> lane_cand{};
+      int n_lanes = 0;
+      for (std::size_t m = 0; m < n_miss; ++m) {
+        if (done[m]) continue;
+        jobs[static_cast<std::size_t>(n_lanes)] = {
+            &spans[miss[m]], prefixes.data() + m * pre_stride, thr};
+        lane_cand[static_cast<std::size_t>(n_lanes)] = m;
+        ++n_lanes;
+      }
+      if (n_lanes == 0) break;
+
+      std::array<phy::BatchDecodeResult, phy::kMaxDecodeLanes> res;
+      phy::conv_decode_batch(jobs.data(), n_lanes,
+                             static_cast<std::size_t>(msg_bits), res.data());
+      ++batches;
+
+      for (int k = 0; k < n_lanes; ++k) {
+        const std::size_t m = lane_cand[static_cast<std::size_t>(k)];
+        const std::size_t i = miss[m];
+        CandidateResult& r = out[i];
+        ++r.attempts;
+        const phy::BatchDecodeResult& d = res[static_cast<std::size_t>(k)];
+        if (d.aborted) {
+          ++r.failures;
+          ++r.early_aborts;
+          continue;
+        }
+        if (d.metric < thr) {  // == region_agrees() false, without re-encode
+          ++r.failures;
+          continue;
+        }
+        if (!phy::dci_crc_screen(d.decoded, format)) {
+          ++r.failures;
+          ++r.screen_rejects;
+          continue;
+        }
+        auto dci = phy::decode_dci(d.decoded, format, cell_.n_prbs());
+        if (!dci.has_value()) {
+          ++r.failures;
+          continue;
+        }
+        r.dci = *dci;
+        done[m] = true;
+      }
+    }
+  } else {
+    // Repetition cells: per-candidate majority vote with the CRC-first
+    // screen ahead of the field parse.
+    for (std::size_t m = 0; m < n_miss; ++m) {
+      const std::size_t i = miss[m];
+      CandidateResult& r = out[i];
+      for (int f = 0; f < phy::kNumDciFormats; ++f) {
+        const auto format = static_cast<phy::DciFormat>(f);
+        const int msg_bits = phy::dci_payload_bits(format) + 16;
+        if (phy::repetitions_that_fit(msg_bits, al) == 0) continue;
+        ++r.attempts;
+        const util::BitVec bits = majority_decode(sf, starts[i], al, msg_bits);
+        if (!phy::dci_crc_screen(bits, format)) {
+          ++r.failures;
+          ++r.screen_rejects;
+          continue;
+        }
+        auto dci = phy::decode_dci(bits, format, cell_.n_prbs());
+        if (!dci.has_value()) {
+          ++r.failures;
+          continue;
+        }
+        if (!region_agrees(sf, starts[i], al, bits)) {
+          ++r.failures;
+          continue;
+        }
+        r.dci = *dci;
+        break;
+      }
+    }
+  }
+
+  // Memo store, exactly as the scalar path would have recorded each
+  // candidate (memo_hit stays false inside the stored result).
+  for (std::size_t m = 0; m < n_miss; ++m) {
+    const std::size_t i = miss[m];
+    MemoEntry& entry = memo_[ai][static_cast<std::size_t>(starts[i] / al)];
+    entry.valid = true;
+    entry.coding = sf.coding;
+    entry.span = spans[i];
+    entry.result = out[i];
+  }
+  return batches;
+}
+
 DecodeRun BlindDecoder::decode_compute(const phy::PdcchSubframe& sf) {
   PBECC_PROF_SCOPE("blind_decode");
   DecodeRun run;
@@ -197,9 +364,56 @@ DecodeRun BlindDecoder::decode_compute(const phy::PdcchSubframe& sf) {
     if (memo_[ai].size() < n_positions) memo_[ai].resize(n_positions);
 
     std::vector<CandidateResult> results(starts.size());
-    par::parallel_for(starts.size(), [&](std::size_t i) {
-      results[i] = try_candidate(sf, al, starts[i]);
-    });
+    const auto lanes = static_cast<std::size_t>(decode_lanes());
+    if (lanes > 1) {
+      // Lockstep path. Extract every span and probe the memo up front
+      // (cheap, serial), then pack only the misses into lane-sized blocks:
+      // steady-state subframes answer most candidates from the memo, and
+      // interleaving hits with misses would run mostly-empty batches. The
+      // block partition is a pure function of the miss list, so results
+      // and counters are independent of the thread count the blocks then
+      // fan out on.
+      const auto region_bits = static_cast<std::size_t>(al) * phy::kBitsPerCce;
+      thread_local std::vector<util::BitVec> spans;
+      if (spans.size() < starts.size()) spans.resize(starts.size());
+      std::vector<std::size_t> misses;
+      misses.reserve(starts.size());
+      for (std::size_t i = 0; i < starts.size(); ++i) {
+        util::BitVec& span = spans[i];
+        span.clear();
+        span.reserve(region_bits);
+        const auto base =
+            static_cast<std::size_t>(starts[i]) * phy::kBitsPerCce;
+        for (std::size_t b = 0; b < region_bits; ++b) {
+          span.push_bit(sf.bits.bit(base + b));
+        }
+        MemoEntry& entry = memo_[ai][static_cast<std::size_t>(starts[i] / al)];
+        if (entry.valid && entry.coding == sf.coding && entry.span == span) {
+          results[i] = entry.result;
+          results[i].memo_hit = true;
+        } else {
+          misses.push_back(i);
+        }
+      }
+      if (!misses.empty()) {
+        const std::size_t n_blocks = (misses.size() + lanes - 1) / lanes;
+        std::vector<std::uint64_t> block_batches(n_blocks, 0);
+        par::parallel_for(n_blocks, [&](std::size_t b) {
+          const std::size_t lo = b * lanes;
+          const std::size_t n = std::min(lanes, misses.size() - lo);
+          block_batches[b] = decode_block(sf, al, starts.data(), spans.data(),
+                                          misses.data() + lo, n,
+                                          results.data());
+        });
+        for (const std::uint64_t n : block_batches) {
+          run.delta.lane_batches += n;
+        }
+      }
+    } else {
+      par::parallel_for(starts.size(), [&](std::size_t i) {
+        results[i] = try_candidate(sf, al, starts[i]);
+      });
+    }
 
     for (std::size_t i = 0; i < starts.size(); ++i) {
       const CandidateResult& r = results[i];
@@ -207,6 +421,8 @@ DecodeRun BlindDecoder::decode_compute(const phy::PdcchSubframe& sf) {
       run.delta.candidates_by_al[ai] += static_cast<std::uint64_t>(r.attempts);
       run.delta.crc_failures += static_cast<std::uint64_t>(r.failures);
       run.delta.crc_failures_by_al[ai] += static_cast<std::uint64_t>(r.failures);
+      run.delta.early_aborts += static_cast<std::uint64_t>(r.early_aborts);
+      run.delta.screen_rejects += static_cast<std::uint64_t>(r.screen_rejects);
       if (r.memo_hit) ++run.delta.memo_hits;
       if (r.dci.has_value()) {
         ++run.delta.messages_decoded;
@@ -228,6 +444,9 @@ std::vector<phy::Dci> BlindDecoder::decode_apply(const DecodeRun& run) {
   stats_.messages_decoded += d.messages_decoded;
   stats_.subframes += d.subframes;
   stats_.memo_hits += d.memo_hits;
+  stats_.lane_batches += d.lane_batches;
+  stats_.early_aborts += d.early_aborts;
+  stats_.screen_rejects += d.screen_rejects;
   for (std::size_t i = 0; i < 4; ++i) {
     stats_.candidates_by_al[i] += d.candidates_by_al[i];
     stats_.crc_failures_by_al[i] += d.crc_failures_by_al[i];
@@ -238,6 +457,9 @@ std::vector<phy::Dci> BlindDecoder::decode_apply(const DecodeRun& run) {
   obs_.decoded->inc(d.messages_decoded);
   obs_.subframes->inc(d.subframes);
   obs_.memo_hits->inc(d.memo_hits);
+  obs_.lane_batches->inc(d.lane_batches);
+  obs_.early_aborts->inc(d.early_aborts);
+  obs_.screen_rejects->inc(d.screen_rejects);
 
   std::vector<phy::Dci> found;
   found.reserve(run.found.size());

@@ -34,6 +34,16 @@ namespace pbecc::decoder {
 constexpr int al_index(int al) { return al == 1 ? 0 : al == 2 ? 1 : al == 4 ? 2 : 3; }
 inline constexpr int kAggregationLevels[4] = {1, 2, 4, 8};
 
+// Candidates decoded in lockstep per batch (DESIGN.md §14): 1 selects the
+// scalar per-candidate path (the pre-batching hot path, kept both as the
+// fallback and as the honest A/B baseline for bench_replay --corpus);
+// 2..phy::kMaxDecodeLanes selects the SIMD-friendly lane-major batch path.
+// Results are byte-identical for every setting — the knob trades nothing
+// but speed. Set once before a run (like par::set_default_threads); reads
+// on the hot path are relaxed atomics.
+void set_decode_lanes(int lanes);
+int decode_lanes();
+
 struct DecodeStats {
   std::uint64_t candidates_tried = 0;
   std::uint64_t crc_failures = 0;
@@ -42,6 +52,14 @@ struct DecodeStats {
   // Candidates answered from the span memo instead of a fresh decode
   // (the span's soft bits were unchanged since the previous subframe).
   std::uint64_t memo_hits = 0;
+  // Batch-path diagnostics (all zero on the scalar lanes==1 path; none of
+  // them feed the determinism digests): lockstep Viterbi batches run,
+  // candidate-format attempts retired early because no surviving path
+  // could reach the acceptance metric, and attempts rejected by the
+  // CRC-first screen before any field parse.
+  std::uint64_t lane_batches = 0;
+  std::uint64_t early_aborts = 0;
+  std::uint64_t screen_rejects = 0;
   // Broken out per aggregation level (index via al_index): the decode
   // success/failure profile per AL is OWL's primary health signal.
   std::array<std::uint64_t, 4> candidates_by_al{};
@@ -88,10 +106,14 @@ class BlindDecoder {
 
  private:
   // Outcome of the format loop at one (AL, position) candidate. Depends
-  // only on the span's bits, so it is memoizable across subframes.
+  // only on the span's bits, so it is memoizable across subframes. The
+  // abort/screen tallies are memoized too: replaying them on a memo hit
+  // keeps every counter byte-identical with the memo disabled.
   struct CandidateResult {
     int attempts = 0;
     int failures = 0;
+    int early_aborts = 0;
+    int screen_rejects = 0;
     bool memo_hit = false;
     std::optional<phy::Dci> dci;
   };
@@ -103,6 +125,20 @@ class BlindDecoder {
                                 int start);
   CandidateResult run_formats(const phy::PdcchSubframe& sf, int al, int start,
                               const util::BitVec& span) const;
+
+  // Lockstep path (decode_lanes() > 1): decode one lane-sized block of
+  // memo-miss candidates — per-DCI-format waves through
+  // phy::conv_decode_batch (convolutional cells) or the CRC-screened
+  // majority vote (repetition cells), then memo store. `miss[0..n_miss)`
+  // index into the AL's full `starts`/`spans`/`out` arrays (the caller
+  // already extracted spans and resolved memo hits); distinct blocks touch
+  // disjoint indices, so blocks run on pool threads without racing.
+  // Returns the number of Viterbi batches launched. Byte-identical
+  // outcomes to try_candidate() on each candidate.
+  std::uint64_t decode_block(const phy::PdcchSubframe& sf, int al,
+                             const int* starts, const util::BitVec* spans,
+                             const std::size_t* miss, std::size_t n_miss,
+                             CandidateResult* out);
 
   // Majority-vote the repetitions of a msg_bits-long message stored in
   // `n_cces` CCEs starting at `first_cce`.
@@ -139,6 +175,9 @@ class BlindDecoder {
     obs::Counter* decoded;
     obs::Counter* subframes;
     obs::Counter* memo_hits;
+    obs::Counter* lane_batches;
+    obs::Counter* early_aborts;
+    obs::Counter* screen_rejects;
   };
   ObsCounters obs_{};
 };

@@ -198,6 +198,18 @@ std::uint64_t Monitor::total_candidates_tried() const {
   return total;
 }
 
+std::uint64_t Monitor::total_lane_batches() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, dec] : decoders_) total += dec->stats().lane_batches;
+  return total;
+}
+
+std::uint64_t Monitor::total_early_aborts() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, dec] : decoders_) total += dec->stats().early_aborts;
+  return total;
+}
+
 double Monitor::decode_success_rate(util::Time now) const {
   if (first_pdcch_ < 0) return 1.0;
   const util::Time lo = std::max(first_pdcch_, now - success_window_);

@@ -87,6 +87,11 @@ class Monitor {
   std::uint64_t decode_failures() const { return failures_; }
   // Blind-decode candidates tried across all cell decoders (bench JSON).
   std::uint64_t total_candidates_tried() const;
+  // Lockstep-path diagnostics summed across all cell decoders: Viterbi lane
+  // batches launched and candidate attempts retired by the exact-safe early
+  // abort. Both zero when decode_lanes() == 1.
+  std::uint64_t total_lane_batches() const;
+  std::uint64_t total_early_aborts() const;
 
   const UserTracker& tracker(phy::CellId cell) const { return *trackers_.at(cell); }
   const BlindDecoder& decoder(phy::CellId cell) const { return *decoders_.at(cell); }

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "obs/profile.h"
+#include "util/arena.h"
 
 namespace pbecc::phy {
 
@@ -78,6 +79,28 @@ struct ViterbiScratch {
 
 ViterbiScratch& scratch() {
   thread_local ViterbiScratch ws;
+  return ws;
+}
+
+// Workspace for the lockstep batch decoder: one arena per decode thread
+// (pool workers included) plus the same rate-match layout cache the scalar
+// path keeps. Every per-batch array lives in the arena and is recycled
+// wholesale, so after warm-up a batch performs zero heap allocations.
+struct BatchScratch {
+  util::Arena arena;
+
+  std::vector<ViterbiScratch::CountsEntry> counts_cache;
+  const std::vector<int>& counts_for(std::size_t coded, std::size_t target) {
+    for (const auto& e : counts_cache) {
+      if (e.coded == coded && e.target == target) return e.counts;
+    }
+    counts_cache.push_back({coded, target, rate_match_counts(coded, target)});
+    return counts_cache.back().counts;
+  }
+};
+
+BatchScratch& batch_scratch() {
+  thread_local BatchScratch ws;
   return ws;
 }
 
@@ -271,6 +294,178 @@ util::BitVec conv_decode_reference(const util::BitVec& received,
     state = prev_state[t][state];
   }
   return decoded;
+}
+
+void conv_decode_batch(const BatchDecodeJob* jobs, int n_jobs,
+                       std::size_t payload_bits, BatchDecodeResult* results) {
+  PBECC_PROF_SCOPE("viterbi_batch");
+  if (n_jobs <= 0) return;
+  const auto L = static_cast<std::size_t>(
+      n_jobs <= kMaxDecodeLanes ? n_jobs : kMaxDecodeLanes);
+  const std::size_t steps = payload_bits + kConvTailBits;
+  const std::size_t coded_bits = kConvRateInv * steps;
+  const std::size_t target = jobs[0].received->size();
+  constexpr std::int32_t kNegInf = std::numeric_limits<std::int32_t>::min() / 4;
+
+  auto& ws = batch_scratch();
+  ws.arena.reset();
+
+  // Lane-major (structure-of-arrays) layout throughout: element i of lane
+  // l lives at [i * L + l], so the innermost loops below run over
+  // contiguous lanes and vectorize.
+
+  // Per-mother-bit log-likelihoods, one column per lane. All lanes share
+  // one rate-match layout — that is what makes the batch a batch.
+  std::int32_t* llr = ws.arena.alloc<std::int32_t>(coded_bits * L);
+  std::fill_n(llr, coded_bits * L, 0);
+  {
+    const auto& counts = ws.counts_for(coded_bits, target);
+    for (std::size_t l = 0; l < L; ++l) {
+      if (jobs[l].prefix != nullptr) {
+        const std::int32_t* pre = jobs[l].prefix;
+        std::size_t j = 0;
+        for (std::size_t i = 0; i < coded_bits; ++i) {
+          const auto c = static_cast<std::size_t>(counts[i]);
+          llr[i * L + l] = pre[j + c] - pre[j];
+          j += c;
+        }
+      } else {
+        const util::BitVec& rx = *jobs[l].received;
+        std::size_t j = 0;
+        for (std::size_t i = 0; i < coded_bits; ++i) {
+          for (int c = 0; c < counts[i]; ++c) {
+            llr[i * L + l] += rx.bit(j++) ? 1 : -1;
+          }
+        }
+      }
+    }
+  }
+
+  // suffix_gain[t][l]: the most any path can still gain from step t on —
+  // the same exact bound the scalar decoder prunes with, here driving the
+  // per-lane early abort.
+  std::int32_t* suffix = ws.arena.alloc<std::int32_t>((steps + 1) * L);
+  std::fill_n(suffix + steps * L, L, 0);
+  for (std::size_t t = steps; t-- > 0;) {
+    const std::int32_t* v = llr + kConvRateInv * t * L;
+    for (std::size_t l = 0; l < L; ++l) {
+      suffix[t * L + l] = suffix[(t + 1) * L + l] + std::abs(v[l]) +
+                          std::abs(v[L + l]) + std::abs(v[2 * L + l]);
+    }
+  }
+
+  std::int32_t* metric = ws.arena.alloc<std::int32_t>(kNumStates * L);
+  std::int32_t* next = ws.arena.alloc<std::int32_t>(kNumStates * L);
+  std::fill_n(metric, kNumStates * L, kNegInf);
+  for (std::size_t l = 0; l < L; ++l) metric[l] = 0;  // state 0 live
+
+  // One traceback bit per (step, state, lane): the destination state alone
+  // determines the input bit (u = ns >> 5) and all but the lowest bit of
+  // the predecessor, so the ACS only needs to remember which of the two
+  // predecessors won.
+  std::uint8_t* take = ws.arena.alloc<std::uint8_t>(steps * kNumStates * L);
+
+  bool aborted[kMaxDecodeLanes] = {};
+  bool any_abort_enabled = false;
+  for (std::size_t l = 0; l < L; ++l) {
+    if (jobs[l].abort_below != INT32_MIN) any_abort_enabled = true;
+  }
+  std::size_t n_live = L;
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    // Branch gain per 3-bit output pattern, per lane.
+    std::int32_t gains[8 * kMaxDecodeLanes];
+    const std::int32_t* v = llr + kConvRateInv * t * L;
+    for (int p = 0; p < 8; ++p) {
+      std::int32_t* g = gains + static_cast<std::size_t>(p) * L;
+      for (std::size_t l = 0; l < L; ++l) {
+        g[l] = ((p & 1) != 0 ? v[l] : -v[l]) +
+               ((p & 2) != 0 ? v[L + l] : -v[L + l]) +
+               ((p & 4) != 0 ? v[2 * L + l] : -v[2 * L + l]);
+      }
+    }
+
+    // Destination-major ACS: dest ns has exactly two predecessors,
+    // p0 = (ns << 1) & 63 and p1 = p0 | 1, both reached with input
+    // u = ns >> 5. Tie-break keeps p0 (strict >), matching the reference
+    // decoder's source-ascending scan bit-for-bit. During the zero tail
+    // only u = 0 destinations exist.
+    const int ns_end = t < payload_bits ? kNumStates : kNumStates / 2;
+    std::uint8_t* tk = take + t * kNumStates * L;
+    for (int ns = 0; ns < ns_end; ++ns) {
+      const int u = ns >> 5;
+      const int p0 = (ns << 1) & 63;
+      const std::uint8_t g0 = kBranchOut[static_cast<std::size_t>((u << 6) | p0)];
+      const std::uint8_t g1 =
+          kBranchOut[static_cast<std::size_t>((u << 6) | (p0 | 1))];
+      const std::int32_t* m0 = metric + static_cast<std::size_t>(p0) * L;
+      const std::int32_t* m1 = m0 + L;
+      const std::int32_t* ga = gains + static_cast<std::size_t>(g0) * L;
+      const std::int32_t* gb = gains + static_cast<std::size_t>(g1) * L;
+      std::int32_t* nx = next + static_cast<std::size_t>(ns) * L;
+      std::uint8_t* tt = tk + static_cast<std::size_t>(ns) * L;
+      for (std::size_t l = 0; l < L; ++l) {
+        const std::int32_t c0 = m0[l] + ga[l];
+        const std::int32_t c1 = m1[l] + gb[l];
+        const bool sel = c1 > c0;
+        nx[l] = sel ? c1 : c0;
+        tt[l] = sel ? 1 : 0;
+      }
+    }
+    if (ns_end < kNumStates) {
+      std::fill(next + static_cast<std::size_t>(ns_end) * L,
+                next + static_cast<std::size_t>(kNumStates) * L, kNegInf);
+    }
+    std::swap(metric, next);
+
+    // Early abort: a lane whose best surviving metric plus the largest
+    // possible remaining gain is still below its caller-supplied floor can
+    // never produce an accepted codeword — stop charging it work the
+    // moment that is provable. (The floor maps 1:1 to the acceptance test
+    // the caller runs afterwards, so this never changes an outcome.) The
+    // 64xL max-reduction costs about as much as one ACS step, so it runs
+    // every 8th step: a doomed lane survives at most 7 extra steps, which
+    // is far cheaper than paying the reduction at every one.
+    if (any_abort_enabled && (t & 7) == 7) {
+      std::int32_t best[kMaxDecodeLanes];
+      std::fill_n(best, L, kNegInf);
+      for (int s = 0; s < kNumStates; ++s) {
+        const std::int32_t* m = metric + static_cast<std::size_t>(s) * L;
+        for (std::size_t l = 0; l < L; ++l) {
+          if (m[l] > best[l]) best[l] = m[l];
+        }
+      }
+      const std::int32_t* suf = suffix + (t + 1) * L;
+      for (std::size_t l = 0; l < L; ++l) {
+        if (aborted[l] || jobs[l].abort_below == INT32_MIN) continue;
+        if (best[l] + suf[l] < jobs[l].abort_below) {
+          aborted[l] = true;
+          --n_live;
+        }
+      }
+      if (n_live == 0) break;
+    }
+  }
+
+  for (std::size_t l = 0; l < L; ++l) {
+    BatchDecodeResult& r = results[l];
+    if (aborted[l]) {
+      r.decoded = util::BitVec{};
+      r.aborted = true;
+      r.metric = 0;
+      continue;
+    }
+    r.aborted = false;
+    r.metric = metric[l];  // state 0, where the zero tail always lands
+    util::BitVec out(payload_bits);
+    std::size_t state = 0;
+    for (std::size_t t = steps; t-- > 0;) {
+      if (t < payload_bits) out.set_bit(t, (state >> 5) != 0);
+      state = ((state << 1) & 63) |
+              take[(t * kNumStates + state) * L + l];
+    }
+    r.decoded = std::move(out);
+  }
 }
 
 }  // namespace pbecc::phy

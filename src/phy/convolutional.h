@@ -53,4 +53,51 @@ util::BitVec conv_decode(const util::BitVec& received,
 util::BitVec conv_decode_reference(const util::BitVec& received,
                                    std::size_t payload_bits);
 
+// ---------------------------------------------------------------------------
+// Batched lockstep decode (DESIGN.md §14).
+//
+// The blind decoder tries the same (payload length, block length) shape at
+// every candidate position of an aggregation level; conv_decode_batch
+// decodes up to kMaxDecodeLanes such same-shape blocks through one trellis
+// walk with lane-major (structure-of-arrays) path metrics, so the
+// add-compare-select inner loops vectorize across candidates. Non-aborted
+// lanes are byte-exact with conv_decode_reference — the decoder's
+// determinism contract does not bend for speed.
+
+inline constexpr int kMaxDecodeLanes = 16;
+
+struct BatchDecodeJob {
+  const util::BitVec* received = nullptr;  // same size() for every lane
+  // Optional vote prefix sums over `received`: prefix[j] = sum over bits
+  // [0, j) of (bit ? +1 : -1), length received->size() + 1. The blind
+  // decoder tries ~5 DCI formats against the same span; the prefix lets
+  // every format's rate-matched log-likelihoods come from one shared span
+  // scan (a subtraction per mother bit) instead of re-reading the span
+  // bit-by-bit per format. nullptr falls back to the direct bit loop —
+  // both produce identical integers.
+  const std::int32_t* prefix = nullptr;
+  // Exact-safe early abort: the decode gives up on this lane as soon as no
+  // completion of any surviving path can reach a final state-0 correlation
+  // metric >= abort_below (metric = matches - mismatches against the
+  // received block, so the caller derives it from its acceptance
+  // threshold). INT32_MIN disables the abort. An aborted lane is one the
+  // caller would provably have rejected, never a maybe.
+  std::int32_t abort_below = INT32_MIN;
+};
+
+struct BatchDecodeResult {
+  util::BitVec decoded;   // empty when aborted
+  bool aborted = false;
+  // Final state-0 path metric (valid when !aborted): the correlation of
+  // the decoded codeword with the received block.
+  std::int32_t metric = 0;
+};
+
+// Decode `n_jobs` (1..kMaxDecodeLanes) equally-shaped blocks in lockstep.
+// Every jobs[i].received must have the same size, every lane decodes to
+// `payload_bits` information bits. Scratch comes from a per-thread arena:
+// steady state performs no heap allocation.
+void conv_decode_batch(const BatchDecodeJob* jobs, int n_jobs,
+                       std::size_t payload_bits, BatchDecodeResult* results);
+
 }  // namespace pbecc::phy

@@ -67,6 +67,16 @@ util::BitVec encode_dci(const Dci& d) {
   return bits;
 }
 
+bool dci_crc_screen(const util::BitVec& bits, DciFormat format) {
+  const auto payload_len = static_cast<std::size_t>(dci_payload_bits(format));
+  if (bits.size() != payload_len + 16) return false;
+  const auto rx_crc =
+      static_cast<std::uint16_t>(bits.read_uint(payload_len, 16));
+  const auto rnti =
+      static_cast<Rnti>(util::crc16_range(bits, 0, payload_len) ^ rx_crc);
+  return rnti >= kMinCRnti && rnti <= kMaxCRnti;
+}
+
 std::optional<Dci> decode_dci(const util::BitVec& bits, DciFormat format,
                               int n_cell_prbs) {
   const auto payload_len = static_cast<std::size_t>(dci_payload_bits(format));

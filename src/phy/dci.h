@@ -66,4 +66,12 @@ util::BitVec encode_dci(const Dci& d);
 std::optional<Dci> decode_dci(const util::BitVec& bits, DciFormat format,
                               int n_cell_prbs);
 
+// CRC-first cheap screen: evaluates exactly the length and CRC-residue
+// plausibility checks decode_dci() applies first, without building the
+// payload copy or parsing any field. Returns false only when decode_dci()
+// is guaranteed to return nullopt, so callers may skip it entirely —
+// stat-for-stat identical, an order of magnitude cheaper on the (typical)
+// garbage candidate. Used by the batched blind-decode path (DESIGN.md §14).
+bool dci_crc_screen(const util::BitVec& bits, DciFormat format);
+
 }  // namespace pbecc::phy

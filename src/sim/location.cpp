@@ -52,7 +52,9 @@ ScenarioConfig scenario_config_for(const LocationProfile& loc) {
   const double bands[3] = {10.0, 10.0, 5.0};
   const double ctrl = loc.busy ? 0.4 : 0.02;
   for (int i = 0; i < 3; ++i) {
-    cfg.cells.push_back(CellSpec{bands[i], ctrl});
+    CellSpec cell{bands[i], ctrl};
+    cell.convolutional_pdcch = loc.convolutional_pdcch;
+    cfg.cells.push_back(cell);
   }
   return cfg;
 }

@@ -19,6 +19,12 @@ struct LocationProfile {
   double rssi_dbm = -95.0;
   util::Duration one_way_delay = 25 * util::kMillisecond;
   std::uint64_t seed = 0;
+  // Encode every cell's PDCCH with the 36.212 convolutional code instead
+  // of repetition coding (run_experiment --conv-pdcch). Off in the paper's
+  // 40-location study; the Viterbi replay corpus (README "Decode
+  // throughput") records with it on so bench_replay exercises the
+  // lockstep batch decoder.
+  bool convolutional_pdcch = false;
 
   std::string describe() const;
 };

@@ -1,0 +1,99 @@
+// Bump-pointer arena for hot-path scratch memory (DESIGN.md §14).
+//
+// The lockstep blind-decode path allocates several short-lived arrays per
+// candidate batch (lane-major LLRs, path metrics, survivor bits). Pulling
+// them from the general heap put malloc/free on the per-candidate profile;
+// an Arena instead hands out raw storage from one growing block and
+// recycles the whole footprint with a single reset() per batch. After the
+// first few batches warm the block up, the steady state performs zero heap
+// operations.
+//
+// Not thread-safe by design: each decode thread owns a thread_local arena
+// (see convolutional.cpp). Allocations are trivially-destructible raw
+// storage — the arena never runs constructors or destructors.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace pbecc::util {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t initial_bytes = 1 << 16)
+      : initial_(initial_bytes) {}
+
+  // Uninitialized storage for `n` objects of T, aligned for T. Pointers
+  // stay valid until the next reset() (growth allocates fresh blocks and
+  // leaves earlier ones in place).
+  template <typename T>
+  T* alloc(std::size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena storage is never destructed");
+    const std::size_t bytes = n * sizeof(T);
+    std::size_t off = (offset_ + alignof(T) - 1) & ~(alignof(T) - 1);
+    if (blocks_.empty() || off + bytes > blocks_.back().size) {
+      grow(bytes);
+      off = 0;  // fresh blocks are max-aligned
+    }
+    offset_ = off + bytes;
+    used_ = high_water_mark();
+    return reinterpret_cast<T*>(blocks_.back().data.get() + off);
+  }
+
+  // Recycle everything. When use outgrew the current block, coalesce into
+  // one block sized for the whole previous footprint so the next cycle
+  // allocates nothing.
+  void reset() {
+    if (blocks_.size() > 1) {
+      std::size_t total = 0;
+      for (const Block& b : blocks_) total += b.size;
+      blocks_.clear();
+      blocks_.push_back(make_block(total));
+    }
+    offset_ = 0;
+  }
+
+  // Total bytes handed out since construction peaked at this many per
+  // cycle (diagnostic: sizes the steady-state block).
+  std::size_t high_water() const { return used_; }
+  std::size_t blocks() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  static Block make_block(std::size_t size) {
+    // operator new[] storage is aligned for std::max_align_t, enough for
+    // every T the decode path stores (<= 8-byte alignment).
+    return Block{std::make_unique<std::byte[]>(size), size};
+  }
+
+  void grow(std::size_t need) {
+    std::size_t size = blocks_.empty() ? initial_ : blocks_.back().size * 2;
+    if (size < need) size = need;
+    blocks_.push_back(make_block(size));
+    offset_ = 0;
+  }
+
+  std::size_t high_water_mark() const {
+    std::size_t prior = 0;
+    for (std::size_t i = 0; i + 1 < blocks_.size(); ++i) {
+      prior += blocks_[i].size;
+    }
+    const std::size_t now = prior + offset_;
+    return now > used_ ? now : used_;
+  }
+
+  std::size_t initial_;
+  std::vector<Block> blocks_;
+  std::size_t offset_ = 0;
+  std::size_t used_ = 0;
+};
+
+}  // namespace pbecc::util

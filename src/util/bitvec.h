@@ -19,6 +19,12 @@ class BitVec {
 
   void push_bit(bool b) { bits_.push_back(b); }
 
+  // Drop all bits but keep the backing capacity — hot-path callers (the
+  // blind decoder's candidate-span scratch) refill one reused vector per
+  // candidate instead of allocating a fresh one.
+  void clear() { bits_.clear(); }
+  void reserve(std::size_t nbits) { bits_.reserve(nbits); }
+
   // Append the low `nbits` of `value`, most-significant bit first.
   void push_uint(std::uint64_t value, std::size_t nbits) {
     for (std::size_t i = nbits; i-- > 0;) {

@@ -3,8 +3,13 @@
 namespace pbecc::util {
 
 std::uint16_t crc16(const BitVec& bits) {
+  return crc16_range(bits, 0, bits.size());
+}
+
+std::uint16_t crc16_range(const BitVec& bits, std::size_t pos,
+                          std::size_t len) {
   std::uint16_t crc = 0xFFFF;
-  for (std::size_t i = 0; i < bits.size(); ++i) {
+  for (std::size_t i = pos; i < pos + len; ++i) {
     const bool msb = (crc & 0x8000) != 0;
     crc = static_cast<std::uint16_t>(crc << 1);
     if (msb != bits.bit(i)) crc ^= 0x1021;

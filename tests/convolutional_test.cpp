@@ -2,6 +2,9 @@
 // PDCCH mode (the srsLTE-equivalent path of the paper's decoder).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "decoder/blind_decoder.h"
 #include "phy/convolutional.h"
 #include "phy/pdcch.h"
@@ -137,6 +140,122 @@ TEST(Convolutional, OptimizedMatchesReference10k) {
                          << payload.size() << " target "
                          << targets[trial % 4];
   }
+}
+
+// Lockstep batch equivalence sweep (DESIGN.md §14): ~10k codewords per
+// lane count, every lane byte-identical to the reference decoder, at
+// clean / light / heavy bit-error rates and every rate-match shape. 2503
+// codewords per lane count leaves a partial tail batch at L in {4, 8, 16}
+// (2503 = 4*625+3 = 8*312+7 = 16*156+7), so short final blocks are
+// exercised, not just full ones.
+TEST(Convolutional, BatchMatchesReference10k) {
+  util::Rng rng{29};
+  const double bers[] = {0.0, 1e-3, 1e-2};
+  const std::size_t targets[] = {72, 144, 288, 576};
+  for (const int lanes : {1, 4, 8, 16}) {
+    const int codewords = 2503;
+    int done = 0, shape = 0;
+    while (done < codewords) {
+      const int n = std::min(lanes, codewords - done);
+      const double ber = bers[shape % 3];
+      const std::size_t payload_bits = 20 + static_cast<std::size_t>(shape) % 17;
+      const std::size_t target = targets[shape % 4];
+      ++shape;
+
+      std::vector<util::BitVec> payloads(static_cast<std::size_t>(n));
+      std::vector<util::BitVec> blocks(static_cast<std::size_t>(n));
+      std::vector<BatchDecodeJob> jobs(static_cast<std::size_t>(n));
+      for (int k = 0; k < n; ++k) {
+        payloads[static_cast<std::size_t>(k)] = random_payload(rng, payload_bits);
+        auto block =
+            rate_match(conv_encode(payloads[static_cast<std::size_t>(k)]), target);
+        for (std::size_t i = 0; ber > 0 && i < block.size(); ++i) {
+          if (rng.bernoulli(ber)) block.flip_bit(i);
+        }
+        blocks[static_cast<std::size_t>(k)] = std::move(block);
+        jobs[static_cast<std::size_t>(k)].received =
+            &blocks[static_cast<std::size_t>(k)];
+      }
+      std::vector<BatchDecodeResult> res(static_cast<std::size_t>(n));
+      conv_decode_batch(jobs.data(), n, payload_bits, res.data());
+      for (int k = 0; k < n; ++k) {
+        const auto& r = res[static_cast<std::size_t>(k)];
+        ASSERT_FALSE(r.aborted);  // no abort floor was set
+        ASSERT_EQ(r.decoded,
+                  conv_decode_reference(blocks[static_cast<std::size_t>(k)],
+                                        payload_bits))
+            << "lanes " << lanes << " batch lane " << k << " ber " << ber
+            << " target " << target;
+      }
+      done += n;
+    }
+  }
+}
+
+// The reported batch metric must equal the re-encoded codeword's
+// correlation with the received block — the identity the blind decoder
+// relies on to replace its region-agreement re-encode pass.
+TEST(Convolutional, BatchMetricEqualsReencodedCorrelation) {
+  util::Rng rng{31};
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t payload_bits = 24 + static_cast<std::size_t>(trial) % 40;
+    const std::size_t target = trial % 2 == 0 ? 288 : 576;
+    auto block = rate_match(conv_encode(random_payload(rng, payload_bits)),
+                            target);
+    for (std::size_t i = 0; i < block.size(); ++i) {
+      if (rng.bernoulli(0.02)) block.flip_bit(i);
+    }
+    BatchDecodeJob job;
+    job.received = &block;
+    BatchDecodeResult res;
+    conv_decode_batch(&job, 1, payload_bits, &res);
+    ASSERT_FALSE(res.aborted);
+    const auto re = rate_match(conv_encode(res.decoded), target);
+    std::int32_t corr = 0;
+    for (std::size_t i = 0; i < re.size(); ++i) {
+      corr += re.bit(i) == block.bit(i) ? 1 : -1;
+    }
+    ASSERT_EQ(res.metric, corr) << trial;
+  }
+}
+
+// Exact-safety of the early abort: an aborted lane must be one whose
+// unaborted decode provably fails the caller's metric floor, and setting
+// a floor must never change a surviving lane's output.
+TEST(Convolutional, BatchEarlyAbortIsExactSafe) {
+  util::Rng rng{37};
+  const std::size_t payload_bits = 46;
+  const std::size_t target = 288;
+  int aborted = 0;
+  for (int trial = 0; trial < 300; ++trial) {
+    // Junk block: uniform random bits, nowhere near any codeword.
+    util::BitVec block;
+    for (std::size_t i = 0; i < target; ++i) block.push_bit(rng.bernoulli(0.5));
+    // The blind decoder's floor: matches >= 85% of the block.
+    const auto thr = static_cast<std::int32_t>(
+        2 * ((85 * target + 99) / 100) - target);
+    BatchDecodeJob with_abort;
+    with_abort.received = &block;
+    with_abort.abort_below = thr;
+    BatchDecodeJob without;
+    without.received = &block;
+    BatchDecodeResult ra, rn;
+    conv_decode_batch(&with_abort, 1, payload_bits, &ra);
+    conv_decode_batch(&without, 1, payload_bits, &rn);
+    if (ra.aborted) {
+      ++aborted;
+      // The abort claimed no completion reaches the floor; the full
+      // decode's best metric must indeed sit below it.
+      ASSERT_LT(rn.metric, thr) << trial;
+    } else {
+      ASSERT_EQ(ra.decoded, rn.decoded) << trial;
+      ASSERT_EQ(ra.metric, rn.metric) << trial;
+    }
+    ASSERT_EQ(rn.decoded, conv_decode_reference(block, payload_bits)) << trial;
+  }
+  // Random noise correlates ~50% with any codeword: essentially every
+  // junk block must have tripped the abort.
+  EXPECT_GT(aborted, 290);
 }
 
 TEST(ConvolutionalPdcch, BlindDecodeAllFormats) {

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "decoder/blind_decoder.h"
 #include "fault/fault.h"
 #include "obs/obs.h"
 #include "par/thread_pool.h"
@@ -141,47 +142,91 @@ INSTANTIATE_TEST_SUITE_P(
 // The convolutional-PDCCH decode path (Viterbi + span memoization) has its
 // own parallel lane; check it separately since no location profile enables
 // it.
-TEST(DeterminismConvolutional, SerialAndParallelAreByteIdentical) {
-  const auto run = [](int threads) {
-    par::set_default_threads(threads);
-    sim::ScenarioConfig cfg;
-    cfg.seed = 77;
-    cfg.cells = {{10.0, 0.3}};
-    cfg.cells.front().convolutional_pdcch = true;
-    sim::Scenario s{cfg};
-    sim::UeSpec ue;
-    ue.cell_indices = {0};
-    s.add_ue(ue);
-    sim::BackgroundSpec bg;
-    bg.n_users = 4;
-    bg.sessions_per_sec = 0.8;
-    s.add_background(bg);
-    sim::FlowSpec fs;
-    fs.algo = "pbe";
-    fs.stop = 3 * util::kSecond;
-    const int f = s.add_flow(fs);
-    s.run_until(fs.stop);
-    s.stats(f).finish(fs.stop);
+RunDigest run_conv_once(int threads) {
+  par::set_default_threads(threads);
+  obs::Trace::instance().start(obs::TraceConfig{});
+  sim::ScenarioConfig cfg;
+  cfg.seed = 77;
+  cfg.cells = {{10.0, 0.3}};
+  cfg.cells.front().convolutional_pdcch = true;
+  sim::Scenario s{cfg};
+  sim::UeSpec ue;
+  ue.cell_indices = {0};
+  s.add_ue(ue);
+  sim::BackgroundSpec bg;
+  bg.n_users = 4;
+  bg.sessions_per_sec = 0.8;
+  s.add_background(bg);
+  sim::FlowSpec fs;
+  fs.algo = "pbe";
+  fs.stop = 3 * util::kSecond;
+  const int f = s.add_flow(fs);
+  s.run_until(fs.stop);
+  s.stats(f).finish(fs.stop);
 
-    RunDigest d;
-    d.tput = s.stats(f).avg_tput_mbps();
-    d.avg_d = s.stats(f).avg_delay_ms();
-    d.p95_d = s.stats(f).p95_delay_ms();
-    d.p50_d = s.stats(f).median_delay_ms();
-    const auto& wins = s.stats(f).window_tputs_mbps().samples();
-    d.wins.assign(wins.begin(), wins.end());
-    const auto& dl = s.stats(f).delays_ms().samples();
-    d.delays.assign(dl.begin(), dl.end());
-    d.attempts = s.pbe_client(f)->monitor().total_candidates_tried();
-    return d;
-  };
-  const auto serial = run(1);
-  const auto parallel = run(8);
+  obs::Trace::instance().stop();
+  RunDigest d;
+  d.tput = s.stats(f).avg_tput_mbps();
+  d.avg_d = s.stats(f).avg_delay_ms();
+  d.p95_d = s.stats(f).p95_delay_ms();
+  d.p50_d = s.stats(f).median_delay_ms();
+  const auto& wins = s.stats(f).window_tputs_mbps().samples();
+  d.wins.assign(wins.begin(), wins.end());
+  const auto& dl = s.stats(f).delays_ms().samples();
+  d.delays.assign(dl.begin(), dl.end());
+  d.attempts = s.pbe_client(f)->monitor().total_candidates_tried();
+  d.trace_digest = obs::Trace::instance().digest();
+  obs::Trace::instance().clear();
+  return d;
+}
+
+TEST(DeterminismConvolutional, SerialAndParallelAreByteIdentical) {
+  const auto serial = run_conv_once(1);
+  const auto parallel = run_conv_once(8);
   par::set_default_threads(1);
   EXPECT_GT(serial.attempts, 0u);
   EXPECT_TRUE(serial == parallel);
   EXPECT_EQ(serial.tput, parallel.tput);
   EXPECT_EQ(serial.attempts, parallel.attempts);
+  EXPECT_EQ(serial.trace_digest, parallel.trace_digest);
+}
+
+// Lockstep-lane determinism (DESIGN.md §14): the scalar per-candidate
+// path (lanes=1) and the SIMD batch path must produce byte-identical
+// FlowStats and trace digests at every lane width and thread count — on
+// the Viterbi pipeline AND the repetition-coded one (whose batch path
+// adds the CRC-first screen).
+TEST(DeterminismLanes, ScalarAndLockstepAreByteIdentical) {
+  struct LaneGuard {
+    ~LaneGuard() {
+      decoder::set_decode_lanes(8);
+      par::set_default_threads(1);
+    }
+  } guard;
+
+  decoder::set_decode_lanes(1);
+  const auto conv_scalar = run_conv_once(1);
+  const auto rep_scalar = run_once("none", 21, 1);
+  EXPECT_GT(conv_scalar.attempts, 0u);
+  EXPECT_GT(rep_scalar.attempts, 0u);
+
+  for (const int lanes : {8, 16}) {
+    for (const int threads : {1, 8}) {
+      decoder::set_decode_lanes(lanes);
+      const auto conv = run_conv_once(threads);
+      EXPECT_TRUE(conv_scalar == conv)
+          << "conv pipeline diverged at lanes=" << lanes
+          << " threads=" << threads;
+      EXPECT_EQ(conv_scalar.trace_digest, conv.trace_digest)
+          << "lanes=" << lanes << " threads=" << threads;
+      const auto rep = run_once("none", 21, threads);
+      EXPECT_TRUE(rep_scalar == rep)
+          << "repetition pipeline diverged at lanes=" << lanes
+          << " threads=" << threads;
+      EXPECT_EQ(rep_scalar.trace_digest, rep.trace_digest)
+          << "lanes=" << lanes << " threads=" << threads;
+    }
+  }
 }
 
 }  // namespace
