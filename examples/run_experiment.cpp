@@ -29,6 +29,10 @@
 //                          byte-identical fault schedule
 //     --threads N          worker threads for the parallel decode path
 //                          (default 1; results are identical for any N)
+//     --shards N           worker threads stepping shard domains between
+//                          subframe barriers in multi-cluster scenarios
+//                          (default 1; results are identical for any N;
+//                          see DESIGN.md §15)
 //     --lanes N            blind-decode candidates per lockstep batch
 //                          (1..16, default 8; 1 = scalar path; results are
 //                          identical for any N)
@@ -132,6 +136,8 @@ void usage(std::FILE* out) {
                "handover-storm\n"
                "  --fault-seed N     fault schedule seed (default 1)\n"
                "  --threads N        decode worker threads (default 1)\n"
+               "  --shards N         shard worker threads for multi-cluster\n"
+               "                     scenarios (default 1; identical results)\n"
                "  --lanes N          lockstep decode lanes, 1..16 (default 8;\n"
                "                     1 = scalar path; identical results)\n"
                "  --conv-pdcch       convolutional control coding on every\n"
@@ -200,6 +206,8 @@ Options parse(int argc, char** argv) {
       o.fault_seed = static_cast<std::uint64_t>(std::atoll(need("--fault-seed")));
     } else if (!std::strcmp(argv[i], "--threads")) {
       par::set_default_threads(std::atoi(need("--threads")));
+    } else if (!std::strcmp(argv[i], "--shards")) {
+      sim::set_default_shards(std::atoi(need("--shards")));
     } else if (!std::strcmp(argv[i], "--lanes")) {
       decoder::set_decode_lanes(std::atoi(need("--lanes")));
     } else if (!std::strcmp(argv[i], "--conv-pdcch")) {

@@ -61,6 +61,25 @@ void AimdRateControl::seed(util::RateBps bps) {
   }
 }
 
+void AimdRateControl::force_decrease(util::Time now, double acked_bps) {
+  if (last_decrease_ >= 0 && now - last_decrease_ < cfg_.min_decrease_interval) {
+    return;  // a recent cut is already draining this queue
+  }
+  if (first_update_ < 0) first_update_ = now;
+  const bool in_startup_grace = now - first_update_ < cfg_.startup_grace;
+  const double basis = acked_bps > 0 ? acked_bps : target_;
+  // The level detector fires only when the path has been saturated long
+  // enough to stand a queue, so the acked bitrate is as capacity-revealing
+  // here as at a trendline-driven cut.
+  if (!in_startup_grace) capacity_.on_overuse(basis);
+  target_ = std::min<util::RateBps>(target_, cfg_.beta * basis);
+  if (in_startup_grace) target_ = std::max(target_, initial_target_);
+  target_ = std::clamp(target_, cfg_.min_rate, cfg_.max_rate);
+  last_decrease_ = now;
+  seeded_ = false;
+  state_ = State::kHold;
+}
+
 void AimdRateControl::change_state(BandwidthUsage usage) {
   // goog_cc's RateControlState transitions: overuse always decreases,
   // underuse always holds (the queue is draining — wait), normal leaves

@@ -108,6 +108,16 @@ class AimdRateControl {
   // cuts it right back if the memory is stale.
   void seed(util::RateBps bps);
 
+  // Out-of-band multiplicative decrease, driven by evidence the trendline
+  // cannot see (DelayBasedBwe's standing-queue *level* detector: a queue
+  // that has stopped growing has zero delay gradient, so kOverusing never
+  // fires no matter how deep it stands). Cuts to beta x the acked bitrate,
+  // teaches the capacity tracker (the link is saturated — that *is*
+  // capacity), and parks in Hold so the drain is not misread as underuse
+  // headroom. Respects min_decrease_interval so a level cut cannot
+  // compound with a fresh trendline cut.
+  void force_decrease(util::Time now, double acked_bps);
+
   util::RateBps target_bps() const { return target_; }
   const LinkCapacityTracker& link_capacity() const { return capacity_; }
   // Time of the most recent overuse cut (-1 if none yet). The hybrid

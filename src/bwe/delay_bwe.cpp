@@ -11,13 +11,20 @@ DelayBasedBwe::DelayBasedBwe(DelayBasedBweConfig cfg)
       ack_rate_(cfg.ack_rate_window),
       ack_rate_long_(cfg.ack_rate_long_window),
       target_(std::clamp(cfg.initial_rate, cfg.aimd.min_rate,
-                         cfg.aimd.max_rate)) {}
+                         cfg.aimd.max_rate)),
+      base_owd_ms_(cfg.level_base_window) {}
 
 void DelayBasedBwe::on_ack(const net::AckSample& s) {
   if (last_ack_ >= 0 && s.now - last_ack_ > cfg_.silence_reset) {
     // The queue the old window described drained (or the path changed)
     // during the gap; stale slope points would fake an under/overuse.
     trendline_.reset();
+    // Same for the level detector: the base OWD and the standing-queue
+    // latch describe a path state that no longer exists.
+    base_owd_ms_.clear();
+    owd_level_ms_ = -1.0;
+    level_high_since_ = -1;
+    level_tripped_ = false;
   }
   last_ack_ = s.now;
 
@@ -42,8 +49,41 @@ void DelayBasedBwe::on_ack(const net::AckSample& s) {
     acked_bps_ = ack_rate_long_.get(s.now, acked_bps_);
   }
 
-  trendline_.update(s.now, util::to_seconds(s.one_way_delay) * 1e3);
+  const double owd_ms = util::to_seconds(s.one_way_delay) * 1e3;
+  trendline_.update(s.now, owd_ms);
   target_ = aimd_.update(s.now, trendline_.state(), acked_bps_, s.rtt);
+
+  // Standing-queue level detector (config comment has the full rationale):
+  // smoothed OWD vs the long-window base. A sustained excess forces an
+  // AIMD cut the gradient-blind trendline will never issue, and the latch
+  // caps growth at the acked bitrate until the queue demonstrably drains.
+  base_owd_ms_.update(s.now, owd_ms);
+  owd_level_ms_ = owd_level_ms_ < 0
+                      ? owd_ms
+                      : cfg_.level_smoothing * owd_level_ms_ +
+                            (1.0 - cfg_.level_smoothing) * owd_ms;
+  level_excess_ms_ = owd_level_ms_ - base_owd_ms_.get(s.now, owd_ms);
+  if (cfg_.level_threshold_ms > 0) {
+    if (level_excess_ms_ > cfg_.level_threshold_ms) {
+      if (level_high_since_ < 0) level_high_since_ = s.now;
+      if (s.now - level_high_since_ >= cfg_.level_sustain) {
+        aimd_.force_decrease(s.now, acked_bps_);
+        target_ = aimd_.target_bps();
+        level_tripped_ = true;
+        ++level_trips_;
+        // Re-arm: at most one forced cut per sustain period while the
+        // excess stays high — the drain needs time to reach the signal.
+        level_high_since_ = s.now;
+      }
+    } else {
+      level_high_since_ = -1;
+      if (level_excess_ms_ < cfg_.level_clear_ms) level_tripped_ = false;
+    }
+    if (level_tripped_ && acked_bps_ > 0) {
+      target_ = std::clamp(std::min(target_, acked_bps_),
+                           cfg_.aimd.min_rate, cfg_.aimd.max_rate);
+    }
+  }
   // Sparse-ACK cap: when the short acked window cannot fill but the long
   // one still does, delivery is ACK-clocked (cwnd stalls, not pacing,
   // bound it) and the AIMD's usual max_vs_acked headroom stands as queue

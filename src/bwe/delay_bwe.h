@@ -42,6 +42,26 @@ struct DelayBasedBweConfig {
   // transport cannot turn pacing headroom into delivery, so anything
   // beyond a small probing margin just stands as queue.
   double sparse_headroom = 1.3;
+  // Standing-queue *level* detector. The trendline reacts to the delay
+  // gradient, so an overshoot small enough to sit under the adaptive
+  // threshold (+7.5% of capacity fits the window slope to a modified
+  // trend of 0.075 x 20 x 4 = 6.0 — exactly the threshold floor) builds
+  // queue the detector never convicts; and once delivery becomes
+  // ACK-clocked the queue stops growing, the gradient goes to zero, and
+  // the backlog stands forever. The level detector compares an
+  // EWMA-smoothed one-way delay against a long-window minimum (the
+  // RTprop idiom): excess above `level_threshold_ms` sustained for
+  // `level_sustain` forces one AIMD decrease, and growth stays capped at
+  // the acked bitrate until the excess falls below `level_clear_ms`
+  // (hysteresis). While the excess stays high, one cut per sustain
+  // period — the drain needs time to show up in the delay signal.
+  // Set level_threshold_ms <= 0 to disable.
+  double level_threshold_ms = 30.0;
+  double level_clear_ms = 15.0;
+  util::Duration level_sustain = 400 * util::kMillisecond;
+  util::Duration level_base_window = 10 * util::kSecond;
+  // EWMA retention on the level signal (jitter must not trip it).
+  double level_smoothing = 0.9;
 };
 
 class DelayBasedBwe {
@@ -71,6 +91,12 @@ class DelayBasedBwe {
   const TrendlineEstimator& trendline() const { return trendline_; }
   const AimdRateControl& aimd() const { return aimd_; }
   BandwidthUsage usage() const { return trendline_.state(); }
+  // Standing-queue level detector state: latched while the smoothed OWD
+  // excess is above the hysteresis band, total cuts it has forced, and
+  // the excess (ms over the long-window base) as of the last ACK.
+  bool standing_queue() const { return level_tripped_; }
+  std::uint64_t level_trips() const { return level_trips_; }
+  double level_excess_ms() const { return level_excess_ms_; }
 
  private:
   DelayBasedBweConfig cfg_;
@@ -83,6 +109,13 @@ class DelayBasedBwe {
   util::Time last_ack_ = -1;
   util::RateBps target_;
   double acked_bps_ = 0.0;
+  // Standing-queue level detector (see DelayBasedBweConfig).
+  util::WindowedMin<double> base_owd_ms_;
+  double owd_level_ms_ = -1.0;  // EWMA of the OWD; <0 = no sample yet
+  double level_excess_ms_ = 0.0;
+  util::Time level_high_since_ = -1;
+  bool level_tripped_ = false;
+  std::uint64_t level_trips_ = 0;
 };
 
 }  // namespace pbecc::bwe

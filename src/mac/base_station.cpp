@@ -206,6 +206,40 @@ void BaseStation::run_cell(CellState& cell) {
     record.control_prbs += grant.n_prbs;
   }
 
+  // --- 2b. Aggregated background sessions (synthetic load; O(sessions)
+  // per subframe regardless of the notional user population). Each grant
+  // appears on the PDCCH like any scheduled user, so monitors fold these
+  // sessions into the sharer count N and the PRB occupancy.
+  if (cell.aggregate) {
+    int real_contenders = 0;
+    for (const auto& [id, ue] : ues_) {
+      const auto& active = ue.ca.active_cells();
+      if (std::find(active.begin(), active.end(), cell.cfg.id) != active.end() &&
+          backlog_bits(ue) > 0) {
+        ++real_contenders;
+      }
+    }
+    for (const auto& grant :
+         cell.aggregate->tick(sf_index_, prbs_left, real_contenders)) {
+      phy::Dci dci;
+      dci.rnti = grant.rnti;
+      dci.format = grant.mcs.n_streams == 2 ? phy::DciFormat::kFormat2
+                                            : phy::DciFormat::kFormat1;
+      dci.prb_start = static_cast<std::uint16_t>(prb_cursor);
+      dci.n_prbs = static_cast<std::uint16_t>(grant.n_prbs);
+      dci.mcs = grant.mcs;
+      dci.harq_id = 0;
+      dci.new_data = true;
+      if (!pdcch.add_escalating(dci,
+                                phy::aggregation_level_for_sinr(grant.sinr_db))) {
+        break;  // PDCCH exhausted: remaining sessions skip this subframe
+      }
+      prbs_left -= grant.n_prbs;
+      prb_cursor += grant.n_prbs;
+      record.aggregate_prbs += grant.n_prbs;
+    }
+  }
+
   // --- 3. New data: scheduler divides the remaining PRBs.
   std::vector<SchedRequest> requests;
   for (auto& [id, ue] : ues_) {
@@ -278,10 +312,10 @@ void BaseStation::run_cell(CellState& cell) {
     int data_prbs = 0;
     for (const auto& a : record.data_allocs) data_prbs += a.n_prbs;
     PBECC_INVARIANT(record.idle_prbs >= 0 && record.control_prbs >= 0 &&
-                        record.retx_prbs >= 0,
+                        record.retx_prbs >= 0 && record.aggregate_prbs >= 0,
                     "bs_prb_ledger_nonnegative");
     PBECC_INVARIANT(data_prbs + record.control_prbs + record.retx_prbs +
-                            record.idle_prbs ==
+                            record.aggregate_prbs + record.idle_prbs ==
                         total_prbs,
                     "bs_prb_ledger_balanced");
   }
@@ -293,12 +327,14 @@ void BaseStation::run_cell(CellState& cell) {
     static obs::Counter& data = obs::counter("mac.prbs_data");
     static obs::Counter& ctrl = obs::counter("mac.prbs_control");
     static obs::Counter& retx = obs::counter("mac.prbs_retx");
+    static obs::Counter& aggr = obs::counter("mac.prbs_aggregate");
     total.inc(total_prbs);
     idle.inc(record.idle_prbs);
     data.inc(total_prbs - record.idle_prbs - record.control_prbs -
-             record.retx_prbs);
+             record.retx_prbs - record.aggregate_prbs);
     ctrl.inc(record.control_prbs);
     retx.inc(record.retx_prbs);
+    aggr.inc(record.aggregate_prbs);
   }
 
   // --- 4. Emit the control region to monitors.
@@ -408,6 +444,12 @@ std::map<phy::CellId, int> BaseStation::active_user_counts() const {
   for (const auto& [id, ue] : ues_) {
     for (phy::CellId c : ue.ca.active_cells()) {
       if (is_active(ue, c)) ++active_count[c];
+    }
+  }
+  // Synthetic aggregate sessions share the cell exactly like real users.
+  for (const auto& cell : cells_) {
+    if (cell.aggregate && cell.aggregate->active_sessions() > 0) {
+      active_count[cell.cfg.id] += cell.aggregate->active_sessions();
     }
   }
   return active_count;
@@ -543,11 +585,115 @@ void BaseStation::handover(UeId ue_id, const std::vector<phy::CellId>& new_cells
     }
     if (!ue.harq.contains(c)) ue.harq.emplace(c, HarqEntity{});
   }
+  // Replacing the manager resets its timers for the new set, but the
+  // Fig-15 "ever aggregated" statistic is history, not timer state — the
+  // PR-4 eviction path silently zeroed it on every handover.
+  const bool ever_aggregated = ue.ca.ever_aggregated();
   ue.ca = CaManager{new_cells, ue.cfg.ca};
+  ue.ca.restore_history(ever_aggregated);
   // After eviction + install the tracked set is exactly the new cell set.
   PBECC_INVARIANT(ue.harq.size() == new_cells.size() &&
                       ue.channels.size() == new_cells.size(),
                   "bs_handover_tracks_exactly_new_cells");
+}
+
+UeMigration BaseStation::extract_ue(UeId ue_id) {
+  auto& ue = ues_.at(ue_id);
+
+  // Abandon in-flight HARQ blocks, applying the skip notifications into
+  // the reordering buffer NOW — the schedule-at-now path intra-site
+  // handover uses would fire after this UE is erased and silently no-op,
+  // wedging the buffer behind a gap that never resolves (until the
+  // reordering timer fires, 60 ms later). Any packets this releases go
+  // out through the current delivery handler before the snapshot.
+  for (auto& [cell, harq] : ue.harq) {
+    for (TransportBlock& dead : harq.abandon_all()) {
+      ue.reorder->on_tb_abandoned(loop_.now(), dead.tb_seq);
+      ++total_tbs_abandoned_;
+      if constexpr (obs::kCompiled) {
+        static obs::Counter& abandoned = obs::counter("mac.tbs_abandoned");
+        abandoned.inc();
+        obs::emit(obs::EventKind::kTbAbandoned, loop_.now(),
+                  static_cast<std::uint16_t>(cell),
+                  static_cast<std::uint32_t>(ue_id),
+                  static_cast<std::int64_t>(dead.tb_seq));
+      }
+    }
+  }
+
+  UeMigration m;
+  m.cfg = ue.cfg;
+  m.queue.assign(std::make_move_iterator(ue.queue.begin()),
+                 std::make_move_iterator(ue.queue.end()));
+  m.queue_bytes = ue.queue_bytes;
+  m.head_bits_sent = ue.head_bits_sent;
+  m.next_tb_seq = ue.next_tb_seq;
+  m.reorder = ue.reorder->snapshot();
+  m.explicit_rate_bps = ue.explicit_rate_bps;
+  m.ever_aggregated = ue.ca.ever_aggregated();
+
+  ues_.erase(ue_id);
+  delivery_.erase(ue_id);
+  return m;
+}
+
+void BaseStation::admit_ue(UeMigration m, const std::vector<phy::CellId>& new_cells,
+                           DeliveryHandler deliver) {
+  if (new_cells.empty()) throw std::invalid_argument("admit needs >=1 cell");
+  for (phy::CellId c : new_cells) {
+    bool known = false;
+    for (const auto& cc : cell_cfgs_) known |= cc.id == c;
+    if (!known) throw std::invalid_argument("admit to unknown cell");
+  }
+  if (ues_.contains(m.cfg.id)) throw std::invalid_argument("duplicate UE id");
+
+  UeState st{
+      .cfg = m.cfg,
+      .queue = {},
+      .queue_bytes = m.queue_bytes,
+      .head_bits_sent = m.head_bits_sent,
+      .next_tb_seq = m.next_tb_seq,
+      .reorder = nullptr,
+      .harq = {},
+      .channels = {},
+      .ch_now = {},
+      .ca = CaManager{new_cells, m.cfg.ca},
+      .newest_secondary_prbs_this_sf = 0,
+      .total_prbs_this_sf = 0,
+      .last_served = {},
+      .explicit_rate_bps = m.explicit_rate_bps,
+  };
+  st.cfg.aggregated_cells = new_cells;
+  st.queue.assign(std::make_move_iterator(m.queue.begin()),
+                  std::make_move_iterator(m.queue.end()));
+  st.ca.restore_history(m.ever_aggregated);
+  const UeId id = st.cfg.id;
+  delivery_[id] = std::move(deliver);
+  st.reorder = std::make_unique<ReorderingBuffer>(
+      [this, id](net::Packet pkt) { delivery_.at(id)(std::move(pkt)); },
+      cfg_.reordering);
+  st.reorder->restore(std::move(m.reorder));
+  for (phy::CellId c : new_cells) {
+    // Same seed formula as add_ue/handover: the channel a UE sees on a
+    // cell is a function of (UE channel seed, cell id) alone, so the
+    // fading realization is independent of the path taken to get here.
+    phy::ChannelConfig chc = st.cfg.channel;
+    chc.seed = st.cfg.channel.seed * 1000003ULL + c;
+    st.channels.emplace(c, phy::ChannelModel{chc});
+    st.harq.emplace(c, HarqEntity{});
+  }
+  ues_.emplace(id, std::move(st));
+}
+
+void BaseStation::set_aggregate_traffic(phy::CellId cell,
+                                        AggregateTrafficConfig cfg) {
+  for (auto& cs : cells_) {
+    if (cs.cfg.id == cell) {
+      cs.aggregate = std::make_unique<AggregateTraffic>(cell, cfg);
+      return;
+    }
+  }
+  throw std::invalid_argument("set_aggregate_traffic: unknown cell");
 }
 
 void BaseStation::remove_ue(UeId ue_id) {

@@ -14,12 +14,14 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "mac/aggregate_traffic.h"
 #include "mac/carrier_aggregation.h"
 #include "mac/control_traffic.h"
 #include "mac/harq.h"
@@ -71,6 +73,27 @@ struct AllocationRecord {
   int control_prbs = 0;
   int retx_prbs = 0;
   int idle_prbs = 0;
+  // PRBs granted to the synthetic aggregate-background sessions (0 unless
+  // set_aggregate_traffic was configured for this cell).
+  int aggregate_prbs = 0;
+};
+
+// Serializable cross-shard handover message (DESIGN.md §15): everything a
+// UE must carry when it moves to a base station owned by another shard.
+// HARQ blocks do NOT travel — they are abandoned at extraction (real
+// inter-site handover without data forwarding), with the abandon
+// notifications applied into the reordering buffer *before* the snapshot
+// is taken, so nothing is dropped silently. Per-cell channel models are
+// rebuilt deterministically at the target from (channel seed, cell id).
+struct UeMigration {
+  UeConfig cfg;  // aggregated_cells = serving set at extraction
+  std::vector<net::Packet> queue;  // downlink queue, head first
+  std::int64_t queue_bytes = 0;
+  std::int64_t head_bits_sent = 0;
+  std::uint64_t next_tb_seq = 0;
+  ReorderingBuffer::Snapshot reorder;
+  double explicit_rate_bps = 0;
+  bool ever_aggregated = false;  // Fig-15 CA history
 };
 
 // Simulator-side ground truth for one UE on one of its serving cells: the
@@ -142,6 +165,26 @@ class BaseStation {
   // removed UE are skipped when they fire.
   void remove_ue(UeId ue);
 
+  // Detach the UE for migration to another base station (cross-shard
+  // handover). In-flight HARQ blocks are abandoned with the notifications
+  // applied synchronously into the reordering buffer — the scheduled-
+  // callback path used by intra-site handover would find the UE already
+  // removed and silently no-op, losing the skip. The returned snapshot
+  // carries the queue, the reordering residue, the TB sequence cursor and
+  // the CA history; feed it to another station's admit_ue.
+  UeMigration extract_ue(UeId ue);
+
+  // Re-register a migrated UE on this station with serving set
+  // `new_cells` (new primary first). Channel models and HARQ entities are
+  // rebuilt fresh per cell from the UE's channel seed — identical to what
+  // an intra-site handover to a never-visited cell produces.
+  void admit_ue(UeMigration m, const std::vector<phy::CellId>& new_cells,
+                DeliveryHandler deliver);
+
+  // Attach a synthetic aggregate-background load to one of this station's
+  // cells (replacing any previous config for it). Call before start().
+  void set_aggregate_traffic(phy::CellId cell, AggregateTrafficConfig cfg);
+
   // --- Introspection (used by tests, benches, and the UE "modem API") ---
   std::int64_t queue_bytes(UeId ue) const;
   const CaManager& ca(UeId ue) const;
@@ -199,6 +242,8 @@ class BaseStation {
     ControlTrafficGenerator control;
     // Idle PRBs of the last completed subframe (ground-truth telemetry).
     int last_idle_prbs = 0;
+    // Synthetic background load (null unless configured).
+    std::unique_ptr<AggregateTraffic> aggregate;
   };
 
   // Scheduler-visible sharer count per cell (the N of Eqns 1-2).

@@ -63,6 +63,13 @@ class CaManager {
   // True if a secondary was ever activated (Fig 15 statistic).
   bool ever_aggregated() const { return ever_aggregated_; }
 
+  // Carry the Fig-15 history across handover/migration: replacing the
+  // manager for a new cell set must not erase the fact that CA ever
+  // triggered for this user.
+  void restore_history(bool ever_aggregated) {
+    ever_aggregated_ |= ever_aggregated;
+  }
+
  private:
   std::vector<phy::CellId> all_;
   std::vector<phy::CellId> active_;

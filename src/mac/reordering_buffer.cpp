@@ -58,6 +58,34 @@ void ReorderingBuffer::expire(util::Time now) {
   check_order();
 }
 
+ReorderingBuffer::Snapshot ReorderingBuffer::snapshot() const {
+  Snapshot snap;
+  snap.next_expected = next_expected_;
+  snap.expired_skips = expired_skips_;
+  snap.entries.reserve(buffer_.size());
+  for (const auto& [seq, e] : buffer_) {
+    snap.entries.push_back(SnapshotEntry{seq, e.abandoned, e.since, e.packets});
+  }
+  return snap;
+}
+
+void ReorderingBuffer::restore(Snapshot snap) {
+  buffer_.clear();
+  next_expected_ = snap.next_expected;
+  expired_skips_ = snap.expired_skips;
+  for (auto& se : snap.entries) {
+    Entry e;
+    e.abandoned = se.abandoned;
+    e.since = se.since;
+    e.packets = std::move(se.packets);
+    buffer_.emplace(se.tb_seq, std::move(e));
+  }
+  // A consistent snapshot never holds a deliverable head, but drain anyway
+  // so a hand-built snapshot cannot wedge the cursor.
+  drain();
+  check_order();
+}
+
 void ReorderingBuffer::drain() {
   auto it = buffer_.begin();
   while (it != buffer_.end() && it->first == next_expected_) {

@@ -57,6 +57,28 @@ class ReorderingBuffer {
   std::size_t buffered_blocks() const { return buffer_.size(); }
   std::uint64_t expired_skips() const { return expired_skips_; }
 
+  // Value-type snapshot of the buffer for cross-shard UE migration
+  // (DESIGN.md §15): the delivery cursor, the skip counter, and every
+  // buffered entry — including abandoned tombstones still waiting for
+  // their gap to resolve. Dropping this residue at a handover would
+  // silently lose the packets queued behind a gap.
+  struct SnapshotEntry {
+    std::uint64_t tb_seq = 0;
+    bool abandoned = false;
+    util::Time since = 0;
+    std::vector<net::Packet> packets;
+  };
+  struct Snapshot {
+    std::uint64_t next_expected = 0;
+    std::uint64_t expired_skips = 0;
+    std::vector<SnapshotEntry> entries;  // ascending tb_seq
+  };
+  Snapshot snapshot() const;
+  // Replace this buffer's state with `snap` (migration admit). `since`
+  // stamps are preserved so the reordering timer keeps running across the
+  // move instead of resetting.
+  void restore(Snapshot snap);
+
  private:
   void drain();
   void check_order() const;

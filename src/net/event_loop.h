@@ -1,15 +1,31 @@
 // Discrete-event simulation core.
 //
-// A single binary heap of (time, sequence, callback). Everything in the
-// system — subframe ticks, packet arrivals, pacing timers — runs off this
-// one clock, so cellular and transport events interleave correctly at
-// microsecond granularity. Ties break by insertion order (FIFO), which
-// keeps runs deterministic.
+// A binary heap of (time, sequence, callback). Everything in a simulation
+// domain — subframe ticks, packet arrivals, pacing timers — runs off one
+// clock, so cellular and transport events interleave correctly at
+// microsecond granularity. Ties break by insertion order (FIFO by `seq`),
+// which keeps runs deterministic.
+//
+// Sharded scenarios run one EventLoop per cell-cluster domain and step
+// them in lockstep between subframe-aligned barriers (DESIGN.md §15), so
+// `run_until` has an explicit barrier contract:
+//
+//  1. run_until(end) executes every pending event with time <= end —
+//     including events scheduled exactly at `end` by a callback that
+//     itself runs at `end` during this call. None are skipped across the
+//     barrier.
+//  2. On return, now() == end and no pending event has time <= end.
+//  3. `seq` is monotonic over the loop's lifetime and is never reset by
+//     run_until. Events scheduled at time `end` *after* run_until(end)
+//     returns (e.g. by a shard barrier applying cross-shard messages) run
+//     on the next run_until(end2 >= end), at time `end`, in FIFO order
+//     relative to each other and before any strictly later event.
+//  4. run_until(end) with end < now() is a no-op: the clock never moves
+//     backward, and no pending event can have time < now().
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "util/time.h"
@@ -30,11 +46,11 @@ class EventLoop {
   // Execute the earliest pending event. Returns false if none remain.
   bool run_one();
 
-  // Run events until the queue is empty or the clock would pass `end`;
+  // Drain events through `end` per the barrier contract documented above;
   // leaves now() == end (so periodic processes can resume cleanly).
   void run_until(util::Time end);
 
-  std::size_t pending() const { return queue_.size(); }
+  std::size_t pending() const { return heap_.size(); }
 
  private:
   struct Event {
@@ -42,6 +58,7 @@ class EventLoop {
     std::uint64_t seq;
     Callback cb;
   };
+  // Max-heap comparator inverted so the *earliest* (time, seq) surfaces.
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.time != b.time) return a.time > b.time;
@@ -51,7 +68,10 @@ class EventLoop {
 
   util::Time now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  // Explicit heap (std::push_heap/pop_heap) rather than std::priority_queue
+  // so the popped element can be moved out legally — priority_queue::top()
+  // only exposes a const reference.
+  std::vector<Event> heap_;
 };
 
 }  // namespace pbecc::net

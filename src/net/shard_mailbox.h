@@ -1,0 +1,87 @@
+// Cross-shard message exchange with a canonical merge order (DESIGN.md §15).
+//
+// Each shard domain owns one *lane* per mailbox. During the parallel phase
+// of a barrier interval, a domain posts only to its own lane (lanes are
+// disjoint, so no locking is needed). At the serial barrier the caller
+// drains the mailbox: all lanes are merged into a single list ordered by
+// (time, source, seq) and applied in that order.
+//
+// Determinism argument: `time` is the posting domain's sim-clock stamp,
+// `source` is the posting domain's index, and `seq` is a per-source counter
+// stamped at post() — all three are functions of the domain's own event
+// sequence, which is independent of how many worker threads stepped the
+// domains. The merged order is therefore byte-identical for any shard
+// (worker) count. Per-source seq counters persist across drains, so FIFO
+// order within a source is global across barriers too.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "util/time.h"
+
+namespace pbecc::net {
+
+template <typename Payload>
+class ShardMailbox {
+ public:
+  struct Message {
+    util::Time time = 0;
+    std::uint32_t source = 0;
+    std::uint64_t seq = 0;
+    Payload payload{};
+  };
+
+  ShardMailbox() = default;
+  explicit ShardMailbox(std::size_t sources) { reset(sources); }
+
+  void reset(std::size_t sources) {
+    lanes_.assign(sources, {});
+    next_seq_.assign(sources, 0);
+  }
+
+  std::size_t sources() const { return lanes_.size(); }
+
+  // Parallel-phase API: domain `source` posts to its own lane. Safe to call
+  // concurrently from distinct sources; never call for the same source from
+  // two threads.
+  void post(std::uint32_t source, util::Time time, Payload payload) {
+    lanes_[source].push_back(
+        Message{time, source, next_seq_[source]++, std::move(payload)});
+  }
+
+  bool empty() const {
+    for (const auto& lane : lanes_) {
+      if (!lane.empty()) return false;
+    }
+    return true;
+  }
+
+  // Serial-barrier API: merge every lane into (time, source, seq) order and
+  // clear the lanes. Seq counters are NOT reset.
+  std::vector<Message> drain() {
+    std::vector<Message> out;
+    std::size_t total = 0;
+    for (const auto& lane : lanes_) total += lane.size();
+    out.reserve(total);
+    for (auto& lane : lanes_) {
+      for (auto& m : lane) out.push_back(std::move(m));
+      lane.clear();
+    }
+    std::sort(out.begin(), out.end(), [](const Message& a, const Message& b) {
+      return std::tie(a.time, a.source, a.seq) <
+             std::tie(b.time, b.source, b.seq);
+    });
+    return out;
+  }
+
+ private:
+  std::vector<std::vector<Message>> lanes_;
+  std::vector<std::uint64_t> next_seq_;
+};
+
+}  // namespace pbecc::net

@@ -108,6 +108,16 @@ void Trace::clear() {
 
 void Trace::record(const Event& e) {
   std::lock_guard<std::mutex> lk(m_);
+  record_locked(e);
+}
+
+void Trace::record_batch(const std::vector<Event>& events) {
+  if (events.empty()) return;
+  std::lock_guard<std::mutex> lk(m_);
+  for (const Event& e : events) record_locked(e);
+}
+
+void Trace::record_locked(const Event& e) {
   if (!active_) return;
   if (schema(e.kind).high_freq && cfg_.sample_every > 1) {
     if (hf_seq_++ % cfg_.sample_every != 0) {

@@ -93,6 +93,15 @@ class Trace {
 
   void record(const Event& e);
 
+  // Barrier flush for sharded scenarios (DESIGN.md §15): apply a batch of
+  // events under one lock, in order, with the same sampling/ring logic as
+  // record(). Domains buffer events into per-thread sinks during the
+  // parallel phase and the scenario flushes the buffers in domain-index
+  // order at each barrier, so the ring contents (and digest()) are a
+  // function of the domain event sequences alone — byte-identical for any
+  // worker count.
+  void record_batch(const std::vector<Event>& events);
+
   // Events currently retained, oldest first (ring order restored).
   std::vector<Event> snapshot() const;
   std::size_t size() const { return ring_.size(); }
@@ -113,6 +122,8 @@ class Trace {
  private:
   Trace() = default;
 
+  void record_locked(const Event& e);
+
   // record() may be called from pool threads (parallel scenario
   // replications both tracing into the global ring); the ring, cursors and
   // counters are guarded by one mutex. emit()'s fast path (no active
@@ -131,7 +142,31 @@ class Trace {
 namespace detail {
 // Null when no trace is active: emit() stays a single test-and-branch.
 inline Trace* g_trace = nullptr;
+// When set, emit() on this thread appends raw events to the sink instead of
+// the global ring; sampling and ring logic are deferred to record_batch().
+inline thread_local std::vector<Event>* g_sink = nullptr;
 }  // namespace detail
+
+// Redirect this thread's emitted events into `sink` (nullptr restores the
+// global ring). Used by sharded scenario stepping; pair with
+// Trace::record_batch at the barrier.
+inline void set_thread_sink(std::vector<Event>* sink) {
+  detail::g_sink = sink;
+}
+
+// RAII form for exception safety around a domain step.
+struct ThreadSinkScope {
+  explicit ThreadSinkScope(std::vector<Event>* sink)
+      : prev_(detail::g_sink) {
+    detail::g_sink = sink;
+  }
+  ~ThreadSinkScope() { detail::g_sink = prev_; }
+  ThreadSinkScope(const ThreadSinkScope&) = delete;
+  ThreadSinkScope& operator=(const ThreadSinkScope&) = delete;
+
+ private:
+  std::vector<Event>* prev_;
+};
 
 // True while a trace is collecting. Call sites with instrumentation that
 // is expensive to *compute* (not just to record) can skip the work when
@@ -143,7 +178,11 @@ inline void emit(EventKind kind, util::Time t, std::uint16_t id,
                  double y = 0) {
   if constexpr (kCompiled) {
     if (detail::g_trace != nullptr) {
-      detail::g_trace->record(Event{t, kind, id, id2, a, x, y});
+      if (detail::g_sink != nullptr) {
+        detail::g_sink->push_back(Event{t, kind, id, id2, a, x, y});
+      } else {
+        detail::g_trace->record(Event{t, kind, id, id2, a, x, y});
+      }
     }
   }
   (void)kind; (void)t; (void)id; (void)id2; (void)a; (void)x; (void)y;

@@ -1,6 +1,7 @@
 #include "sim/scenario.h"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
 #include <string>
 
@@ -13,7 +14,22 @@
 
 namespace pbecc::sim {
 
+namespace {
+// Cross-domain messages are exchanged at subframe boundaries: the finest
+// granularity at which the MAC layer acts, and the cadence the paper's
+// own feedback loop runs at.
+constexpr util::Duration kShardBarrier = util::kMillisecond;
+
+std::atomic<int> g_default_shards{1};
+}  // namespace
+
+void set_default_shards(int n) { g_default_shards.store(std::max(1, n)); }
+int default_shards() { return g_default_shards.load(); }
+
 Scenario::Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)), rng_(cfg_.seed) {
+  if (cfg_.cells.empty()) {
+    throw std::invalid_argument("scenario needs at least one cell");
+  }
   for (std::size_t i = 0; i < cfg_.cells.size(); ++i) {
     phy::CellConfig cc;
     cc.id = static_cast<phy::CellId>(i + 1);
@@ -23,15 +39,46 @@ Scenario::Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)), rng_(cfg_.seed) {
                           : phy::PdcchCoding::kRepetition;
     cell_cfgs_.push_back(cc);
   }
-  mac::BaseStationConfig bs_cfg;
-  bs_cfg.scheduler = cfg_.scheduler;
-  bs_cfg.seed = rng_.next_u64();
-  // Per-cell control-traffic intensity is folded into one generator config;
-  // BaseStation forks seeds per cell. Use the first cell's figure for all
-  // (location profiles keep them equal).
-  bs_cfg.control_traffic.users_per_subframe =
-      cfg_.cells.front().control_users_per_subframe;
-  bs_ = std::make_unique<mac::BaseStation>(loop_, cell_cfgs_, bs_cfg);
+
+  // Partition cells into shard domains by cluster id (ascending). The
+  // partition is fixed by the scenario config — worker count never alters
+  // it, which is the root of the determinism argument.
+  std::vector<int> clusters;
+  for (const CellSpec& c : cfg_.cells) clusters.push_back(c.cluster);
+  std::sort(clusters.begin(), clusters.end());
+  clusters.erase(std::unique(clusters.begin(), clusters.end()),
+                 clusters.end());
+  for (int c : clusters) {
+    auto d = std::make_unique<Domain>();
+    d->cluster = c;
+    domains_.push_back(std::move(d));
+  }
+  cell_domain_.resize(cfg_.cells.size(), 0);
+  for (std::size_t i = 0; i < cfg_.cells.size(); ++i) {
+    const auto it = std::lower_bound(clusters.begin(), clusters.end(),
+                                     cfg_.cells[i].cluster);
+    const int d = static_cast<int>(it - clusters.begin());
+    cell_domain_[i] = d;
+    domains_[static_cast<std::size_t>(d)]->cell_idx.push_back(i);
+    domains_[static_cast<std::size_t>(d)]->cells.push_back(cell_cfgs_[i]);
+  }
+
+  // One base station per domain; one seed draw per domain in domain order
+  // (a single-cluster scenario draws exactly once, matching the pre-shard
+  // RNG stream byte for byte).
+  for (auto& dom : domains_) {
+    mac::BaseStationConfig bs_cfg;
+    bs_cfg.scheduler = cfg_.scheduler;
+    bs_cfg.seed = rng_.next_u64();
+    // Per-cell control-traffic intensity is folded into one generator
+    // config; BaseStation forks seeds per cell. Use the domain's first
+    // cell's figure for all (location profiles keep them equal).
+    bs_cfg.control_traffic.users_per_subframe =
+        cfg_.cells[dom->cell_idx.front()].control_users_per_subframe;
+    dom->bs = std::make_unique<mac::BaseStation>(dom->loop, dom->cells, bs_cfg);
+  }
+  mailbox_.reset(domains_.size());
+
   if (cfg_.fault.active()) {
     faults_ = std::make_unique<fault::FaultInjector>(cfg_.fault, cfg_.fault_seed);
   }
@@ -41,7 +88,79 @@ phy::Rnti Scenario::rnti_for(mac::UeId ue) const {
   return static_cast<phy::Rnti>(0x100 + ue);
 }
 
+int Scenario::domain_of(const std::vector<std::size_t>& cells,
+                        const char* what) const {
+  if (cells.empty()) {
+    throw std::invalid_argument(std::string(what) + ": empty cell set");
+  }
+  const int d = cell_domain_.at(cells.front());
+  for (std::size_t idx : cells) {
+    if (cell_domain_.at(idx) != d) {
+      throw std::invalid_argument(std::string(what) +
+                                  ": serving set spans cell clusters");
+    }
+  }
+  return d;
+}
+
+mac::BaseStation::DeliveryHandler Scenario::make_delivery_handler(
+    mac::UeId ue) {
+  return [this, ue](net::Packet pkt) { route_delivery(ue, std::move(pkt)); };
+}
+
+void Scenario::route_delivery(mac::UeId ue, net::Packet pkt) {
+  const auto rit = ue_receivers_.find(ue);
+  if (rit == ue_receivers_.end()) return;  // background payload: discard
+  const auto it = rit->second.find(pkt.flow);
+  if (it == rit->second.end()) return;  // unknown flow: discard
+  if (domains_.size() == 1) {
+    it->second->on_packet(std::move(pkt));
+    return;
+  }
+  const int cur = ue_records_.at(ue).domain;
+  const int home = flow_domain_.at(pkt.flow);
+  if (in_barrier_ || home == cur) {
+    // Either the receiver lives where the UE does (one domain's own event
+    // sequence), or we are in the serial barrier phase with every domain
+    // clock aligned — direct delivery is safe and deterministic.
+    it->second->on_packet(std::move(pkt));
+    return;
+  }
+  ShardMsg m;
+  m.kind = ShardMsg::Kind::kDeliver;
+  m.ue = ue;
+  m.pkt = std::move(pkt);
+  mailbox_.post(static_cast<std::uint32_t>(cur),
+                domains_[static_cast<std::size_t>(cur)]->loop.now(),
+                std::move(m));
+}
+
+void Scenario::route_downlink(mac::UeId ue, net::Packet pkt, int home) {
+  if (domains_.size() == 1) {
+    domains_.front()->bs->enqueue(ue, std::move(pkt));
+    return;
+  }
+  const int cur = ue_records_.at(ue).domain;
+  if (cur == home) {
+    domains_[static_cast<std::size_t>(cur)]->bs->enqueue(ue, std::move(pkt));
+    return;
+  }
+  // The UE migrated away from the flow's home cluster: the packet crosses
+  // the inter-site backhaul and lands at the next subframe barrier.
+  ShardMsg m;
+  m.kind = ShardMsg::Kind::kPacket;
+  m.ue = ue;
+  m.pkt = std::move(pkt);
+  mailbox_.post(static_cast<std::uint32_t>(home),
+                domains_[static_cast<std::size_t>(home)]->loop.now(),
+                std::move(m));
+}
+
 void Scenario::add_ue(const UeSpec& spec) {
+  const int dom = domain_of(spec.cell_indices, "add_ue");
+  for (const auto& set : spec.serving_sets) {
+    (void)domain_of(set, "add_ue serving_sets");
+  }
   mac::UeConfig cfg;
   cfg.id = spec.id;
   cfg.rnti = rnti_for(spec.id);
@@ -54,22 +173,36 @@ void Scenario::add_ue(const UeSpec& spec) {
   cfg.ca = spec.ca;
   cfg.scheduling_weight = spec.scheduling_weight;
 
-  ue_specs_[spec.id] = spec;
-  const mac::UeId id = spec.id;
-  bs_->add_ue(cfg, [this, id](net::Packet pkt) {
-    auto& receivers = ue_receivers_[id];
-    const auto it = receivers.find(pkt.flow);
-    if (it != receivers.end()) it->second->on_packet(std::move(pkt));
-    // Unknown flow (background session payload): discarded at the UE.
-  });
+  ue_records_[spec.id] = UeRecord{spec, dom, 0};
+  domains_[static_cast<std::size_t>(dom)]->bs->add_ue(
+      cfg, make_delivery_handler(spec.id));
 }
 
 int Scenario::add_flow(const FlowSpec& spec) {
-  if (!ue_specs_.contains(spec.ue)) {
+  const auto rec_it = ue_records_.find(spec.ue);
+  if (rec_it == ue_records_.end()) {
     throw std::invalid_argument("add_flow: UE not registered");
   }
+  const UeRecord& rec = rec_it->second;
+  const int dom = rec.domain;
+  auto& dloop = domains_[static_cast<std::size_t>(dom)]->loop;
+  auto* dbs = domains_[static_cast<std::size_t>(dom)]->bs.get();
+  // PBE clients decode one base station's control channel and ABC reads
+  // one base station's explicit rate: a cross-cluster migration would
+  // silently detach both. Reject at registration.
+  if (needs_pbe_client(spec.algo) || spec.algo == "abc") {
+    for (const auto& set : rec.spec.serving_sets) {
+      if (domain_of(set, "add_flow") != dom) {
+        throw std::invalid_argument(
+            "add_flow: " + spec.algo +
+            " flows cannot migrate across cell clusters");
+      }
+    }
+  }
   auto ctx = std::make_unique<FlowCtx>();
+  FlowCtx* ctxp = ctx.get();
   ctx->spec = spec;
+  ctx->domain = dom;
   ctx->stats = std::make_unique<FlowStats>();
   const auto flow_id = static_cast<net::FlowId>(flows_.size() + 1);
 
@@ -90,8 +223,10 @@ int Scenario::add_flow(const FlowSpec& spec) {
   // --- Downlink path: sender -> [Internet bottleneck] -> delay -> BS queue.
   const mac::UeId ue = spec.ue;
   ctx->downlink = std::make_unique<net::DelayLink>(
-      loop_, spec.path.one_way_delay,
-      [this, ue](net::Packet pkt) { bs_->enqueue(ue, std::move(pkt)); },
+      dloop, spec.path.one_way_delay,
+      [this, ue, dom](net::Packet pkt) {
+        route_downlink(ue, std::move(pkt), dom);
+      },
       spec.path.jitter, rng_.next_u64());
 
   net::PacketHandler egress;
@@ -101,7 +236,7 @@ int Scenario::add_flow(const FlowSpec& spec) {
     bl.buffer_bytes = spec.path.internet_buffer_bytes;
     bl.propagation_delay = 0;  // delay applied by the DelayLink stage
     ctx->bottleneck = std::make_unique<net::BottleneckLink>(
-        loop_, bl, [d = ctx->downlink.get()](net::Packet pkt) { d->send(std::move(pkt)); });
+        dloop, bl, [d = ctx->downlink.get()](net::Packet pkt) { d->send(std::move(pkt)); });
     egress = [b = ctx->bottleneck.get()](net::Packet pkt) { b->send(std::move(pkt)); };
   } else {
     egress = [d = ctx->downlink.get()](net::Packet pkt) { d->send(std::move(pkt)); };
@@ -112,23 +247,24 @@ int Scenario::add_flow(const FlowSpec& spec) {
   scfg.id = flow_id;
   scfg.start_time = spec.start;
   scfg.stop_time = spec.stop;
-  ctx->sender = std::make_unique<net::FlowSender>(loop_, scfg, std::move(cc),
+  ctx->sender = std::make_unique<net::FlowSender>(dloop, scfg, std::move(cc),
                                                   std::move(egress));
 
   // --- Receiver; ACKs return over a symmetric fixed-delay uplink.
   auto* sender_ptr = ctx->sender.get();
   const util::Duration up_delay = spec.path.one_way_delay;
+  net::EventLoop* lp = &dloop;
   ctx->receiver = std::make_unique<net::FlowReceiver>(
-      loop_, flow_id, [this, sender_ptr, up_delay, flow_id](net::Ack ack) {
+      dloop, flow_id, [this, sender_ptr, up_delay, flow_id, lp, ctxp](net::Ack ack) {
         util::Duration delay = up_delay;
         if (faults_) {
           const fault::FeedbackFault ff = faults_->feedback_fault(
-              loop_.now(), static_cast<std::uint32_t>(flow_id), ack.seq);
+              lp->now(), static_cast<std::uint32_t>(flow_id), ack.seq);
           if (ff.drop) {
             if constexpr (obs::kCompiled) {
               static obs::Counter& drops = obs::counter("fault.feedback_drops");
               drops.inc();
-              obs::emit(obs::EventKind::kFaultInjected, loop_.now(), 0,
+              obs::emit(obs::EventKind::kFaultInjected, lp->now(), 0,
                         static_cast<std::uint32_t>(
                             fault::FaultType::kFeedbackDrop),
                         static_cast<std::int64_t>(flow_id));
@@ -143,32 +279,31 @@ int Scenario::add_flow(const FlowSpec& spec) {
               static obs::Counter& corruptions =
                   obs::counter("fault.feedback_corruptions");
               corruptions.inc();
-              obs::emit(obs::EventKind::kFaultInjected, loop_.now(), 0,
+              obs::emit(obs::EventKind::kFaultInjected, lp->now(), 0,
                         static_cast<std::uint32_t>(
                             fault::FaultType::kFeedbackCorrupt),
                         static_cast<std::int64_t>(flow_id));
             }
           }
-          bool& spiking = in_delay_spike_[flow_id];
           if (ff.extra_delay > 0) {
             delay += ff.extra_delay;
-            if (!spiking) {
-              spiking = true;
+            if (!ctxp->in_delay_spike) {
+              ctxp->in_delay_spike = true;
               if constexpr (obs::kCompiled) {
                 static obs::Counter& spikes =
                     obs::counter("fault.feedback_delay_spikes");
                 spikes.inc();
-                obs::emit(obs::EventKind::kFaultInjected, loop_.now(), 0,
+                obs::emit(obs::EventKind::kFaultInjected, lp->now(), 0,
                           static_cast<std::uint32_t>(
                               fault::FaultType::kFeedbackDelay),
                           static_cast<std::int64_t>(flow_id));
               }
             }
           } else {
-            spiking = false;
+            ctxp->in_delay_spike = false;
           }
         }
-        loop_.schedule_in(delay, [sender_ptr, ack] { sender_ptr->on_ack(ack); });
+        lp->schedule_in(delay, [sender_ptr, ack] { sender_ptr->on_ack(ack); });
       });
   ctx->receiver->set_delivery_observer(
       [st = ctx->stats.get()](const net::Packet& pkt, util::Time now) {
@@ -179,8 +314,8 @@ int Scenario::add_flow(const FlowSpec& spec) {
   // fair-share estimate for this user (no endpoint measurement involved).
   if (spec.algo == "abc") {
     ctx->receiver->set_feedback_filler(
-        [this, ue](const net::Packet&, util::Time, net::Ack& ack) {
-          const util::RateBps rate = bs_->explicit_rate_bps(ue);
+        [dbs, ue](const net::Packet&, util::Time, net::Ack& ack) {
+          const util::RateBps rate = dbs->explicit_rate_bps(ue);
           if (rate > 1000.0) {
             ack.pbe_rate_interval_us = static_cast<std::uint32_t>(
                 std::clamp(1500.0 * 8.0 / rate * 1e6, 1.0, 4e9));
@@ -192,7 +327,7 @@ int Scenario::add_flow(const FlowSpec& spec) {
   if (needs_pbe_client(spec.algo)) {
     pbe::PbeClientConfig pcfg;
     pcfg.rnti = rnti_for(spec.ue);
-    for (std::size_t idx : ue_specs_.at(spec.ue).cell_indices) {
+    for (std::size_t idx : rec.spec.cell_indices) {
       pcfg.cells.push_back(cell_cfgs_.at(idx));
     }
     pcfg.seed = rng_.next_u64();
@@ -203,8 +338,8 @@ int Scenario::add_flow(const FlowSpec& spec) {
     }
     const double extra_ber = spec.pbe_monitor_extra_ber;
     ctx->client = std::make_unique<pbe::PbeClient>(
-        pcfg, [this, ue, extra_ber](phy::CellId cell) {
-          auto ch = bs_->channel_state(ue, cell);
+        pcfg, [dbs, ue, extra_ber](phy::CellId cell) {
+          auto ch = dbs->channel_state(ue, cell);
           ch.control_ber += extra_ber;
           return ch;
         });
@@ -224,13 +359,13 @@ int Scenario::add_flow(const FlowSpec& spec) {
     if constexpr (tel::kCompiled) {
       if (cfg_.telemetry != nullptr && telemetry_flow_ < 0) {
         telemetry_flow_ = static_cast<int>(flows_.size());
-        auto& rec = cfg_.telemetry->recorder();
-        rec.set_meta("algo", spec.algo);
-        rec.set_meta("seed", std::to_string(cfg_.seed));
-        rec.set_meta("interval_us", std::to_string(cfg_.telemetry->interval()));
-        rec.set_meta("fault_active", cfg_.fault.active() ? "1" : "0");
+        auto& trec = cfg_.telemetry->recorder();
+        trec.set_meta("algo", spec.algo);
+        trec.set_meta("seed", std::to_string(cfg_.seed));
+        trec.set_meta("interval_us", std::to_string(cfg_.telemetry->interval()));
+        trec.set_meta("fault_active", cfg_.fault.active() ? "1" : "0");
         if (cfg_.fault.active()) {
-          rec.set_meta("fault_seed", std::to_string(cfg_.fault_seed));
+          trec.set_meta("fault_seed", std::to_string(cfg_.fault_seed));
         }
         auto& pipeline = cfg_.telemetry->pipeline();
         pipeline.attach(&ctx->client->monitor(), &ctx->client->estimator());
@@ -243,7 +378,7 @@ int Scenario::add_flow(const FlowSpec& spec) {
     if (want_taps) ctx->client->set_taps(std::move(taps));
     // Batched: the client's monitor decodes all of one tick's cells at
     // once, fanning out on the pbecc::par pool when --threads > 1.
-    bs_->add_pdcch_batch_observer(
+    dbs->add_pdcch_batch_observer(
         [c = ctx->client.get()](const std::vector<phy::PdcchSubframe>& sfs) {
           c->on_pdcch_batch(sfs);
         });
@@ -254,12 +389,17 @@ int Scenario::add_flow(const FlowSpec& spec) {
   }
 
   ue_receivers_[spec.ue][flow_id] = ctx->receiver.get();
+  flow_domain_[flow_id] = dom;
   flows_.push_back(std::move(ctx));
   return static_cast<int>(flows_.size()) - 1;
 }
 
 void Scenario::add_background(const BackgroundSpec& spec) {
-  std::vector<mac::UeId> users;
+  const int dom = cell_domain_.at(spec.cell_index);
+  auto group = std::make_unique<BgGroup>();
+  group->spec = spec;
+  group->domain = dom;
+  auto* dbs = domains_[static_cast<std::size_t>(dom)]->bs.get();
   for (int i = 0; i < spec.n_users; ++i) {
     const mac::UeId id = next_bg_ue_++;
     mac::UeConfig cfg;
@@ -269,42 +409,59 @@ void Scenario::add_background(const BackgroundSpec& spec) {
     const double rssi = rng_.normal(spec.rssi_mean_dbm, spec.rssi_sigma_db);
     cfg.channel.trace = phy::MobilityTrace::stationary(rssi);
     cfg.channel.seed = rng_.next_u64();
-    bs_->add_ue(cfg, [](net::Packet) { /* background payload: discard */ });
-    users.push_back(id);
+    dbs->add_ue(cfg, [](net::Packet) { /* background payload: discard */ });
+    group->users.push_back(id);
   }
-  schedule_bg_sessions(spec, std::move(users));
+  // Fork the session RNG at registration: arrivals draw on the domain
+  // thread during parallel stepping, so they must not share the scenario
+  // RNG (a data race, and order-dependent even single-threaded).
+  group->rng = util::Rng(rng_.next_u64());
+  group->flow_seq = bg_flow_seq_;
+  bg_flow_seq_ += 1u << 16;  // private flow-id block per group
+  schedule_bg_sessions(group.get());
+  bg_groups_.push_back(std::move(group));
 }
 
-void Scenario::schedule_bg_sessions(const BackgroundSpec& spec,
-                                    std::vector<mac::UeId> users) {
-  if (users.empty() || spec.sessions_per_sec <= 0) return;
+void Scenario::add_background_aggregate(const AggregateBackgroundSpec& spec) {
+  const int dom = cell_domain_.at(spec.cell_index);
+  mac::AggregateTrafficConfig cfg = spec.traffic;
+  cfg.seed ^= rng_.next_u64();
+  domains_[static_cast<std::size_t>(dom)]->bs->set_aggregate_traffic(
+      cell_cfgs_.at(spec.cell_index).id, cfg);
+}
+
+void Scenario::schedule_bg_sessions(BgGroup* g) {
+  if (g->users.empty() || g->spec.sessions_per_sec <= 0) return;
+  auto& dloop = domains_[static_cast<std::size_t>(g->domain)]->loop;
+  auto* dbs = domains_[static_cast<std::size_t>(g->domain)]->bs.get();
   // Recurring Poisson session arrivals. Each session trickles fixed-rate
   // packets straight into its user's base-station queue (the wired leg of
-  // background flows is irrelevant to the cell under study).
-  const auto arrival = [this, spec, users](const auto& self) -> void {
+  // background flows is irrelevant to the cell under study). Background
+  // UEs never migrate, so the enqueue is always domain-local.
+  const auto arrival = [g, &dloop, dbs](const auto& self) -> void {
     const auto gap = static_cast<util::Duration>(
-        rng_.exponential(1.0 / spec.sessions_per_sec) * util::kSecond);
-    loop_.schedule_in(std::max<util::Duration>(gap, util::kMillisecond), [this, spec, users, self] {
-      const mac::UeId ue =
-          users[static_cast<std::size_t>(rng_.uniform_int(0, static_cast<std::int64_t>(users.size()) - 1))];
-      const double rate = rng_.uniform(spec.rate_lo, spec.rate_hi);
+        g->rng.exponential(1.0 / g->spec.sessions_per_sec) * util::kSecond);
+    dloop.schedule_in(std::max<util::Duration>(gap, util::kMillisecond), [g, &dloop, dbs, self] {
+      const mac::UeId ue = g->users[static_cast<std::size_t>(g->rng.uniform_int(
+          0, static_cast<std::int64_t>(g->users.size()) - 1))];
+      const double rate = g->rng.uniform(g->spec.rate_lo, g->spec.rate_hi);
       const auto duration = static_cast<util::Duration>(
-          rng_.exponential(util::to_seconds(spec.mean_duration)) * util::kSecond);
-      const util::Time end = loop_.now() + std::max<util::Duration>(duration, 10 * util::kMillisecond);
-      const auto flow = static_cast<net::FlowId>(bg_flow_seq_++);
+          g->rng.exponential(util::to_seconds(g->spec.mean_duration)) * util::kSecond);
+      const util::Time end = dloop.now() + std::max<util::Duration>(duration, 10 * util::kMillisecond);
+      const auto flow = static_cast<net::FlowId>(g->flow_seq++);
       const util::Duration interval =
           util::transmission_delay(net::kDefaultMss, rate);
 
       // Per-session packet pump.
-      const auto pump = [this, ue, end, flow, interval](const auto& pump_self) -> void {
-        if (loop_.now() >= end) return;
+      const auto pump = [ue, end, flow, interval, &dloop, dbs](const auto& pump_self) -> void {
+        if (dloop.now() >= end) return;
         net::Packet pkt;
         pkt.flow = flow;
         pkt.seq = 0;
         pkt.bytes = net::kDefaultMss;
-        pkt.sent_time = loop_.now();
-        bs_->enqueue(ue, std::move(pkt));
-        loop_.schedule_in(std::max<util::Duration>(interval, 50), [pump_self] { pump_self(pump_self); });
+        pkt.sent_time = dloop.now();
+        dbs->enqueue(ue, std::move(pkt));
+        dloop.schedule_in(std::max<util::Duration>(interval, 50), [pump_self] { pump_self(pump_self); });
       };
       pump(pump);
       self(self);  // schedule the next session arrival
@@ -319,23 +476,31 @@ void Scenario::schedule_telemetry_sampling() {
   }
   auto* ctx = flows_.at(static_cast<std::size_t>(telemetry_flow_)).get();
   const mac::UeId ue = ctx->spec.ue;
+  const int home = ctx->domain;
+  auto& dloop = domains_[static_cast<std::size_t>(home)]->loop;
+  auto* dbs = domains_[static_cast<std::size_t>(home)]->bs.get();
   tel::Recorder* rec = &cfg_.telemetry->recorder();
   const util::Duration interval =
       std::max<util::Duration>(cfg_.telemetry->interval(), util::kMillisecond);
 
-  const auto sample = [this, ue, rec, sender = ctx->sender.get(),
+  const auto sample = [this, ue, home, rec, dbs, sender = ctx->sender.get(),
                        client = ctx->client.get()](util::Time now) {
     // Scheduler-side ground truth, one series set per active cell. The
     // sampling event was scheduled before this tick's base-station event,
     // so at t it reads state as of subframe t-1 — the same subframe the
     // pipeline half's sample at t covers (estimator `now` convention).
-    for (const auto& gt : bs_->ground_truth(ue)) {
-      const std::string base = "truth.cell" + std::to_string(gt.cell) + ".";
-      rec->append_f64(base + "fair_bits_sf", "bits/sf", now, gt.fair_bits_sf);
-      rec->append_f64(base + "avail_bits_sf", "bits/sf", now, gt.avail_bits_sf);
-      rec->append_i64(base + "users", "users", now, gt.active_users);
-      rec->append_i64(base + "idle_prbs", "prbs", now, gt.idle_prbs);
-      rec->append_i64(base + "own_prbs", "prbs", now, gt.own_prbs);
+    // Skipped while the UE is migrated out of the flow's home domain:
+    // another shard's base station cannot be read mid-step.
+    if (ue_records_.at(ue).domain == home) {
+      for (const auto& gt : dbs->ground_truth(ue)) {
+        const std::string base = "truth.cell" + std::to_string(gt.cell) + ".";
+        rec->append_f64(base + "fair_bits_sf", "bits/sf", now, gt.fair_bits_sf);
+        rec->append_f64(base + "avail_bits_sf", "bits/sf", now, gt.avail_bits_sf);
+        rec->append_i64(base + "users", "users", now, gt.active_users);
+        rec->append_i64(base + "idle_prbs", "prbs", now, gt.idle_prbs);
+        rec->append_i64(base + "own_prbs", "prbs", now, gt.own_prbs);
+      }
+      rec->append_i64("bs.queue_bytes", "bytes", now, dbs->queue_bytes(ue));
     }
     // Flow transport state.
     rec->append_f64("flow.pacing_bps", "bps", now,
@@ -375,8 +540,6 @@ void Scenario::schedule_telemetry_sampling() {
       rec->append_i64("pbe.client_state", "state", now,
                       static_cast<std::int64_t>(client->state()));
     }
-    // Base-station queue depth and invariant violations.
-    rec->append_i64("bs.queue_bytes", "bytes", now, bs_->queue_bytes(ue));
     rec->append_i64("check.violations", "count", now,
                     static_cast<std::int64_t>(check::violations()));
   };
@@ -384,59 +547,195 @@ void Scenario::schedule_telemetry_sampling() {
   // Recurring event on exact k*interval sim-clock boundaries. Each firing
   // schedules the next, so a sample event always enters the queue before
   // the same-timestamp base-station tick (FIFO tie-break) — see above.
-  const auto tick = [this, sample, interval](const auto& self) -> void {
-    const util::Time now = loop_.now();
+  const auto tick = [&dloop, sample, interval](const auto& self) -> void {
+    const util::Time now = dloop.now();
     const util::Time next = (now / interval) * interval + interval;
-    loop_.schedule_in(next - now, [this, sample, self] {
-      sample(loop_.now());
+    dloop.schedule_in(next - now, [&dloop, sample, self] {
+      sample(dloop.now());
       self(self);
     });
   };
   tick(tick);
 }
 
-void Scenario::run_until(util::Time t) {
-  if (!started_) {
-    started_ = true;
-    bs_->start();
-    schedule_telemetry_sampling();
-    if (faults_ && cfg_.fault.handover_storm_duty > 0 &&
-        cfg_.fault.handover_interval > 0) {
-      // Storm driver: every handover_interval, while a storm window is
-      // active, hand every foreground UE over (rotating its aggregated-cell
-      // set; single-cell UEs are re-handed to the same cell, which still
-      // abandons all in-flight HARQ blocks — the disruptive part).
-      const auto driver = [this](const auto& self) -> void {
-        loop_.schedule_in(cfg_.fault.handover_interval, [this, self] {
-          if (faults_->handover_storm(loop_.now())) {
-            for (auto& [id, spec] : ue_specs_) {
-              const std::size_t k = ++handover_rotation_[id];
-              const auto& idxs = spec.cell_indices;
-              std::vector<phy::CellId> cells;
-              cells.reserve(idxs.size());
-              for (std::size_t i = 0; i < idxs.size(); ++i) {
-                cells.push_back(cell_cfgs_.at(idxs[(i + k) % idxs.size()]).id);
-              }
-              bs_->handover(id, cells);
-              if constexpr (obs::kCompiled) {
-                static obs::Counter& storms =
-                    obs::counter("fault.storm_handovers");
-                storms.inc();
-                obs::emit(obs::EventKind::kFaultInjected, loop_.now(),
-                          static_cast<std::uint16_t>(cells.front()),
-                          static_cast<std::uint32_t>(
-                              fault::FaultType::kHandoverStorm),
-                          static_cast<std::int64_t>(id));
-              }
-            }
-          }
+void Scenario::storm_tick(std::size_t d) {
+  Domain* dom = domains_[d].get();
+  for (auto& [id, rec] : ue_records_) {
+    if (rec.domain != static_cast<int>(d)) continue;
+    const std::size_t k = ++rec.rotation;
+    std::vector<std::size_t> idxs;
+    int target = static_cast<int>(d);
+    if (rec.spec.serving_sets.empty()) {
+      // Classic rotation inside the registered set (single-cell UEs are
+      // re-handed to the same cell, which still abandons all in-flight
+      // HARQ blocks — the disruptive part).
+      const auto& base = rec.spec.cell_indices;
+      idxs.reserve(base.size());
+      for (std::size_t i = 0; i < base.size(); ++i) {
+        idxs.push_back(base[(i + k) % base.size()]);
+      }
+    } else {
+      // Rotate through {registered set, serving_sets...}; a set in
+      // another cluster becomes a cross-shard migration request, applied
+      // at the next subframe barrier.
+      const std::size_t n = rec.spec.serving_sets.size() + 1;
+      const std::size_t pick = k % n;
+      idxs = pick == 0 ? rec.spec.cell_indices
+                       : rec.spec.serving_sets[pick - 1];
+      target = cell_domain_.at(idxs.front());
+    }
+    if (target == static_cast<int>(d)) {
+      std::vector<phy::CellId> cells;
+      cells.reserve(idxs.size());
+      for (std::size_t idx : idxs) cells.push_back(cell_cfgs_.at(idx).id);
+      dom->bs->handover(id, cells);
+    } else {
+      ShardMsg m;
+      m.kind = ShardMsg::Kind::kMigrate;
+      m.ue = id;
+      m.new_cells = idxs;
+      m.target_domain = target;
+      mailbox_.post(static_cast<std::uint32_t>(d), dom->loop.now(),
+                    std::move(m));
+    }
+    if constexpr (obs::kCompiled) {
+      static obs::Counter& storms = obs::counter("fault.storm_handovers");
+      storms.inc();
+      obs::emit(obs::EventKind::kFaultInjected, dom->loop.now(),
+                static_cast<std::uint16_t>(cell_cfgs_.at(idxs.front()).id),
+                static_cast<std::uint32_t>(fault::FaultType::kHandoverStorm),
+                static_cast<std::int64_t>(id));
+    }
+  }
+}
+
+void Scenario::do_migrate(mac::UeId ue,
+                          const std::vector<std::size_t>& cell_indices,
+                          int target) {
+  UeRecord& rec = ue_records_.at(ue);
+  std::vector<phy::CellId> cells;
+  cells.reserve(cell_indices.size());
+  for (std::size_t idx : cell_indices) {
+    cells.push_back(cell_cfgs_.at(idx).id);
+  }
+  if (rec.domain == target) {
+    // Same-cluster move (duplicate request or plain serving-set change):
+    // an ordinary handover.
+    domains_[static_cast<std::size_t>(target)]->bs->handover(ue, cells);
+    return;
+  }
+  // Extract abandons in-flight HARQ synchronously (deliveries released by
+  // the reordering drain route through route_delivery, which delivers
+  // directly while in_barrier_), then the full UE state moves across.
+  mac::UeMigration m =
+      domains_[static_cast<std::size_t>(rec.domain)]->bs->extract_ue(ue);
+  domains_[static_cast<std::size_t>(target)]->bs->admit_ue(
+      std::move(m), cells, make_delivery_handler(ue));
+  rec.domain = target;
+}
+
+void Scenario::migrate_ue(mac::UeId ue,
+                          const std::vector<std::size_t>& cell_indices) {
+  if (!ue_records_.contains(ue)) {
+    throw std::invalid_argument("migrate_ue: UE not registered");
+  }
+  const int target = domain_of(cell_indices, "migrate_ue");
+  in_barrier_ = true;
+  try {
+    do_migrate(ue, cell_indices, target);
+  } catch (...) {
+    in_barrier_ = false;
+    throw;
+  }
+  in_barrier_ = false;
+}
+
+void Scenario::apply_msg(ShardMsg msg) {
+  switch (msg.kind) {
+    case ShardMsg::Kind::kPacket:
+      domains_[static_cast<std::size_t>(ue_records_.at(msg.ue).domain)]
+          ->bs->enqueue(msg.ue, std::move(msg.pkt));
+      break;
+    case ShardMsg::Kind::kDeliver:
+      route_delivery(msg.ue, std::move(msg.pkt));
+      break;
+    case ShardMsg::Kind::kMigrate:
+      do_migrate(msg.ue, msg.new_cells, msg.target_domain);
+      break;
+  }
+}
+
+par::ThreadPool& Scenario::shard_pool() {
+  if (!pool_) {
+    int want = cfg_.shards > 0 ? cfg_.shards : default_shards();
+    want = std::clamp(want, 1, static_cast<int>(domains_.size()));
+    pool_ = std::make_unique<par::ThreadPool>(want);
+  }
+  return *pool_;
+}
+
+void Scenario::start_once() {
+  if (started_) return;
+  started_ = true;
+  for (auto& dom : domains_) dom->bs->start();
+  schedule_telemetry_sampling();
+  if (faults_ && cfg_.fault.handover_storm_duty > 0 &&
+      cfg_.fault.handover_interval > 0) {
+    // Storm driver, one per domain: every handover_interval, while a
+    // storm window is active, hand over every UE the domain currently
+    // hosts. Runs inside the domain's own event sequence, so its mailbox
+    // posts carry deterministic (time, source, seq) keys.
+    for (std::size_t d = 0; d < domains_.size(); ++d) {
+      Domain* dom = domains_[d].get();
+      const auto driver = [this, d, dom](const auto& self) -> void {
+        dom->loop.schedule_in(cfg_.fault.handover_interval, [this, d, dom, self] {
+          if (faults_->handover_storm(dom->loop.now())) storm_tick(d);
           self(self);
         });
       };
       driver(driver);
     }
   }
-  loop_.run_until(t);
+}
+
+void Scenario::run_until(util::Time t) {
+  start_once();
+  if (domains_.size() == 1) {
+    // Single-cluster fast path: one loop, no barriers, no sinks —
+    // byte-identical to the pre-shard simulator.
+    domains_.front()->loop.run_until(t);
+    now_ = std::max(now_, t);
+    return;
+  }
+  while (now_ < t) {
+    const util::Time step = std::min<util::Time>(
+        t, (now_ / kShardBarrier + 1) * kShardBarrier);
+    // Parallel phase: each domain advances to the barrier on a worker,
+    // tracing into its private sink. No shared mutable state is touched
+    // (mailbox lanes are single-writer, UE domain tags are frozen).
+    shard_pool().parallel_for(
+        domains_.size(), [this, step](std::size_t d) {
+          obs::ThreadSinkScope sink(&domains_[d]->trace_buf);
+          domains_[d]->loop.run_until(step);
+        });
+    // Serial phase: flush trace buffers in domain-index order (canonical,
+    // worker-independent), then apply cross-domain messages in merged
+    // (time, source, seq) order with every clock aligned at `step`.
+    in_barrier_ = true;
+    if constexpr (obs::kCompiled) {
+      for (auto& dom : domains_) {
+        if (!dom->trace_buf.empty()) {
+          obs::Trace::instance().record_batch(dom->trace_buf);
+          dom->trace_buf.clear();
+        }
+      }
+    }
+    for (auto& msg : mailbox_.drain()) {
+      apply_msg(std::move(msg.payload));
+    }
+    in_barrier_ = false;
+    now_ = step;
+  }
 }
 
 }  // namespace pbecc::sim

@@ -372,6 +372,47 @@ TEST(DelayBwe, TracksACapacityRaise) {
   EXPECT_GE(target, 0.8 * 12e6);
 }
 
+// The regression ISSUE 9 satellite 1 pins: a canned persistent +7.5%
+// overshoot. With max_vs_acked = 1.075 the AIMD's probing ceiling paces
+// 7.5% over capacity forever once the queue is standing (acked ==
+// capacity), writing an OWD slope of 0.075 ms/ms. The trendline's
+// modified trend is 0.075 x 20 (window) x 4 (gain) = 6.0 — exactly its
+// min threshold, and the comparison is strict — so gradient detection
+// NEVER fires and the queue grows ~75 ms of delay per second, unbounded.
+// The standing-queue level detector must catch this by OWD level alone,
+// with no hybrid/PBE assistance: sustained excess over the windowed-min
+// base forces an AIMD cut, and the latch caps probing at the acked rate
+// until the queue demonstrably drains. The result is a bounded sawtooth.
+TEST(DelayBwe, StandingQueueLevelDetectorBoundsSubThresholdOvershoot) {
+  DelayBasedBweConfig cfg;
+  cfg.aimd.max_vs_acked = 1.075;
+  DelayBasedBweConfig blind = cfg;
+  blind.level_threshold_ms = 0;  // detector disabled: the counterfactual
+
+  DelayBasedBwe bwe(cfg);
+  DelayBasedBwe off(blind);
+  ToyLink link{10e6};
+  ToyLink link_off{10e6};
+  constexpr util::Time kDt = 5 * kMs;
+  constexpr util::Time kEnd = 30 * util::kSecond;
+  double peak_tail_ms = 0;  // worst queue depth over the final 5 s
+  for (util::Time t = 0; t < kEnd; t += kDt) {
+    bwe.on_ack(link.ack(t, bwe.target_bps(), 5e-3));
+    off.on_ack(link_off.ack(t, off.target_bps(), 5e-3));
+    if (t >= kEnd - 5 * util::kSecond) {
+      peak_tail_ms = std::max(peak_tail_ms, link.queue_ms);
+    }
+  }
+  // Counterfactual first: with the detector off, the overshoot really is
+  // invisible to the trendline and the queue runs away.
+  EXPECT_GT(link_off.queue_ms, 500.0);
+  // The detector fired...
+  EXPECT_GT(bwe.level_trips(), 0u);
+  // ...and the steady state is a bounded standing queue, not a runaway.
+  EXPECT_LT(peak_tail_ms, 120.0);
+  EXPECT_LT(link.queue_ms, 120.0);
+}
+
 TEST(DelayBwe, SilenceResetsTheTrendlineWindow) {
   DelayBasedBwe bwe;
   ToyLink link{8e6};

@@ -7,9 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 #include <vector>
 
+#include "cap/replay.h"
+#include "cap/taps.h"
+#include "cap/trace_reader.h"
+#include "cap/trace_writer.h"
 #include "decoder/blind_decoder.h"
 #include "fault/fault.h"
 #include "obs/obs.h"
@@ -227,6 +232,213 @@ TEST(DeterminismLanes, ScalarAndLockstepAreByteIdentical) {
           << "lanes=" << lanes << " threads=" << threads;
     }
   }
+}
+
+// --- shard lanes (DESIGN.md §15) -----------------------------------------
+//
+// The sharded engine's contract: ScenarioConfig::shards is purely a
+// parallelism knob. Cross-cluster effects (migrations, deliveries to
+// migrated UEs) always go through the barrier mailbox, so FlowStats and
+// the trace digest must be byte-identical for any shard count x thread
+// count — clean and under a handover storm that drives UEs across
+// cluster (= shard) boundaries every storm tick.
+
+constexpr util::Time kShardStop = 3 * util::kSecond;
+
+sim::ScenarioConfig sharded_config(const std::string& profile,
+                                   std::uint64_t seed) {
+  sim::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.cells.clear();
+  for (int c = 0; c < 8; ++c) {
+    sim::CellSpec cell;
+    cell.bandwidth_mhz = 10.0;
+    cell.control_users_per_subframe = 0.3;
+    cell.cluster = c / 2;  // 4 clusters x 2 cells
+    cfg.cells.push_back(cell);
+  }
+  cfg.fault = *fault::profile_by_name(profile);
+  cfg.fault_seed = 3;
+  return cfg;
+}
+
+// Three flows spanning the cluster graph: a stationary PBE flow (cluster
+// 0; PBE cannot migrate), a gcc UE the storm bounces between clusters 1
+// and 3, and a cubic UE that migrates into the PBE flow's own cluster —
+// cross-shard arrivals perturbing the cell under measurement.
+std::vector<int> populate_sharded(sim::Scenario& s) {
+  sim::UeSpec u1;
+  u1.id = 1;
+  u1.cell_indices = {0, 1};
+  s.add_ue(u1);
+  sim::UeSpec u2;
+  u2.id = 2;
+  u2.cell_indices = {2};
+  u2.serving_sets = {{6}, {3}, {7, 6}};  // cross, same-cluster, cross
+  s.add_ue(u2);
+  sim::UeSpec u3;
+  u3.id = 3;
+  u3.cell_indices = {4, 5};
+  u3.serving_sets = {{1}, {5, 4}};
+  s.add_ue(u3);
+
+  sim::BackgroundSpec bg;
+  bg.cell_index = 2;
+  bg.n_users = 3;
+  s.add_background(bg);
+  sim::AggregateBackgroundSpec agg;
+  agg.cell_index = 6;
+  agg.traffic.sessions_per_sec = 30;
+  s.add_background_aggregate(agg);
+
+  std::vector<int> flows;
+  const char* algos[] = {"pbe", "gcc", "cubic"};
+  for (int i = 0; i < 3; ++i) {
+    sim::FlowSpec fs;
+    fs.algo = algos[i];
+    fs.ue = static_cast<mac::UeId>(i + 1);
+    fs.stop = kShardStop;
+    flows.push_back(s.add_flow(fs));
+  }
+  return flows;
+}
+
+RunDigest run_sharded_once(const std::string& profile, std::uint64_t seed,
+                           int shards, int threads) {
+  sim::set_default_shards(shards);
+  par::set_default_threads(threads);
+  obs::Trace::instance().start(obs::TraceConfig{});
+
+  auto cfg = sharded_config(profile, seed);
+  sim::Scenario s{cfg};
+  const auto flows = populate_sharded(s);
+  s.run_until(kShardStop);
+
+  RunDigest d;
+  for (int f : flows) {
+    s.stats(f).finish(kShardStop);
+    d.tput += s.stats(f).avg_tput_mbps();
+    d.avg_d += s.stats(f).avg_delay_ms();
+    const auto& wins = s.stats(f).window_tputs_mbps().samples();
+    d.wins.insert(d.wins.end(), wins.begin(), wins.end());
+    const auto& dl = s.stats(f).delays_ms().samples();
+    d.delays.insert(d.delays.end(), dl.begin(), dl.end());
+  }
+  d.attempts = s.pbe_client(flows[0])->monitor().total_candidates_tried();
+  // Final shard residence of the churned UEs is part of the contract too.
+  d.p50_d = s.ue_domain(2);
+  d.p95_d = s.ue_domain(3);
+
+  obs::Trace::instance().stop();
+  d.trace_digest = obs::Trace::instance().digest();
+  obs::Trace::instance().clear();
+  sim::set_default_shards(1);
+  par::set_default_threads(1);
+  return d;
+}
+
+class ShardDeterminismTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void TearDown() override {
+    par::set_default_threads(1);
+    sim::set_default_shards(1);
+  }
+};
+
+TEST_P(ShardDeterminismTest, AnyShardAndThreadCountIsByteIdentical) {
+  const auto& profile = GetParam();
+  const std::uint64_t storms_before =
+      obs::counter("fault.storm_handovers").value();
+  const auto base = run_sharded_once(profile, 11, 1, 1);
+  ASSERT_GT(base.wins.size(), 0u);
+  ASSERT_GT(base.attempts, 0u);
+  if (profile == "handover-storm") {
+    // The lane must actually exercise cross-shard churn, not vacuously
+    // pass on a quiet scenario.
+    EXPECT_GT(obs::counter("fault.storm_handovers").value(), storms_before);
+  }
+  for (const int shards : {2, 8}) {
+    for (const int threads : {1, 8}) {
+      const auto r = run_sharded_once(profile, 11, shards, threads);
+      EXPECT_EQ(base.tput, r.tput) << "shards=" << shards
+                                   << " threads=" << threads;
+      EXPECT_EQ(base.attempts, r.attempts)
+          << "shards=" << shards << " threads=" << threads;
+      EXPECT_EQ(base.trace_digest, r.trace_digest)
+          << "shards=" << shards << " threads=" << threads;
+      ASSERT_EQ(base.wins.size(), r.wins.size());
+      for (std::size_t i = 0; i < base.wins.size(); ++i) {
+        ASSERT_EQ(base.wins[i], r.wins[i])
+            << "window " << i << " shards=" << shards
+            << " threads=" << threads;
+      }
+      ASSERT_EQ(base.delays.size(), r.delays.size());
+      for (std::size_t i = 0; i < base.delays.size(); ++i) {
+        ASSERT_EQ(base.delays[i], r.delays[i])
+            << "delay sample " << i << " shards=" << shards
+            << " threads=" << threads;
+      }
+      EXPECT_TRUE(base == r) << "shards=" << shards
+                             << " threads=" << threads;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, ShardDeterminismTest,
+                         ::testing::Values("none", "handover-storm"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (auto& ch : n) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return n;
+                         });
+
+// A capture recorded from a fully sharded, fully threaded run must carry
+// the same pipeline digest as a serial unsharded run, and replay to it
+// byte-identically (pbecc::cap's tentpole guarantee, now from shards).
+TEST(ShardDeterminism, ShardedRecordingReplaysByteIdentical) {
+  const std::string path =
+      ::testing::TempDir() + "determinism_shard_cap.pbt";
+
+  sim::set_default_shards(8);
+  par::set_default_threads(8);
+  cap::TraceWriter writer(path);
+  cap::PipelineDigest live;
+  {
+    auto cfg = sharded_config("handover-storm", 11);
+    cfg.capture = &writer;
+    cfg.digest = &live;
+    sim::Scenario s{cfg};
+    populate_sharded(s);
+    s.run_until(kShardStop);
+  }
+  ASSERT_TRUE(writer.close()) << writer.error();
+  EXPECT_GT(live.observations(), 0u);
+  EXPECT_GT(live.probes(), 0u);
+
+  // Same scenario, no shards, one thread: the tap stream itself must not
+  // depend on the execution geometry.
+  sim::set_default_shards(1);
+  par::set_default_threads(1);
+  cap::PipelineDigest unsharded;
+  {
+    auto cfg = sharded_config("handover-storm", 11);
+    cfg.digest = &unsharded;
+    sim::Scenario s{cfg};
+    populate_sharded(s);
+    s.run_until(kShardStop);
+  }
+  EXPECT_TRUE(live == unsharded);
+
+  cap::TraceReader reader(path);
+  ASSERT_TRUE(reader.ok()) << reader.error();
+  cap::PipelineDigest replayed;
+  cap::ReplayDriver driver(reader.header(), &replayed);
+  driver.run(reader);
+  EXPECT_TRUE(reader.ok()) << reader.error();
+  EXPECT_TRUE(live == replayed);
+  std::remove(path.c_str());
 }
 
 }  // namespace

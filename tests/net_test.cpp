@@ -9,6 +9,7 @@
 #include "net/event_loop.h"
 #include "net/flow.h"
 #include "net/link.h"
+#include "net/shard_mailbox.h"
 
 namespace pbecc::net {
 namespace {
@@ -65,6 +66,104 @@ TEST(EventLoop, EventsCanScheduleEvents) {
   });
   loop.run_until(100);
   EXPECT_EQ(chain, 2);
+}
+
+// --- run_until barrier contract (DESIGN.md §15). Shard domains step to a
+// common barrier time; an event scheduled *at* the barrier by a callback
+// *running at* the barrier must still execute inside this step, or the
+// domains would disagree about what happened before the exchange.
+
+TEST(EventLoop, RunUntilIncludesEventsScheduledAtEndByEventsAtEnd) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(100, [&] {
+    order.push_back(1);
+    loop.schedule_at(100, [&] {  // scheduled at end, while running at end
+      order.push_back(2);
+      loop.schedule_at(100, [&] { order.push_back(3); });  // and again
+    });
+  });
+  loop.run_until(100);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), 100);
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(EventLoop, RunUntilBarrierLeavesNothingAtOrBeforeEnd) {
+  EventLoop loop;
+  int before = 0, after = 0;
+  loop.schedule_at(50, [&] {
+    ++before;
+    loop.schedule_at(100, [&] { ++before; });   // exactly at the barrier
+    loop.schedule_at(101, [&] { ++after; });    // strictly past it
+  });
+  loop.run_until(100);
+  EXPECT_EQ(before, 2);
+  EXPECT_EQ(after, 0);
+  EXPECT_EQ(loop.pending(), 1u);
+  loop.run_until(200);
+  EXPECT_EQ(after, 1);
+}
+
+TEST(EventLoop, SeqStaysFifoAcrossRunUntilResumption) {
+  // Events scheduled at the barrier time *after* run_until(end) returned
+  // (the serial barrier phase does exactly this) must run on the next
+  // run_until in FIFO order, before any later-time event: the seq counter
+  // is monotonic over the loop's lifetime, never reset per run.
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(100, [&] { order.push_back(0); });
+  loop.run_until(100);
+  ASSERT_EQ(order, (std::vector<int>{0}));
+  loop.schedule_at(100, [&] { order.push_back(1); });  // at now(), legal
+  loop.schedule_at(110, [&] { order.push_back(9); });
+  loop.schedule_at(100, [&] { order.push_back(2); });
+  loop.run_until(100);  // re-running to the same barrier drains the adds
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  loop.run_until(200);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 9}));
+}
+
+TEST(EventLoop, RunUntilBeforeNowIsNoOp) {
+  EventLoop loop;
+  loop.schedule_at(100, [] {});
+  loop.run_until(100);
+  loop.run_until(50);  // must not rewind the clock
+  EXPECT_EQ(loop.now(), 100);
+}
+
+// ---------------------------------------------------------- shard mailbox
+
+TEST(ShardMailbox, DrainMergesByTimeSourceSeq) {
+  ShardMailbox<int> mb;
+  mb.reset(3);
+  // Posted in a scrambled order across lanes; the merge key is
+  // (time, source, seq), independent of post interleaving across lanes.
+  mb.post(2, 50, 20);   // seq 0 in lane 2
+  mb.post(0, 50, 0);    // seq 0 in lane 0
+  mb.post(1, 10, 10);   // seq 0 in lane 1
+  mb.post(0, 50, 1);    // seq 1 in lane 0 — after (50,0,0)
+  mb.post(1, 90, 11);
+  auto msgs = mb.drain();
+  ASSERT_EQ(msgs.size(), 5u);
+  std::vector<int> payloads;
+  for (const auto& m : msgs) payloads.push_back(m.payload);
+  EXPECT_EQ(payloads, (std::vector<int>{10, 0, 1, 20, 11}));
+  EXPECT_TRUE(mb.empty());
+}
+
+TEST(ShardMailbox, SeqPersistsAcrossDrains) {
+  ShardMailbox<int> mb;
+  mb.reset(2);
+  mb.post(0, 10, 1);
+  (void)mb.drain();
+  mb.post(0, 10, 2);  // same lane+time in a later round: seq must be larger
+  mb.post(0, 10, 3);
+  auto msgs = mb.drain();
+  ASSERT_EQ(msgs.size(), 2u);
+  EXPECT_GT(msgs[0].seq, 0u);
+  EXPECT_EQ(msgs[0].payload, 2);
+  EXPECT_EQ(msgs[1].payload, 3);
 }
 
 // ----------------------------------------------------------------- links
