@@ -1,0 +1,59 @@
+// NR slot-rate bench (DESIGN.md §16): the mixed LTE+NR location scenario
+// at 30 kHz and 120 kHz numerologies, reporting simulated cell-slots per
+// wall-clock second. A 120 kHz secondary runs eight slot ticks per master
+// subframe — PDCCH build, blind decode, fusion and estimation all step at
+// that rate — so this is the "does scalable numerology stay affordable"
+// record: the CI nr-smoke job gates the nr120 slot rate against
+// bench/baseline.json via bench_gate.py compare (the rate rides in the
+// subframes_per_sec field; one slot is one tick of a cell clock).
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "sim/location.h"
+
+namespace pbecc {
+namespace {
+
+struct NrRun {
+  double wall_ms = 0;
+  double slots_per_sec = 0;
+  std::uint64_t decode_attempts = 0;
+};
+
+NrRun run_nr(int mu, util::Duration len) {
+  auto loc = sim::location(30);  // 3-carrier profile: LTE + two NR cells
+  loc.seed = 4242;
+  loc.nr_numerology = mu;
+  const auto r = sim::run_location(loc, "pbe", len);
+  NrRun out;
+  out.wall_ms = r.wall_ms;
+  out.decode_attempts = r.decode_candidates;
+  // Work metric: cell-slot ticks. The LTE primary ticks once per ms, each
+  // NR secondary 2^mu times per ms.
+  const double sim_ms =
+      static_cast<double>(r.sim_cell_subframes) / 3.0;  // 3 carriers
+  const double slots_per_ms = 1.0 + 2.0 * static_cast<double>(1 << mu);
+  out.slots_per_sec = sim_ms * slots_per_ms * 1000.0 / r.wall_ms;
+  return out;
+}
+
+}  // namespace
+}  // namespace pbecc
+
+int main(int argc, char** argv) {
+  using namespace pbecc;
+  bench::Reporter rep("bench_nr", argc, argv);
+  const util::Duration len = bench::flow_seconds(argc, argv, 2);
+  bench::header("NR slot throughput: mixed LTE+NR carrier aggregation");
+  for (const int mu : {1, 3}) {
+    const auto r = run_nr(mu, len);
+    std::printf("  mu=%d (%3d kHz)  wall=%9.1f ms  %12.0f cell-slots/s  "
+                "%llu decode attempts\n",
+                mu, 15 << mu, r.wall_ms, r.slots_per_sec,
+                static_cast<unsigned long long>(r.decode_attempts));
+    rep.add("nr" + std::to_string(15 << mu), r.wall_ms, r.slots_per_sec,
+            r.decode_attempts);
+  }
+  return rep.write() ? 0 : 1;
+}

@@ -40,6 +40,10 @@
 //                          36.212 convolutional code instead of repetition
 //                          coding (exercises the Viterbi hot path; used to
 //                          record the bench_replay decode corpus)
+//     --nr SCS_KHZ         make the location's secondary carriers 5G NR
+//                          cells at this subcarrier spacing (15|30|120 kHz;
+//                          the primary stays LTE, so the run exercises
+//                          mixed LTE+NR carrier aggregation; DESIGN.md §16)
 //     --record FILE.pbt    capture the PBE measurement pipeline (PDCCH
 //                          batches, window updates, estimator probes) into
 //                          a binary trace; requires --algo pbe
@@ -76,6 +80,7 @@
 #include "check/check.h"
 #include "decoder/blind_decoder.h"
 #include "fault/fault.h"
+#include "nr/numerology.h"
 #include "obs/obs.h"
 #include "par/thread_pool.h"
 #include "sim/algorithms.h"
@@ -105,6 +110,7 @@ struct Options {
   std::string telemetry;  // .tsv.pbt telemetry output
   int telemetry_interval_ms = 10;
   bool conv_pdcch = false;
+  int nr_scs_khz = 0;  // 0 = all-LTE; 15/30/120 = NR secondaries
   bool strict_checks = false;
   sim::HybridBlendOverrides blend{};  // --blend-* knobs (hybrid only)
 };
@@ -142,6 +148,8 @@ void usage(std::FILE* out) {
                "                     1 = scalar path; identical results)\n"
                "  --conv-pdcch       convolutional control coding on every\n"
                "                     cell (records a Viterbi decode corpus)\n"
+               "  --nr SCS_KHZ       5G NR secondary carriers at 15|30|120\n"
+               "                     kHz SCS (primary stays LTE: mixed CA)\n"
                "  --record FILE.pbt  capture the PBE pipeline into a binary\n"
                "                     trace (requires --algo pbe)\n"
                "  --replay FILE.pbt  re-drive the pipeline from a trace; no\n"
@@ -212,6 +220,8 @@ Options parse(int argc, char** argv) {
       decoder::set_decode_lanes(std::atoi(need("--lanes")));
     } else if (!std::strcmp(argv[i], "--conv-pdcch")) {
       o.conv_pdcch = true;
+    } else if (!std::strcmp(argv[i], "--nr")) {
+      o.nr_scs_khz = std::atoi(need("--nr"));
     } else if (!std::strcmp(argv[i], "--record")) {
       o.record = need("--record");
     } else if (!std::strcmp(argv[i], "--replay")) {
@@ -268,6 +278,31 @@ Options parse(int argc, char** argv) {
     std::fprintf(stderr, "\n");
     std::exit(2);
   }
+  // Every enum-valued flag is validated here, before any work starts, so a
+  // misspelled value fails with the list of accepted ones instead of a
+  // late throw (or a silent atoi-zero) deep inside the run.
+  if (o.algo != "all") {
+    bool known = false;
+    for (const auto& a : sim::all_algorithms()) known |= (a == o.algo);
+    for (const auto& a : sim::extra_algorithms()) known |= (a == o.algo);
+    if (!known) {
+      std::fprintf(stderr, "unknown algorithm '%s'; known:", o.algo.c_str());
+      for (const auto& a : sim::all_algorithms()) {
+        std::fprintf(stderr, " %s", a.c_str());
+      }
+      for (const auto& a : sim::extra_algorithms()) {
+        std::fprintf(stderr, " %s", a.c_str());
+      }
+      std::fprintf(stderr, " all\n");
+      std::exit(2);
+    }
+  }
+  if (o.nr_scs_khz != 0 && !nr::valid_scs_khz(o.nr_scs_khz)) {
+    std::fprintf(stderr,
+                 "unknown --nr subcarrier spacing '%d'; known: 15 30 120\n",
+                 o.nr_scs_khz);
+    std::exit(2);
+  }
   return o;
 }
 
@@ -275,6 +310,9 @@ void run_one(const Options& o, const std::string& algo) {
   auto loc = sim::location(o.location);
   if (o.seed != 0) loc.seed = o.seed;
   loc.convolutional_pdcch = o.conv_pdcch;
+  if (o.nr_scs_khz != 0) {
+    loc.nr_numerology = nr::mu_of(nr::scs_from_khz(o.nr_scs_khz));
+  }
   const auto profile = *fault::profile_by_name(o.fault_profile);
 
   std::unique_ptr<cap::TraceWriter> writer;

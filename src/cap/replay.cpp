@@ -1,5 +1,7 @@
 #include "cap/replay.h"
 
+#include <algorithm>
+
 #include "util/time.h"
 
 namespace pbecc::cap {
@@ -10,6 +12,9 @@ void PipelineDigest::on_observations(
   for (const auto& o : obs) {
     h = util::fnv1a64_value(o.cell, h);
     h = util::fnv1a64_value(o.sf_index, h);
+    // Fold the slot-clock period only when it deviates from the 1 ms
+    // subframe: LTE-only streams keep their pre-NR digest values.
+    if (o.tick != util::kSubframe) h = util::fnv1a64_value(o.tick, h);
     h = util::fnv1a64_value(o.cell_prbs, h);
     // SubframeSummary member-by-member: whole-struct hashing would fold
     // padding bytes in.
@@ -51,7 +56,12 @@ ReplayDriver::ReplayDriver(const TraceHeader& header, PipelineDigest* digest)
       [this](const std::vector<decoder::CellObservation>& obs) {
         if (obs.empty()) return;
         if (digest_ != nullptr) digest_->on_observations(obs);
-        const auto now = util::subframe_start(obs.front().sf_index + 1);
+        // PbeClient's `now` formula, verbatim: end of the latest tick in
+        // the fused emission — keep the two in lockstep.
+        util::Time now = 0;
+        for (const auto& o : obs) {
+          now = std::max(now, (o.sf_index + 1) * o.tick);
+        }
         estimator_.on_observations(now, obs, [this](phy::CellId c) {
           const auto it = cur_bpp_.find(c);
           return it != cur_bpp_.end() ? it->second : 0.0;
@@ -74,7 +84,8 @@ void ReplayDriver::step(const Record& rec) {
         cur_bpp_[c.cell] = c.bits_per_prb;
         phy::PdcchSubframe sf;
         sf.cell_id = c.cell;
-        sf.sf_index = rec.batch.sf_index;
+        sf.sf_index = c.sf_index;
+        sf.tick = c.tick;
         sf.n_cces = c.n_cces;
         sf.coding = c.coding;
         sf.bits = c.bits;

@@ -10,11 +10,16 @@ pbe::ClientTaps make_client_taps(TraceWriter* writer, PipelineDigest* digest) {
                              const std::vector<double>& bits_per_prb) {
       if (sfs.empty()) return;
       BatchRecord batch;
-      batch.sf_index = sfs.front().sf_index;
+      // Master 1 ms subframe: every subframe in one batch belongs to the
+      // same master tick, so any member's instant / kSubframe works.
+      batch.sf_index =
+          sfs.front().sf_index * sfs.front().tick / util::kSubframe;
       batch.cells.reserve(sfs.size());
       for (std::size_t i = 0; i < sfs.size(); ++i) {
         CellCapture c;
         c.cell = sfs[i].cell_id;
+        c.sf_index = sfs[i].sf_index;
+        c.tick = sfs[i].tick;
         c.n_cces = sfs[i].n_cces;
         c.coding = sfs[i].coding;
         c.control_ber = control_ber[i];

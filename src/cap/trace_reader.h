@@ -29,6 +29,9 @@ class TraceReader {
   bool ok() const { return err_.empty(); }
   const std::string& error() const { return err_; }
   const TraceHeader& header() const { return header_; }
+  // On-disk format version of the open trace (kMinFormatVersion ..
+  // kFormatVersion); 0 until the file header parsed.
+  std::uint16_t version() const { return version_; }
 
   // Fills `out` with the next record. Returns false at end-of-trace or on
   // error — distinguish with ok().
@@ -43,6 +46,7 @@ class TraceReader {
 
   std::string path_;
   std::FILE* file_ = nullptr;
+  std::uint16_t version_ = 0;
   TraceHeader header_{};
   std::string err_;
   std::deque<Record> pending_;

@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "nr/coreset.h"
+#include "nr/polar.h"
 #include "obs/obs.h"
 #include "par/thread_pool.h"
 #include "phy/convolutional.h"
@@ -14,6 +16,18 @@ namespace pbecc::decoder {
 namespace {
 
 std::atomic<int> g_decode_lanes{8};
+
+// Blind-search format list per RAT: an LTE cell carries exactly the five
+// 36.212 formats (byte-identical with the pre-NR decoder), an NR cell
+// exactly the three 38.212 ones.
+const phy::DciFormat* format_list(const phy::CellConfig& cell, int* n) {
+  if (cell.rat == phy::Rat::kNr) {
+    *n = static_cast<int>(std::size(phy::kNrDciFormats));
+    return phy::kNrDciFormats;
+  }
+  *n = static_cast<int>(std::size(phy::kLteDciFormats));
+  return phy::kLteDciFormats;
+}
 
 // Smallest integer `matches` count that satisfies region_agrees()'s
 // `matches >= frac * total` double comparison — derived with the same
@@ -35,7 +49,7 @@ void set_decode_lanes(int lanes) {
 int decode_lanes() { return g_decode_lanes.load(std::memory_order_relaxed); }
 
 BlindDecoder::BlindDecoder(phy::CellConfig cell) : cell_(cell) {
-  for (int i = 0; i < 4; ++i) {
+  for (int i = 0; i < kNumAlLanes; ++i) {
     const std::string al = std::to_string(kAggregationLevels[i]);
     obs_.candidates[static_cast<std::size_t>(i)] =
         &obs::counter("decoder.candidates.al" + al);
@@ -75,13 +89,16 @@ util::BitVec BlindDecoder::majority_decode(const phy::PdcchSubframe& sf,
 bool BlindDecoder::region_agrees(const phy::PdcchSubframe& sf, int first_cce,
                                  int n_cces, const util::BitVec& msg) const {
   const auto base_idx = static_cast<std::size_t>(first_cce) * phy::kBitsPerCce;
-  if (sf.coding == phy::PdcchCoding::kConvolutional) {
+  if (sf.coding != phy::PdcchCoding::kRepetition) {
     // Re-encode the Viterbi decision and correlate with the raw block:
     // a genuine codeword agrees except for channel noise; a wrong-format
-    // or cross-message decision lands near 50%.
-    const util::BitVec re = phy::rate_match(
-        phy::conv_encode(msg),
-        static_cast<std::size_t>(n_cces) * phy::kBitsPerCce);
+    // or cross-message decision lands near 50%. kPolar re-encodes through
+    // the nr::polar_* seam (today the identical convolutional stand-in).
+    const auto region = static_cast<std::size_t>(n_cces) * phy::kBitsPerCce;
+    const util::BitVec re =
+        sf.coding == phy::PdcchCoding::kPolar
+            ? nr::polar_rate_match(nr::polar_encode(msg), region)
+            : phy::rate_match(phy::conv_encode(msg), region);
     std::size_t matches = 0;
     for (std::size_t i = 0; i < re.size(); ++i) {
       matches += sf.bits.bit(base_idx + i) == re.bit(i) ? 1 : 0;
@@ -129,10 +146,12 @@ BlindDecoder::CandidateResult BlindDecoder::run_formats(
     const phy::PdcchSubframe& sf, int al, int start,
     const util::BitVec& span) const {
   CandidateResult res;
-  for (int f = 0; f < phy::kNumDciFormats; ++f) {
-    const auto format = static_cast<phy::DciFormat>(f);
+  int n_formats = 0;
+  const phy::DciFormat* formats = format_list(cell_, &n_formats);
+  for (int f = 0; f < n_formats; ++f) {
+    const auto format = formats[f];
     const int msg_bits = phy::dci_payload_bits(format) + 16;
-    const bool conv = sf.coding == phy::PdcchCoding::kConvolutional;
+    const bool conv = sf.coding != phy::PdcchCoding::kRepetition;
     util::BitVec bits;
     if (conv) {
       const auto region_bits = static_cast<std::size_t>(al) * phy::kBitsPerCce;
@@ -140,7 +159,9 @@ BlindDecoder::CandidateResult BlindDecoder::run_formats(
           static_cast<std::size_t>(msg_bits) + phy::kConvTailBits;
       if (region_bits < 2 * steps) continue;  // infeasible rate
       ++res.attempts;
-      bits = phy::conv_decode(span, static_cast<std::size_t>(msg_bits));
+      bits = sf.coding == phy::PdcchCoding::kPolar
+                 ? nr::polar_decode(span, static_cast<std::size_t>(msg_bits))
+                 : phy::conv_decode(span, static_cast<std::size_t>(msg_bits));
     } else {
       if (phy::repetitions_that_fit(msg_bits, al) == 0) continue;
       ++res.attempts;
@@ -196,8 +217,10 @@ std::uint64_t BlindDecoder::decode_block(const phy::PdcchSubframe& sf, int al,
                                          CandidateResult* out) {
   const auto region_bits = static_cast<std::size_t>(al) * phy::kBitsPerCce;
   const auto ai = static_cast<std::size_t>(al_index(al));
+  int n_formats = 0;
+  const phy::DciFormat* formats = format_list(cell_, &n_formats);
   std::uint64_t batches = 0;
-  if (sf.coding == phy::PdcchCoding::kConvolutional) {
+  if (sf.coding != phy::PdcchCoding::kRepetition) {
     // Per-format waves: every still-undecided missing candidate decodes
     // format f's shape in one lockstep Viterbi batch. A candidate that
     // validates drops out of the remaining waves, exactly like the scalar
@@ -221,8 +244,8 @@ std::uint64_t BlindDecoder::decode_block(const phy::PdcchSubframe& sf, int al,
       }
     }
     std::array<bool, phy::kMaxDecodeLanes> done{};
-    for (int f = 0; f < phy::kNumDciFormats; ++f) {
-      const auto format = static_cast<phy::DciFormat>(f);
+    for (int f = 0; f < n_formats; ++f) {
+      const auto format = formats[f];
       const int msg_bits = phy::dci_payload_bits(format) + 16;
       const std::size_t steps =
           static_cast<std::size_t>(msg_bits) + phy::kConvTailBits;
@@ -250,8 +273,13 @@ std::uint64_t BlindDecoder::decode_block(const phy::PdcchSubframe& sf, int al,
       if (n_lanes == 0) break;
 
       std::array<phy::BatchDecodeResult, phy::kMaxDecodeLanes> res;
-      phy::conv_decode_batch(jobs.data(), n_lanes,
-                             static_cast<std::size_t>(msg_bits), res.data());
+      if (sf.coding == phy::PdcchCoding::kPolar) {
+        nr::polar_decode_batch(jobs.data(), n_lanes,
+                               static_cast<std::size_t>(msg_bits), res.data());
+      } else {
+        phy::conv_decode_batch(jobs.data(), n_lanes,
+                               static_cast<std::size_t>(msg_bits), res.data());
+      }
       ++batches;
 
       for (int k = 0; k < n_lanes; ++k) {
@@ -289,8 +317,8 @@ std::uint64_t BlindDecoder::decode_block(const phy::PdcchSubframe& sf, int al,
     for (std::size_t m = 0; m < n_miss; ++m) {
       const std::size_t i = miss[m];
       CandidateResult& r = out[i];
-      for (int f = 0; f < phy::kNumDciFormats; ++f) {
-        const auto format = static_cast<phy::DciFormat>(f);
+      for (int f = 0; f < n_formats; ++f) {
+        const auto format = formats[f];
         const int msg_bits = phy::dci_payload_bits(format) + 16;
         if (phy::repetitions_that_fit(msg_bits, al) == 0) continue;
         ++r.attempts;
@@ -332,6 +360,7 @@ DecodeRun BlindDecoder::decode_compute(const phy::PdcchSubframe& sf) {
   PBECC_PROF_SCOPE("blind_decode");
   DecodeRun run;
   run.sf_index = sf.sf_index;
+  run.tick = sf.tick;
   run.delta.subframes = 1;
   std::vector<bool> claimed(static_cast<std::size_t>(sf.n_cces), false);
 
@@ -341,9 +370,30 @@ DecodeRun BlindDecoder::decode_compute(const phy::PdcchSubframe& sf) {
   // its CCEs and skip anything overlapping them. Positions within one AL
   // are disjoint, so they decode independently (in parallel) and the
   // position-ascending merge below reproduces the serial claim order.
-  for (int al : {8, 4, 2, 1}) {
+  //
+  // Candidate enumeration per RAT mirrors the encoder exactly: every
+  // AL-aligned start for LTE, the cell's 38.213 search-space candidate
+  // list for NR (which also adds the AL16 rung). NR candidate starts are
+  // AL-aligned too, so the memo's start/al position indexing and the
+  // claimed-CCE pruning carry over unchanged.
+  const bool is_nr = cell_.rat == phy::Rat::kNr;
+  const int al_ladder_lte[] = {8, 4, 2, 1};
+  const int al_ladder_nr[] = {16, 8, 4, 2, 1};
+  const int* ladder = is_nr ? al_ladder_nr : al_ladder_lte;
+  const int ladder_len = is_nr ? 5 : 4;
+  for (int li = 0; li < ladder_len; ++li) {
+    const int al = ladder[li];
+    std::vector<int> all_starts;
+    if (is_nr) {
+      all_starts = nr::candidate_starts(
+          sf.n_cces, al, cell_.search_space.candidates_for(al));
+    } else {
+      for (int start = 0; start + al <= sf.n_cces; start += al) {
+        all_starts.push_back(start);
+      }
+    }
     std::vector<int> starts;
-    for (int start = 0; start + al <= sf.n_cces; start += al) {
+    for (int start : all_starts) {
       bool skip = false;
       for (int c = start; c < start + al; ++c) {
         // Claimed by an already-decoded message, or carrying no transmit
@@ -447,7 +497,7 @@ std::vector<phy::Dci> BlindDecoder::decode_apply(const DecodeRun& run) {
   stats_.lane_batches += d.lane_batches;
   stats_.early_aborts += d.early_aborts;
   stats_.screen_rejects += d.screen_rejects;
-  for (std::size_t i = 0; i < 4; ++i) {
+  for (std::size_t i = 0; i < static_cast<std::size_t>(kNumAlLanes); ++i) {
     stats_.candidates_by_al[i] += d.candidates_by_al[i];
     stats_.crc_failures_by_al[i] += d.crc_failures_by_al[i];
     stats_.decoded_by_al[i] += d.decoded_by_al[i];
@@ -464,7 +514,7 @@ std::vector<phy::Dci> BlindDecoder::decode_apply(const DecodeRun& run) {
   std::vector<phy::Dci> found;
   found.reserve(run.found.size());
   for (const DecodeRun::Found& f : run.found) {
-    obs::emit(obs::EventKind::kDciDecoded, util::subframe_start(run.sf_index),
+    obs::emit(obs::EventKind::kDciDecoded, run.sf_index * run.tick,
               static_cast<std::uint16_t>(cell_.id), f.dci.rnti, f.dci.n_prbs,
               f.dci.mcs.bits_per_prb(), f.al);
     found.push_back(f.dci);

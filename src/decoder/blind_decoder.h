@@ -30,9 +30,13 @@
 
 namespace pbecc::decoder {
 
-// Index of aggregation level {1, 2, 4, 8} in the per-AL stat arrays.
-constexpr int al_index(int al) { return al == 1 ? 0 : al == 2 ? 1 : al == 4 ? 2 : 3; }
-inline constexpr int kAggregationLevels[4] = {1, 2, 4, 8};
+// Index of aggregation level {1, 2, 4, 8, 16} in the per-AL stat arrays.
+// AL16 exists only in NR search spaces; LTE decoders never touch lane 4.
+constexpr int al_index(int al) {
+  return al == 1 ? 0 : al == 2 ? 1 : al == 4 ? 2 : al == 8 ? 3 : 4;
+}
+inline constexpr int kAggregationLevels[5] = {1, 2, 4, 8, 16};
+inline constexpr int kNumAlLanes = 5;
 
 // Candidates decoded in lockstep per batch (DESIGN.md §14): 1 selects the
 // scalar per-candidate path (the pre-batching hot path, kept both as the
@@ -62,9 +66,9 @@ struct DecodeStats {
   std::uint64_t screen_rejects = 0;
   // Broken out per aggregation level (index via al_index): the decode
   // success/failure profile per AL is OWL's primary health signal.
-  std::array<std::uint64_t, 4> candidates_by_al{};
-  std::array<std::uint64_t, 4> crc_failures_by_al{};
-  std::array<std::uint64_t, 4> decoded_by_al{};
+  std::array<std::uint64_t, kNumAlLanes> candidates_by_al{};
+  std::array<std::uint64_t, kNumAlLanes> crc_failures_by_al{};
+  std::array<std::uint64_t, kNumAlLanes> decoded_by_al{};
 };
 
 // Everything decode_compute() learned from one subframe, pending apply.
@@ -76,6 +80,9 @@ struct DecodeRun {
   std::vector<Found> found;  // in (AL descending, position ascending) order
   DecodeStats delta;         // stat increments for this subframe
   std::int64_t sf_index = 0;
+  // Tick duration of the decoded subframe's cell clock (1 ms LTE, the slot
+  // length for NR): decode_apply stamps trace events at sf_index * tick.
+  util::Duration tick = util::kSubframe;
 };
 
 class BlindDecoder {
@@ -164,14 +171,14 @@ class BlindDecoder {
     util::BitVec span;
     CandidateResult result;
   };
-  std::array<std::vector<MemoEntry>, 4> memo_;
+  std::array<std::vector<MemoEntry>, kNumAlLanes> memo_;
 
   // Registry counters cached at construction: decode() runs per subframe
   // per cell and must not pay name lookups on the hot path. All decoder
   // instances share the process-wide aggregate counters.
   struct ObsCounters {
-    std::array<obs::Counter*, 4> candidates;
-    std::array<obs::Counter*, 4> crc_failures;
+    std::array<obs::Counter*, kNumAlLanes> candidates;
+    std::array<obs::Counter*, kNumAlLanes> crc_failures;
     obs::Counter* decoded;
     obs::Counter* subframes;
     obs::Counter* memo_hits;

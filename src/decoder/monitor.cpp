@@ -30,16 +30,16 @@ Monitor::Monitor(phy::Rnti own_rnti, std::vector<phy::CellConfig> cells,
     for (const auto& cm : fused.cells) {
       CellObservation o;
       o.cell = cm.cell;
-      o.sf_index = fused.sf_index;
+      o.sf_index = cm.sf_index;
+      o.tick = cell_tick_.at(cm.cell);
       o.cell_prbs = cell_prbs_.at(cm.cell);
-      o.summary = trackers_.at(cm.cell)->on_subframe(fused.sf_index,
+      o.summary = trackers_.at(cm.cell)->on_subframe(cm.sf_index,
                                                      cm.messages, own_rnti_);
       if constexpr (obs::kCompiled) {
         const auto& g = gauges_.at(cm.cell);
         g.data_users->set(o.summary.data_users);
         g.raw_users->set(o.summary.raw_active_users);
-        obs::emit(obs::EventKind::kSubframeObserved,
-                  util::subframe_start(fused.sf_index),
+        obs::emit(obs::EventKind::kSubframeObserved, fused.time,
                   static_cast<std::uint16_t>(cm.cell), 0,
                   o.summary.data_users, o.summary.own_prbs,
                   o.summary.idle_prbs);
@@ -51,9 +51,12 @@ Monitor::Monitor(phy::Rnti own_rnti, std::vector<phy::CellConfig> cells,
   fused_subframes_ = &obs::counter("decoder.fused_subframes");
   for (const auto& c : cells) {
     decoders_.emplace(c.id, std::make_unique<BlindDecoder>(c));
-    trackers_.emplace(c.id, std::make_unique<UserTracker>(c.n_prbs(), tracker_cfg));
+    trackers_.emplace(c.id, std::make_unique<UserTracker>(c.n_prbs(),
+                                                          tracker_cfg,
+                                                          c.tick()));
     cell_prbs_[c.id] = c.n_prbs();
-    fusion_->register_cell(c.id);
+    cell_tick_[c.id] = c.tick();
+    fusion_->register_cell(c.id, c.tick());
     const std::string cell_tag = ".cell" + std::to_string(c.id);
     gauges_[c.id] = CellGauges{
         &obs::gauge("decoder.data_users" + cell_tag),
@@ -99,7 +102,9 @@ void Monitor::on_pdcch_batch(const std::vector<phy::PdcchSubframe>& sfs) {
     auto dit = decoders_.find(sf.cell_id);
     if (dit == decoders_.end()) continue;
 
-    const util::Time now = util::subframe_start(sf.sf_index);
+    // sf_index counts ticks on the cell's own clock (subframes for LTE,
+    // slots for NR), so the start instant scales by the tick length.
+    const util::Time now = sf.sf_index * sf.tick;
     if (first_pdcch_ < 0) first_pdcch_ = now;
     ++attempts_;
     // Keep the success log bounded even if decode_success_rate() is never
@@ -216,9 +221,26 @@ double Monitor::decode_success_rate(util::Time now) const {
   while (!success_times_.empty() && success_times_.front() < lo) {
     success_times_.pop_front();
   }
-  const double span_sf =
-      static_cast<double>(now - lo) / static_cast<double>(util::kSubframe) + 1.0;
-  const double expected = span_sf * static_cast<double>(decoders_.size());
+  bool all_subframe_tick = true;
+  for (const auto& [id, tick] : cell_tick_) {
+    all_subframe_tick = all_subframe_tick && tick == util::kSubframe;
+  }
+  double expected = 0;
+  if (all_subframe_tick) {
+    // LTE-only fast path, kept verbatim (one multiply instead of a per-cell
+    // sum) so pre-NR runs stay bit-identical.
+    const double span_sf =
+        static_cast<double>(now - lo) / static_cast<double>(util::kSubframe) +
+        1.0;
+    expected = span_sf * static_cast<double>(decoders_.size());
+  } else {
+    // Heterogeneous clocks: each cell contributes one expected decode per
+    // tick of its own cadence over the window span.
+    for (const auto& [id, tick] : cell_tick_) {
+      expected += static_cast<double>(now - lo) / static_cast<double>(tick) +
+                  1.0;
+    }
+  }
   if (expected <= 0) return 1.0;
   return std::min(1.0, static_cast<double>(success_times_.size()) / expected);
 }
@@ -233,6 +255,8 @@ void Monitor::reconfigure_cell(const phy::CellConfig& cell) {
   dit->second->reconfigure(cell);
   trackers_.at(cell.id)->set_cell_prbs(cell.n_prbs());
   cell_prbs_[cell.id] = cell.n_prbs();
+  cell_tick_[cell.id] = cell.tick();
+  fusion_->set_cell_tick(cell.id, cell.tick());
 }
 
 }  // namespace pbecc::decoder

@@ -28,10 +28,13 @@
 
 namespace pbecc::decoder {
 
-// One cell's digest for one subframe, after decode + fusion + tracking.
+// One cell's digest for one tick (subframe / NR slot), after decode +
+// fusion + tracking. `sf_index` counts ticks on the cell's own clock; the
+// tick's start instant is sf_index * tick.
 struct CellObservation {
   phy::CellId cell = 0;
   std::int64_t sf_index = 0;
+  util::Duration tick = util::kSubframe;
   int cell_prbs = 0;
   UserTracker::SubframeSummary summary{};
 };
@@ -108,6 +111,7 @@ class Monitor {
   std::map<phy::CellId, std::unique_ptr<BlindDecoder>> decoders_;
   std::map<phy::CellId, std::unique_ptr<UserTracker>> trackers_;
   std::map<phy::CellId, int> cell_prbs_;
+  std::map<phy::CellId, util::Duration> cell_tick_;
   // Per-cell activity gauges (`decoder.active_users.cell<N>` etc.),
   // registered once at construction.
   struct CellGauges {

@@ -7,7 +7,7 @@
 namespace pbecc::decoder {
 
 void UserTracker::expire(std::int64_t current_sf) {
-  const auto window_sf = cfg_.window / util::kSubframe;
+  const auto window_sf = std::max<std::int64_t>(1, cfg_.window / tick_);
   while (!history_.empty() && history_.front().sf <= current_sf - window_sf) {
     const auto& o = history_.front();
     auto it = users_.find(o.rnti);

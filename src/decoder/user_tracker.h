@@ -43,8 +43,13 @@ struct UserActivity {
 
 class UserTracker {
  public:
-  UserTracker(int cell_prbs, UserTrackerConfig cfg = {})
-      : cell_prbs_(cell_prbs), cfg_(cfg) {}
+  // `tick` is the duration of one scheduling tick on the tracked cell's
+  // clock (1 ms for LTE, the slot length for NR): the sliding window is
+  // time-based, so an NR cell at 120 kHz keeps 8x the tick count of an LTE
+  // cell for the same window. Ta thresholds count ticks.
+  UserTracker(int cell_prbs, UserTrackerConfig cfg = {},
+              util::Duration tick = util::kSubframe)
+      : cell_prbs_(cell_prbs), cfg_(cfg), tick_(tick > 0 ? tick : util::kSubframe) {}
 
   struct SubframeSummary {
     int own_prbs = 0;          // Pa for `own_rnti`
@@ -90,6 +95,7 @@ class UserTracker {
 
   int cell_prbs_;
   UserTrackerConfig cfg_;
+  util::Duration tick_ = util::kSubframe;
   std::deque<Observation> history_;
   std::map<phy::Rnti, UserActivity> users_;
   // Deep-check pacing: the full O(users x history) re-derivation only runs

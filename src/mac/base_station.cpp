@@ -24,6 +24,17 @@ BaseStation::BaseStation(net::EventLoop& loop,
   }
 }
 
+HarqEntity BaseStation::make_harq(phy::CellId cell) const {
+  for (const auto& cc : cell_cfgs_) {
+    if (cc.id != cell) continue;
+    if (cc.rat == phy::Rat::kNr && cc.mini_slot_preemption) {
+      return HarqEntity{kMiniSlotRetxTicks};
+    }
+    break;
+  }
+  return HarqEntity{};
+}
+
 void BaseStation::add_ue(const UeConfig& cfg, DeliveryHandler deliver) {
   if (ues_.contains(cfg.id)) throw std::invalid_argument("duplicate UE id");
   if (cfg.aggregated_cells.empty()) {
@@ -55,7 +66,7 @@ void BaseStation::add_ue(const UeConfig& cfg, DeliveryHandler deliver) {
     // Independent fading per carrier, same mobility trace.
     chc.seed = cfg.channel.seed * 1000003ULL + c;
     st.channels.emplace(c, phy::ChannelModel{chc});
-    st.harq.emplace(c, HarqEntity{});
+    st.harq.emplace(c, make_harq(c));
   }
   ues_.emplace(id, std::move(st));
 }
@@ -103,8 +114,23 @@ void BaseStation::tick() {
     }
   }
 
+  // Run every cell's scheduling ticks for this 1 ms master tick. LTE cells
+  // tick once; an NR cell with 2^mu slots per subframe ticks 2^mu times.
+  // Slot-major iteration (slot k across all cells, then slot k+1) keeps
+  // the emitted control regions in time-ascending order, which downstream
+  // fusion relies on to bound its pending set.
+  int max_spsf = 1;
+  for (const auto& cell : cells_) {
+    max_spsf = std::max(max_spsf, cell.cfg.slots_per_subframe());
+  }
   tick_pdcch_.clear();
-  for (auto& cell : cells_) run_cell(cell);
+  for (int k = 0; k < max_spsf; ++k) {
+    for (auto& cell : cells_) {
+      const int spsf = cell.cfg.slots_per_subframe();
+      if (k >= spsf) continue;
+      run_cell(cell, sf_index_ * spsf + k);
+    }
+  }
   if (!pdcch_batch_observers_.empty() && !tick_pdcch_.empty()) {
     for (const auto& obs : pdcch_batch_observers_) obs(tick_pdcch_);
   }
@@ -115,7 +141,9 @@ void BaseStation::tick() {
     int serving_capacity = 0;
     for (phy::CellId c : ue.ca.active_cells()) {
       for (const auto& cc : cell_cfgs_) {
-        if (cc.id == c) serving_capacity += cc.n_prbs();
+        // Capacity per 1 ms master tick: an NR cell schedules its PRB pool
+        // once per slot, i.e. slots_per_subframe() times per subframe.
+        if (cc.id == c) serving_capacity += cc.n_prbs() * cc.slots_per_subframe();
       }
     }
     const std::size_t active_before = ue.ca.active_cells().size();
@@ -138,14 +166,14 @@ void BaseStation::tick() {
   loop_.schedule_at(util::subframe_start(sf_index_ + 1), [this] { tick(); });
 }
 
-void BaseStation::run_cell(CellState& cell) {
+void BaseStation::run_cell(CellState& cell, std::int64_t tick_index) {
   const int total_prbs = cell.cfg.n_prbs();
   int prbs_left = total_prbs;
   int prb_cursor = 0;
-  phy::PdcchBuilder pdcch(cell.cfg, sf_index_);
+  phy::PdcchBuilder pdcch(cell.cfg, tick_index);
   AllocationRecord record;
   record.cell = cell.cfg.id;
-  record.sf_index = sf_index_;
+  record.sf_index = tick_index;
 
   // --- 1. HARQ retransmissions due in this subframe.
   struct PendingTx {
@@ -159,7 +187,7 @@ void BaseStation::run_cell(CellState& cell) {
   for (auto& [id, ue] : ues_) {
     auto hit = ue.harq.find(cell.cfg.id);
     if (hit == ue.harq.end()) continue;
-    for (std::uint8_t proc : hit->second.retx_due(sf_index_)) {
+    for (std::uint8_t proc : hit->second.retx_due(tick_index)) {
       const TransportBlock& tb = hit->second.block(proc);
       if (tb.n_prbs > prbs_left) continue;  // postponed to next subframe
       phy::Dci dci;
@@ -189,8 +217,10 @@ void BaseStation::run_cell(CellState& cell) {
     }
   }
 
-  // --- 2. Control-plane grants.
-  for (const auto& grant : cell.control.tick(sf_index_)) {
+  // --- 2. Control-plane grants. The generator's intensity is per tick, so
+  // an NR cell carries proportionally more control traffic per 1 ms —
+  // matching its proportionally larger scheduling opportunity count.
+  for (const auto& grant : cell.control.tick(tick_index)) {
     if (grant.n_prbs > prbs_left) break;
     phy::Dci dci;
     dci.rnti = grant.rnti;
@@ -220,7 +250,7 @@ void BaseStation::run_cell(CellState& cell) {
       }
     }
     for (const auto& grant :
-         cell.aggregate->tick(sf_index_, prbs_left, real_contenders)) {
+         cell.aggregate->tick(tick_index, prbs_left, real_contenders)) {
       phy::Dci dci;
       dci.rnti = grant.rnti;
       dci.format = grant.mcs.n_streams == 2 ? phy::DciFormat::kFormat2
@@ -348,9 +378,9 @@ void BaseStation::run_cell(CellState& cell) {
   // --- 5. Air transmission: draw errors, deliver or schedule HARQ retx.
   for (auto& tx : transmissions) {
     if (tx.is_retx) {
-      transmit_tb(cell, *tx.ue, tx.harq_id, std::nullopt);
+      transmit_tb(cell, *tx.ue, tx.harq_id, std::nullopt, tick_index);
     } else {
-      transmit_tb(cell, *tx.ue, tx.harq_id, std::move(tx.tb));
+      transmit_tb(cell, *tx.ue, tx.harq_id, std::move(tx.tb), tick_index);
     }
   }
 }
@@ -377,10 +407,11 @@ double BaseStation::take_bits(UeState& ue, double bits,
 }
 
 void BaseStation::transmit_tb(CellState& cell, UeState& ue, std::uint8_t proc,
-                              std::optional<TransportBlock> new_tb) {
+                              std::optional<TransportBlock> new_tb,
+                              std::int64_t tick_index) {
   auto& harq = ue.harq.at(cell.cfg.id);
   if (new_tb.has_value()) {
-    harq.start(proc, std::move(*new_tb), sf_index_);
+    harq.start(proc, std::move(*new_tb), tick_index);
   }
   // else: retransmission — the failed block already lives in the entity.
 
@@ -395,7 +426,10 @@ void BaseStation::transmit_tb(CellState& cell, UeState& ue, std::uint8_t proc,
   const double tber = phy::tb_error_rate(p, active_tb.bits);
   const bool error = rng_.bernoulli(tber);
 
-  const util::Time decode_time = util::subframe_start(sf_index_ + 1);
+  // Decode completes at the end of the transmission tick — one subframe
+  // later on LTE, one slot later on NR (the shorter slot is exactly the
+  // latency win scalable numerology buys).
+  const util::Time decode_time = (tick_index + 1) * cell.cfg.tick();
   if (!error) {
     TransportBlock done = harq.complete(proc);
     loop_.schedule_at(decode_time, [this, ue_id = ue.cfg.id, done = std::move(done)]() mutable {
@@ -411,7 +445,7 @@ void BaseStation::transmit_tb(CellState& cell, UeState& ue, std::uint8_t proc,
     static obs::Counter& errors = obs::counter("mac.tb_errors");
     errors.inc();
   }
-  if (!harq.fail(proc, sf_index_)) {
+  if (!harq.fail(proc, tick_index)) {
     // Retransmissions exhausted: abandon; packets inside are lost.
     ++total_tbs_abandoned_;
     TransportBlock dead = harq.take_abandoned(proc);
@@ -475,7 +509,9 @@ void BaseStation::update_explicit_rates() {
       const phy::Mcs mcs{chit->second.cqi, chit->second.sinr_db >= 14.0 ? 2 : 1};
       int prbs = 0;
       for (const auto& cc : cell_cfgs_) {
-        if (cc.id == c) prbs = cc.n_prbs();
+        // PRB opportunities per 1 ms: the pool times the slot count (1 for
+        // LTE, so the pre-NR arithmetic is bit-identical).
+        if (cc.id == c) prbs = cc.n_prbs() * cc.slots_per_subframe();
       }
       const auto nit = active_count.find(c);
       const int n = std::max(nit == active_count.end() ? 0 : nit->second, 1);
@@ -501,8 +537,12 @@ std::vector<CellGroundTruth> BaseStation::ground_truth(UeId ue_id) const {
     if (chit == ue.ch_now.end()) continue;  // no channel sample yet
     CellGroundTruth gt;
     gt.cell = c;
+    int spsf = 1;
     for (const auto& cc : cell_cfgs_) {
-      if (cc.id == c) gt.cell_prbs = cc.n_prbs();
+      if (cc.id == c) {
+        gt.cell_prbs = cc.n_prbs();
+        spsf = cc.slots_per_subframe();
+      }
     }
     const auto nit = active_count.find(c);
     gt.active_users = std::max(nit == active_count.end() ? 0 : nit->second, 1);
@@ -513,12 +553,18 @@ std::vector<CellGroundTruth> BaseStation::ground_truth(UeId ue_id) const {
     gt.own_prbs = pit == ue.prbs_this_sf_by_cell.end() ? 0 : pit->second;
     const phy::Mcs mcs{chit->second.cqi, chit->second.sinr_db >= 14.0 ? 2 : 1};
     gt.bits_per_prb = mcs.bits_per_prb();
-    gt.fair_bits_sf = gt.bits_per_prb * static_cast<double>(gt.cell_prbs) /
+    // Bits per 1 ms subframe: own_prbs already accumulates across all of
+    // the cell's slots within the master tick; the pool and the (per-slot)
+    // idle count scale by the slot count. spsf == 1 for LTE keeps the
+    // pre-NR arithmetic bit-identical (integer multiply by 1).
+    gt.fair_bits_sf = gt.bits_per_prb *
+                      static_cast<double>(spsf * gt.cell_prbs) /
                       static_cast<double>(gt.active_users);
     gt.avail_bits_sf =
         gt.bits_per_prb *
         (static_cast<double>(gt.own_prbs) +
-         static_cast<double>(gt.idle_prbs) / static_cast<double>(gt.active_users));
+         static_cast<double>(spsf * gt.idle_prbs) /
+             static_cast<double>(gt.active_users));
     out.push_back(gt);
   }
   return out;
@@ -583,7 +629,7 @@ void BaseStation::handover(UeId ue_id, const std::vector<phy::CellId>& new_cells
       chc.seed = ue.cfg.channel.seed * 1000003ULL + c;
       ue.channels.emplace(c, phy::ChannelModel{chc});
     }
-    if (!ue.harq.contains(c)) ue.harq.emplace(c, HarqEntity{});
+    if (!ue.harq.contains(c)) ue.harq.emplace(c, make_harq(c));
   }
   // Replacing the manager resets its timers for the new set, but the
   // Fig-15 "ever aggregated" statistic is history, not timer state — the
@@ -680,7 +726,7 @@ void BaseStation::admit_ue(UeMigration m, const std::vector<phy::CellId>& new_ce
     phy::ChannelConfig chc = st.cfg.channel;
     chc.seed = st.cfg.channel.seed * 1000003ULL + c;
     st.channels.emplace(c, phy::ChannelModel{chc});
-    st.harq.emplace(c, HarqEntity{});
+    st.harq.emplace(c, make_harq(c));
   }
   ues_.emplace(id, std::move(st));
 }

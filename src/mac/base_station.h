@@ -11,6 +11,13 @@
 //      blocks fail with probability 1-(1-p)^L and either deliver one
 //      subframe later (through the in-order reordering buffer) or
 //      retransmit 8 subframes later, at most 3 times.
+//
+// NR component carriers run the same loop per *slot*: a cell with
+// numerology mu schedules 2^mu times per 1 ms master tick (slot-major
+// across cells, so mixed LTE+NR stations interleave in time order), its
+// HARQ and decode latencies counted in slots of its own clock. Per-ms
+// bookkeeping — channel sampling, CA decisions, explicit rates — is shared
+// and stays on the 1 ms master tick.
 #pragma once
 
 #include <cstdint>
@@ -64,8 +71,10 @@ struct BaseStationConfig {
   std::uint64_t seed = 42;
 };
 
-// Ground-truth per-subframe allocation record (what the paper plots in
+// Ground-truth per-tick allocation record (what the paper plots in
 // Figs 2 and 21 from its decoder; we also expose it directly for tests).
+// `sf_index` counts ticks on the cell's own clock — subframes for LTE,
+// slots for NR.
 struct AllocationRecord {
   phy::CellId cell = 0;
   std::int64_t sf_index = 0;
@@ -250,15 +259,27 @@ class BaseStation {
   std::map<phy::CellId, int> active_user_counts() const;
 
   void tick();
-  void run_cell(CellState& cell);
+  // Run one scheduling tick of one cell. `tick_index` counts ticks on the
+  // cell's own clock (== sf_index_ for LTE; sf_index_ * spsf + slot for an
+  // NR cell with spsf slots per subframe). HARQ, control traffic and the
+  // PDCCH all advance per tick; per-ms bookkeeping (channel samples, CA,
+  // explicit rates) stays in tick().
+  void run_cell(CellState& cell, std::int64_t tick_index);
   void update_explicit_rates();
   // Pop up to `bits` from the UE queue into a TB; returns actual bits taken
   // and fills `completed`.
   double take_bits(UeState& ue, double bits, std::vector<net::Packet>& completed);
   // Sends the block on HARQ process `proc`; `new_tb` present for an initial
   // transmission, absent for a retransmission (block already stored).
+  // `tick_index` is the cell-clock tick of the transmission; the block
+  // decodes (or schedules its retransmission from) the following tick.
   void transmit_tb(CellState& cell, UeState& ue, std::uint8_t proc,
-                   std::optional<TransportBlock> new_tb);
+                   std::optional<TransportBlock> new_tb,
+                   std::int64_t tick_index);
+  // Fresh HARQ entity for a cell: the mini-slot retransmission delay for NR
+  // cells configured with mini_slot_preemption, the classic 8-tick RTT
+  // otherwise. Unknown cells get the default.
+  HarqEntity make_harq(phy::CellId cell) const;
   std::int64_t backlog_bits(const UeState& ue) const;
 
   net::EventLoop& loop_;

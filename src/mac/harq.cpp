@@ -49,7 +49,7 @@ bool HarqEntity::fail(std::uint8_t process, std::int64_t sf) {
   }
   ++p.tb.attempt;
   p.awaiting_retx = true;
-  p.retx_sf = sf + kHarqRttSubframes;
+  p.retx_sf = sf + retx_delay_ticks_;
   return true;
 }
 

@@ -17,9 +17,21 @@ namespace pbecc::mac {
 inline constexpr int kHarqProcesses = 8;
 inline constexpr int kHarqRttSubframes = 8;   // retx happens 8 sf later
 inline constexpr int kMaxRetransmissions = 3; // after 3 failed retx, drop
+// NR mini-slot preemption (38.214 URLLC-style option): a failed block is
+// rescheduled after 2 slots instead of the full 8-tick HARQ RTT, so the
+// retransmission preempts new data almost immediately.
+inline constexpr int kMiniSlotRetxTicks = 2;
 
 class HarqEntity {
  public:
+  // `retx_delay_ticks` is the gap (in ticks of the owning cell's clock)
+  // between a failed transmission and its retransmission: the classic
+  // 8-tick HARQ RTT by default, kMiniSlotRetxTicks for NR cells running
+  // mini-slot preemption.
+  explicit HarqEntity(int retx_delay_ticks = kHarqRttSubframes)
+      : retx_delay_ticks_(retx_delay_ticks > 0 ? retx_delay_ticks
+                                               : kHarqRttSubframes) {}
+
   // A free process id, or nullopt if all 8 are busy (blocks new TBs,
   // as in a real MAC).
   std::optional<std::uint8_t> free_process() const;
@@ -32,9 +44,11 @@ class HarqEntity {
   TransportBlock complete(std::uint8_t process);
 
   // TB failed. If retransmissions remain, schedules one for
-  // sf + kHarqRttSubframes and returns true; otherwise frees the process
+  // sf + retx_delay_ticks and returns true; otherwise frees the process
   // and returns false (block abandoned — caller delivers a tombstone).
   bool fail(std::uint8_t process, std::int64_t sf);
+
+  int retx_delay_ticks() const { return retx_delay_ticks_; }
 
   // TBs whose retransmission is due at subframe `sf` (does not free them;
   // the caller re-attempts and then calls complete()/fail()).
@@ -56,6 +70,7 @@ class HarqEntity {
     std::int64_t retx_sf = 0;
     TransportBlock tb{};
   };
+  int retx_delay_ticks_ = kHarqRttSubframes;
   Process procs_[kHarqProcesses];
 };
 

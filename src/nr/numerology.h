@@ -1,0 +1,78 @@
+// 5G NR scalable numerology (3GPP 38.211 §4.2-4.3).
+//
+// NR scales the LTE grid by powers of two: subcarrier spacing
+// 15 * 2^mu kHz shrinks the slot to 1 ms / 2^mu while keeping 14 OFDM
+// symbols per slot. We model the three numerologies the PBE-CC paper's 5G
+// discussion (§8) spans — mu 0 (15 kHz, LTE-like 1 ms slots), mu 1
+// (30 kHz, 500 us, the common FR1 deployment) and mu 3 (120 kHz, 125 us,
+// FR2 mmWave). Because a slot always carries 14 symbols, per-PRB-per-slot
+// spectral efficiency matches the LTE per-subframe table (phy/mcs.h); the
+// slot *rate* is what scales, which is exactly the quantity the capacity
+// estimator normalizes back to bits-per-subframe.
+//
+// Header-only on purpose: phy::CellConfig embeds these types without
+// creating a phy -> nr link dependency.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "util/time.h"
+
+namespace pbecc::nr {
+
+// Numerology mu; the enum value IS mu, so 15 << mu is the SCS in kHz.
+enum class Scs : std::uint8_t {
+  k15kHz = 0,   // mu 0: 1 ms slot (LTE-compatible cadence)
+  k30kHz = 1,   // mu 1: 500 us slot
+  k120kHz = 3,  // mu 3: 125 us slot
+};
+
+constexpr int mu_of(Scs s) { return static_cast<int>(s); }
+constexpr int scs_khz(Scs s) { return 15 << mu_of(s); }
+constexpr int slots_per_subframe(Scs s) { return 1 << mu_of(s); }
+constexpr util::Duration slot_duration(Scs s) {
+  return util::kSubframe / slots_per_subframe(s);
+}
+
+constexpr bool valid_scs_khz(int khz) {
+  return khz == 15 || khz == 30 || khz == 120;
+}
+
+constexpr Scs scs_from_khz(int khz) {
+  if (khz == 15) return Scs::k15kHz;
+  if (khz == 30) return Scs::k30kHz;
+  if (khz == 120) return Scs::k120kHz;
+  throw std::invalid_argument("unsupported NR subcarrier spacing");
+}
+
+// Maximum transmission bandwidth in PRBs (3GPP 38.101-1 Table 5.3.2-1 for
+// FR1 numerologies, 38.101-2 Table 5.3.2-1 for 120 kHz / FR2).
+constexpr int nr_prbs_for(Scs scs, double mhz) {
+  switch (scs) {
+    case Scs::k15kHz:
+      if (mhz == 5.0) return 25;
+      if (mhz == 10.0) return 52;
+      if (mhz == 20.0) return 106;
+      if (mhz == 40.0) return 216;
+      if (mhz == 50.0) return 270;
+      break;
+    case Scs::k30kHz:
+      if (mhz == 10.0) return 24;
+      if (mhz == 20.0) return 51;
+      if (mhz == 40.0) return 106;
+      if (mhz == 50.0) return 133;
+      if (mhz == 80.0) return 217;
+      if (mhz == 100.0) return 273;
+      break;
+    case Scs::k120kHz:
+      if (mhz == 50.0) return 32;
+      if (mhz == 100.0) return 66;
+      if (mhz == 200.0) return 132;
+      if (mhz == 400.0) return 264;
+      break;
+  }
+  throw std::invalid_argument("unsupported NR bandwidth for this SCS");
+}
+
+}  // namespace pbecc::nr

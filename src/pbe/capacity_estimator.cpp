@@ -74,6 +74,8 @@ void CapacityEstimator::on_observations(
     // the run.
     PBECC_INVARIANT(o.cell_prbs > 0, "estimator_cell_prbs_positive");
     c.cell_prbs = o.cell_prbs;
+    c.tick = o.tick > 0 ? o.tick : util::kSubframe;
+    c.scale = static_cast<double>(util::kSubframe) / static_cast<double>(c.tick);
     c.last_seen = now;
 
     // Rw: from our own DCI when scheduled, else from our own CSI.
@@ -97,9 +99,9 @@ void CapacityEstimator::on_observations(
   if constexpr (check::kDeep) {
     for (const auto& [id, c] : cells_) {
       // Window sizes are bounded by the (clamped) averaging window: each
-      // deque holds at most one sample per subframe of the window.
+      // deque holds at most one sample per tick of the cell's clock.
       const std::size_t cap =
-          static_cast<std::size_t>(window_ / util::kSubframe) + 2;
+          static_cast<std::size_t>(window_ / c.tick) + 2;
       PBECC_DEEP_INVARIANT(c.pa.size() <= cap && c.pidle.size() <= cap &&
                                c.users.size() <= cap && c.rw.size() <= cap,
                            "estimator_window_bounded");
@@ -133,7 +135,9 @@ double CapacityEstimator::available_capacity(util::Time now) const {
     const double pa = c.pa.get(now, 0.0);
     const double pidle = c.pidle.get(now, 0.0);
     const double n = std::max(c.users.get(now, 1.0), 1.0);
-    bits += rw * (pa + pidle / n);  // Eqn 3
+    // Eqn 3; the per-tick means are scaled to bits per subframe (scale is
+    // exactly 1.0 for LTE cells).
+    bits += c.scale * (rw * (pa + pidle / n));
   }
   return bits;
 }
@@ -148,7 +152,8 @@ double CapacityEstimator::fair_share_capacity(util::Time now) const {
     any_active = true;
     const double rw = c.rw.get(now, 0.0);
     const double n = std::max(c.users.get(now, 1.0), 1.0);
-    bits += rw * (static_cast<double>(c.cell_prbs) / n);  // Eqns 1-2
+    // Eqns 1-2, scaled from per-tick to per-subframe (1.0 for LTE).
+    bits += c.scale * (rw * (static_cast<double>(c.cell_prbs) / n));
   }
   if (!any_active) {
     // Connection start: no grant yet anywhere — use the primary cell's full
@@ -159,7 +164,7 @@ double CapacityEstimator::fair_share_capacity(util::Time now) const {
       CellState& c = it->second;
       const double rw = c.rw.get(now, 0.0);
       const double n = std::max(c.users.get(now, 1.0), 1.0);
-      bits += rw * (static_cast<double>(c.cell_prbs) / n);
+      bits += c.scale * (rw * (static_cast<double>(c.cell_prbs) / n));
     }
   }
   return bits;
@@ -187,8 +192,8 @@ CapacityEstimator::cell_snapshots(util::Time now) const {
     s.users = std::max(c.users.get(now, 1.0), 1.0);
     s.pa = c.pa.get(now, 0.0);
     s.pidle = c.pidle.get(now, 0.0);
-    s.cf_bits_sf = s.rw * (static_cast<double>(s.cell_prbs) / s.users);
-    s.cp_bits_sf = s.active ? s.rw * (s.pa + s.pidle / s.users) : 0.0;
+    s.cf_bits_sf = c.scale * (s.rw * (static_cast<double>(s.cell_prbs) / s.users));
+    s.cp_bits_sf = s.active ? c.scale * (s.rw * (s.pa + s.pidle / s.users)) : 0.0;
     out.push_back(s);
   }
   return out;

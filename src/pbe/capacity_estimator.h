@@ -90,10 +90,17 @@ class CapacityEstimator {
  private:
   struct CellState {
     util::WindowedMean rw;      // bits per PRB
-    util::WindowedMean pa;      // own PRBs per subframe
-    util::WindowedMean pidle;   // idle PRBs per subframe
+    util::WindowedMean pa;      // own PRBs per tick of the cell's clock
+    util::WindowedMean pidle;   // idle PRBs per tick of the cell's clock
     util::WindowedMean users;   // filtered data users N
     int cell_prbs = 0;
+    // Observation cadence of this cell (1 ms LTE, the slot length for NR)
+    // and the per-tick -> per-subframe conversion factor (kSubframe / tick,
+    // exactly 1.0 for LTE so pre-NR arithmetic is unchanged): an NR cell's
+    // per-slot PRB means must be multiplied up to express Eqns 1-3 in bits
+    // per subframe.
+    util::Duration tick = util::kSubframe;
+    double scale = 1.0;
     util::Time last_own_grant = -1;
     util::Time last_seen = 0;  // last observation mentioning this cell
 

@@ -19,7 +19,15 @@ PbeClient::PbeClient(PbeClientConfig cfg, ChannelQuery channel_query)
       [this](const std::vector<decoder::CellObservation>& obs) {
         if (obs.empty()) return;
         if (taps_.on_observations) taps_.on_observations(obs);
-        const auto now = util::subframe_start(obs.front().sf_index + 1);
+        // Estimates timestamp at the end of the latest tick in the fused
+        // emission: (sf_index + 1) * tick per observation, maximized over
+        // the batch. For LTE-only sets every tick is 1 ms and this is
+        // exactly subframe_start(sf_index + 1). ReplayDriver mirrors this
+        // formula — keep the two in lockstep.
+        util::Time now = 0;
+        for (const auto& o : obs) {
+          now = std::max(now, (o.sf_index + 1) * o.tick);
+        }
         estimator_.on_observations(now, obs, [this](phy::CellId c) {
           const auto ch = channel_(c);
           const phy::Mcs mcs{ch.cqi, ch.sinr_db >= 14.0 ? 2 : 1};
@@ -40,7 +48,10 @@ void PbeClient::on_pdcch_batch(const std::vector<phy::PdcchSubframe>& sfs) {
   if (taps_.on_batch || taps_.on_batch_end) {
     for (const auto& sf : sfs) {
       if (monitor_->has_cell(sf.cell_id)) {
-        monitored_sf = sf.sf_index;
+        // Master 1 ms subframe index, whatever the cell's slot clock —
+        // matches the batch record's sf_index so replay's batch-end hook
+        // fires with identical values.
+        monitored_sf = sf.sf_index * sf.tick / util::kSubframe;
         break;
       }
     }

@@ -1,12 +1,20 @@
 // Static configuration of one LTE/NR component carrier ("cell").
 //
-// The paper evaluates on commercial 10 MHz and 20 MHz FDD cells; bandwidth
-// determines the number of physical resource blocks (PRBs) available per
-// subframe and the size of the control region.
+// The paper evaluates on commercial 10 MHz and 20 MHz FDD LTE cells;
+// bandwidth determines the number of physical resource blocks (PRBs)
+// available per subframe and the size of the control region. NR cells
+// (rat == Rat::kNr) additionally carry a scalable numerology — the slot
+// shrinks to 1 ms / 2^mu while the PRB count grows with the wider
+// bandwidth parts — and confine their PDCCH to a CORESET + search-space
+// layout instead of LTE's full-width control region.
 #pragma once
 
 #include <cstdint>
 #include <stdexcept>
+
+#include "nr/coreset.h"
+#include "nr/numerology.h"
+#include "util/time.h"
 
 namespace pbecc::phy {
 
@@ -30,12 +38,17 @@ constexpr int prbs_for_bandwidth_mhz(double mhz) {
   throw std::invalid_argument("unsupported LTE bandwidth");
 }
 
+// Radio access technology of a component carrier.
+enum class Rat : std::uint8_t { kLte = 0, kNr = 1 };
+
 // Channel coding used on the control channel. The srsLTE stack the paper
 // builds on uses the 36.212 convolutional code; repetition is the
 // default here because it is an order of magnitude cheaper to blind-decode
 // in large simulations while giving the same aggregation-level-dependent
-// robustness (see bench_ablation / phy tests for the comparison).
-enum class PdcchCoding : std::uint8_t { kRepetition, kConvolutional };
+// robustness (see bench_ablation / phy tests for the comparison). kPolar
+// is the NR PDCCH's 38.212 code, currently a convolutional stand-in
+// behind the nr::polar_* seam (src/nr/polar.h).
+enum class PdcchCoding : std::uint8_t { kRepetition, kConvolutional, kPolar };
 
 struct CellConfig {
   CellId id = 0;
@@ -45,12 +58,38 @@ struct CellConfig {
   double carrier_ghz = 1.94;
   PdcchCoding pdcch_coding = PdcchCoding::kRepetition;
 
-  int n_prbs() const { return prbs_for_bandwidth_mhz(bandwidth_mhz); }
+  // --- NR extension (ignored while rat == Rat::kLte) ---
+  Rat rat = Rat::kLte;
+  nr::Scs scs = nr::Scs::k30kHz;
+  nr::CoresetConfig coreset{};
+  nr::SearchSpaceConfig search_space{};
+  // Schedule HARQ retransmissions on a mini-slot cadence (2 slots instead
+  // of the 8-slot HARQ RTT): retransmissions preempt new data almost
+  // immediately, the 38.214 URLLC-style option.
+  bool mini_slot_preemption = false;
 
-  // Control channel elements available for DCI messages per subframe.
-  // Roughly one CCE per 1.33 PRBs with a 3-symbol control region; we use a
-  // simple proportional rule that yields 21/42/84 CCEs for 5/10/20 MHz.
-  int n_cces() const { return (n_prbs() * 84) / 100; }
+  int n_prbs() const {
+    return rat == Rat::kLte ? prbs_for_bandwidth_mhz(bandwidth_mhz)
+                            : nr::nr_prbs_for(scs, bandwidth_mhz);
+  }
+
+  // Control channel elements available for DCI messages per tick. LTE:
+  // roughly one CCE per 1.33 PRBs with a 3-symbol control region (a simple
+  // proportional rule yielding 21/42/84 CCEs for 5/10/20 MHz). NR: the
+  // configured CORESET's CCE pool.
+  int n_cces() const {
+    return rat == Rat::kLte ? (n_prbs() * 84) / 100 : coreset.n_cces();
+  }
+
+  // Scheduling ticks (slots) per 1 ms subframe: 1 for LTE, 2^mu for NR.
+  int slots_per_subframe() const {
+    return rat == Rat::kLte ? 1 : nr::slots_per_subframe(scs);
+  }
+
+  // Duration of one scheduling tick (the cell's slot clock).
+  util::Duration tick() const {
+    return util::kSubframe / slots_per_subframe();
+  }
 
   bool operator==(const CellConfig&) const = default;
 };

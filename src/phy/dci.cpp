@@ -16,14 +16,26 @@ namespace {
 // decodes (wrong-format reads pass the CRC-residue test with fabricated
 // RNTIs). See decoder::BlindDecoder.
 constexpr std::size_t kFormatTagBits = 3;
-constexpr std::size_t kPrbStartBits = 7;  // up to 100 PRBs
-constexpr std::size_t kNPrbBits = 7;
-constexpr std::size_t kMcsBits = 4;   // CQI 1..15
-constexpr std::size_t kHarqBits = 3;  // 8 HARQ processes
+constexpr std::size_t kMcsBits = 4;  // CQI 1..15
 constexpr std::size_t kNdiBits = 1;
+
+// PRB-allocation field width: LTE carriers top out at 100 PRBs (7 bits),
+// NR bandwidth parts at 273 (9 bits).
+constexpr std::size_t prb_field_bits(DciFormat f) {
+  return is_nr_format(f) ? 9 : 7;
+}
+
+// HARQ-process field: 8 processes on LTE (3 bits), 16 on NR (4 bits).
+constexpr std::size_t harq_field_bits(DciFormat f) {
+  return is_nr_format(f) ? 4 : 3;
+}
 
 // Per-format padding to give each format a distinct total length;
 // stands in for the fields (TPC, DAI, precoding info, ...) we don't model.
+// NR paddings are chosen so no NR total collides with an LTE total
+// (LTE: 30/34/42/53/49 bits, NR: 37/45/51) — collisions would be benign
+// (the format tag disambiguates) but would let one span decode serve two
+// formats, weakening the blind-search realism.
 constexpr int format_padding(DciFormat f) {
   switch (f) {
     case DciFormat::kFormat0: return 5;
@@ -31,6 +43,9 @@ constexpr int format_padding(DciFormat f) {
     case DciFormat::kFormat1: return 17;
     case DciFormat::kFormat2: return 27;
     case DciFormat::kFormat2A: return 23;
+    case DciFormat::kNrFormat0_0: return 7;
+    case DciFormat::kNrFormat1_0: return 15;
+    case DciFormat::kNrFormat1_1: return 20;
   }
   return 0;
 }
@@ -39,26 +54,23 @@ constexpr int format_padding(DciFormat f) {
 
 int dci_payload_bits(DciFormat f) {
   // tag + start + nprb + mcs + harq + ndi (+ streams bit for MIMO) + padding
-  const int base = kFormatTagBits + kPrbStartBits + kNPrbBits + kMcsBits +
-                   kHarqBits + kNdiBits;
-  const bool mimo = f == DciFormat::kFormat2 || f == DciFormat::kFormat2A;
-  return base + (mimo ? 1 : 0) + format_padding(f);
+  const int base = static_cast<int>(kFormatTagBits + 2 * prb_field_bits(f) +
+                                    kMcsBits + harq_field_bits(f) + kNdiBits);
+  return base + (format_is_mimo(f) ? 1 : 0) + format_padding(f);
 }
 
 util::BitVec encode_dci(const Dci& d) {
   util::BitVec bits;
   bits.push_uint(static_cast<std::uint64_t>(d.format), kFormatTagBits);
-  bits.push_uint(d.prb_start, kPrbStartBits);
-  bits.push_uint(d.n_prbs, kNPrbBits);
+  bits.push_uint(d.prb_start, prb_field_bits(d.format));
+  bits.push_uint(d.n_prbs, prb_field_bits(d.format));
   bits.push_uint(static_cast<std::uint64_t>(d.mcs.cqi), kMcsBits);
-  bits.push_uint(d.harq_id, kHarqBits);
+  bits.push_uint(d.harq_id, harq_field_bits(d.format));
   bits.push_uint(d.new_data ? 1 : 0, kNdiBits);
-  const bool mimo =
-      d.format == DciFormat::kFormat2 || d.format == DciFormat::kFormat2A;
-  if (mimo) {
+  if (format_is_mimo(d.format)) {
     bits.push_uint(d.mcs.n_streams == 2 ? 1 : 0, 1);
   } else if (d.mcs.n_streams != 1) {
-    throw std::invalid_argument("2-stream DCI requires format 2/2A");
+    throw std::invalid_argument("2-stream DCI requires format 2/2A/1_1");
   }
   bits.push_uint(0, static_cast<std::size_t>(format_padding(d.format)));
 
@@ -97,18 +109,20 @@ std::optional<Dci> decode_dci(const util::BitVec& bits, DciFormat format,
     return std::nullopt;  // self-identification mismatch: not this format
   }
   pos += kFormatTagBits;
-  d.prb_start = static_cast<std::uint16_t>(payload.read_uint(pos, kPrbStartBits));
-  pos += kPrbStartBits;
-  d.n_prbs = static_cast<std::uint16_t>(payload.read_uint(pos, kNPrbBits));
-  pos += kNPrbBits;
+  const std::size_t prb_bits = prb_field_bits(format);
+  const std::size_t harq_bits = harq_field_bits(format);
+  d.prb_start = static_cast<std::uint16_t>(payload.read_uint(pos, prb_bits));
+  pos += prb_bits;
+  d.n_prbs = static_cast<std::uint16_t>(payload.read_uint(pos, prb_bits));
+  pos += prb_bits;
   d.mcs.cqi = static_cast<int>(payload.read_uint(pos, kMcsBits));
   pos += kMcsBits;
-  d.harq_id = static_cast<std::uint8_t>(payload.read_uint(pos, kHarqBits));
-  pos += kHarqBits;
+  d.harq_id = static_cast<std::uint8_t>(payload.read_uint(pos, harq_bits));
+  pos += harq_bits;
   d.new_data = payload.read_uint(pos, kNdiBits) != 0;
   pos += kNdiBits;
   d.mcs.n_streams = 1;
-  if (format == DciFormat::kFormat2 || format == DciFormat::kFormat2A) {
+  if (format_is_mimo(format)) {
     d.mcs.n_streams = payload.read_uint(pos, 1) != 0 ? 2 : 1;
     pos += 1;
   }

@@ -23,15 +23,45 @@ namespace pbecc::phy {
 // Format0 is an uplink grant (present on the channel, ignored by the
 // downlink capacity monitor); 1A is the compact downlink allocation;
 // 1 the full bitmap allocation; 2/2A carry MIMO (2-stream) allocations.
+// Formats 5-7 are the 38.212 NR set: 0_0 the fallback uplink grant, 1_0
+// the fallback downlink allocation, 1_1 the full (MIMO-capable) downlink
+// allocation. NR formats widen the PRB fields to 9 bits (bandwidth parts
+// reach 273 PRBs) and the HARQ field to 4 bits; an LTE cell never carries
+// them and an NR cell never carries the LTE formats, so each RAT's blind
+// search stays confined to its own format list.
 enum class DciFormat : std::uint8_t {
-  kFormat0 = 0,   // uplink grant
-  kFormat1A = 1,  // compact downlink, 1 stream
-  kFormat1 = 2,   // full downlink, 1 stream
-  kFormat2 = 3,   // downlink MIMO, up to 2 streams
-  kFormat2A = 4,  // downlink MIMO (open loop), up to 2 streams
+  kFormat0 = 0,      // LTE uplink grant
+  kFormat1A = 1,     // LTE compact downlink, 1 stream
+  kFormat1 = 2,      // LTE full downlink, 1 stream
+  kFormat2 = 3,      // LTE downlink MIMO, up to 2 streams
+  kFormat2A = 4,     // LTE downlink MIMO (open loop), up to 2 streams
+  kNrFormat0_0 = 5,  // NR uplink grant
+  kNrFormat1_0 = 6,  // NR fallback downlink, 1 stream
+  kNrFormat1_1 = 7,  // NR downlink, up to 2 streams
 };
 
-inline constexpr int kNumDciFormats = 5;
+inline constexpr int kNumDciFormats = 8;
+
+// The blind-decode format list per RAT (pointers into static arrays).
+// LTE cells try exactly the five 36.212 formats — byte-identical with the
+// pre-NR decoder — and NR cells exactly the three 38.212 ones.
+inline constexpr DciFormat kLteDciFormats[] = {
+    DciFormat::kFormat0, DciFormat::kFormat1A, DciFormat::kFormat1,
+    DciFormat::kFormat2, DciFormat::kFormat2A};
+inline constexpr DciFormat kNrDciFormats[] = {
+    DciFormat::kNrFormat0_0, DciFormat::kNrFormat1_0, DciFormat::kNrFormat1_1};
+
+constexpr bool is_nr_format(DciFormat f) {
+  return f == DciFormat::kNrFormat0_0 || f == DciFormat::kNrFormat1_0 ||
+         f == DciFormat::kNrFormat1_1;
+}
+
+// Formats that carry a two-stream (MIMO) allocation and therefore a
+// second-stream MCS field.
+constexpr bool format_is_mimo(DciFormat f) {
+  return f == DciFormat::kFormat2 || f == DciFormat::kFormat2A ||
+         f == DciFormat::kNrFormat1_1;
+}
 
 // Payload bit length of each format (excluding the 16-bit CRC). Distinct
 // lengths are what force a real blind search. All under the 70-bit bound
@@ -41,7 +71,9 @@ int dci_payload_bits(DciFormat f);
 struct Dci {
   Rnti rnti = 0;
   DciFormat format = DciFormat::kFormat1A;
-  bool is_downlink() const { return format != DciFormat::kFormat0; }
+  bool is_downlink() const {
+    return format != DciFormat::kFormat0 && format != DciFormat::kNrFormat0_0;
+  }
 
   // Resource allocation: contiguous for our scheduler.
   std::uint16_t prb_start = 0;

@@ -21,11 +21,12 @@ int repetitions_that_fit(int msg_bits, int agg_level) {
 }
 
 PdcchBuilder::PdcchBuilder(const CellConfig& cfg, std::int64_t sf_index)
-    : coding_(cfg.pdcch_coding) {
+    : cfg_(cfg), coding_(cfg.pdcch_coding) {
   sf_.cell_id = cfg.id;
   sf_.sf_index = sf_index;
   sf_.n_cces = cfg.n_cces();
   sf_.coding = coding_;
+  sf_.tick = cfg.tick();
   sf_.bits = util::BitVec(static_cast<std::size_t>(sf_.n_cces) * kBitsPerCce);
   sf_.cce_used.assign(static_cast<std::size_t>(sf_.n_cces), false);
 }
@@ -38,8 +39,10 @@ int PdcchBuilder::cces_free() const {
 
 bool PdcchBuilder::add(const Dci& dci, int aggregation_level) {
   const int al = aggregation_level;
-  if (al != 1 && al != 2 && al != 4 && al != 8) {
-    throw std::invalid_argument("aggregation level must be 1/2/4/8");
+  const bool is_nr = cfg_.rat == Rat::kNr;
+  if (al != 1 && al != 2 && al != 4 && al != 8 && !(is_nr && al == 16)) {
+    throw std::invalid_argument(is_nr ? "aggregation level must be 1/2/4/8/16"
+                                      : "aggregation level must be 1/2/4/8");
   }
   const util::BitVec msg = encode_dci(dci);
   const auto region_bits = static_cast<std::size_t>(al) * kBitsPerCce;
@@ -50,16 +53,30 @@ bool PdcchBuilder::add(const Dci& dci, int aggregation_level) {
       return false;
     }
   } else {
-    // Convolutional: the rate-matched block must leave actual redundancy
-    // (effective rate well below 1) or the Viterbi decoder cannot recover
-    // the punctured positions. Long formats therefore need AL >= 2.
+    // Convolutional (and its kPolar stand-in, see nr/polar.h): the
+    // rate-matched block must leave actual redundancy (effective rate well
+    // below 1) or the decoder cannot recover the punctured positions. Long
+    // formats therefore need AL >= 2.
     const std::size_t steps = msg.size() + kConvTailBits;
     if (region_bits < 2 * steps) return false;
     block = rate_match(conv_encode(msg), region_bits);
   }
 
-  // First-fit over AL-aligned candidates (the LTE search space structure).
-  for (int start = 0; start + al <= sf_.n_cces; start += al) {
+  // First-fit over the level's candidates: every AL-aligned start for LTE
+  // (the 36.213 UE-specific search space, simplified), the cell's
+  // search-space candidate list for NR (38.213 §10.1 — the decoder walks
+  // the identical list, so anything placed here is findable).
+  std::vector<int> nr_starts;
+  if (is_nr) {
+    nr_starts = nr::candidate_starts(sf_.n_cces, al,
+                                     cfg_.search_space.candidates_for(al));
+  }
+  const std::size_t n_candidates =
+      is_nr ? nr_starts.size()
+            : static_cast<std::size_t>(sf_.n_cces >= al ? (sf_.n_cces / al) : 0);
+  for (std::size_t cand = 0; cand < n_candidates; ++cand) {
+    const int start = is_nr ? nr_starts[cand] : static_cast<int>(cand) * al;
+    if (start + al > sf_.n_cces) break;
     bool free = true;
     for (int c = start; c < start + al; ++c) {
       if (sf_.cce_used[static_cast<std::size_t>(c)]) { free = false; break; }
@@ -91,7 +108,8 @@ bool PdcchBuilder::add(const Dci& dci, int aggregation_level) {
 }
 
 bool PdcchBuilder::add_escalating(const Dci& dci, int aggregation_level) {
-  for (int al = aggregation_level; al <= 8; al *= 2) {
+  const int max_al = cfg_.rat == Rat::kNr ? kMaxAggregationLevel : 8;
+  for (int al = aggregation_level; al <= max_al; al *= 2) {
     if (add(dci, al)) return true;
   }
   return false;

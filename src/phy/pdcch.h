@@ -12,16 +12,21 @@
 #include <cstdint>
 #include <vector>
 
+#include "nr/coreset.h"
 #include "phy/cell_config.h"
 #include "phy/convolutional.h"
 #include "phy/dci.h"
 #include "util/bitvec.h"
 #include "util/rng.h"
+#include "util/time.h"
 
 namespace pbecc::phy {
 
 inline constexpr int kBitsPerCce = 72;
 inline constexpr int kAggregationLevels[] = {1, 2, 4, 8};
+// NR search spaces extend the ladder to AL16 (nr::kNrAggregationLevels);
+// the largest level any cell type may use.
+inline constexpr int kMaxAggregationLevel = 16;
 
 // Pick the aggregation level the base station would use for a user at the
 // given control-channel SINR: poorer channels get more CCEs.
@@ -29,35 +34,45 @@ int aggregation_level_for_sinr(double sinr_db);
 
 struct PdcchSubframe {
   CellId cell_id = 0;
+  // Tick index on this cell's clock: the subframe index for LTE cells, the
+  // slot index (subframe * slots_per_subframe + slot) for NR cells. The
+  // tick's start instant is sf_index * tick.
   std::int64_t sf_index = 0;
   int n_cces = 0;
   PdcchCoding coding = PdcchCoding::kRepetition;
+  // Duration of one tick on this cell's clock (1 ms for LTE, the slot
+  // length for NR numerologies).
+  util::Duration tick = util::kSubframe;
   util::BitVec bits;           // n_cces * kBitsPerCce bits
   std::vector<bool> cce_used;  // encoder-side occupancy (ground truth)
 
   bool operator==(const PdcchSubframe&) const = default;
 };
 
-// Packs DCI messages into one subframe's control region.
+// Packs DCI messages into one tick's control region.
 class PdcchBuilder {
  public:
   PdcchBuilder(const CellConfig& cfg, std::int64_t sf_index);
 
-  // Place `dci` at the first free aggregation-aligned candidate.
-  // Returns false if the control region is full (message dropped, as in a
-  // real cell whose PDCCH is exhausted).
+  // Place `dci` at the first free candidate of the level: LTE sweeps every
+  // aggregation-aligned start, NR walks exactly the cell's search-space
+  // candidate list (nr::candidate_starts) so the blind decoder's
+  // enumeration provably covers every placement. Returns false if no
+  // candidate is free (message dropped, as in a real cell whose PDCCH is
+  // exhausted).
   bool add(const Dci& dci, int aggregation_level);
 
-  // As add(), but escalates the aggregation level (doubling up to 8) when
-  // the requested one cannot carry the message — e.g. a long DCI under
-  // convolutional coding needs at least the AL whose rate-matched block
-  // keeps the code rate below 1/2.
+  // As add(), but escalates the aggregation level (doubling up to 8 on
+  // LTE, 16 on NR) when the requested one cannot carry the message — e.g.
+  // a long DCI under convolutional coding needs at least the AL whose
+  // rate-matched block keeps the code rate below 1/2.
   bool add_escalating(const Dci& dci, int aggregation_level);
 
   int cces_free() const;
   PdcchSubframe build() &&;
 
  private:
+  CellConfig cfg_;
   PdcchCoding coding_;
   PdcchSubframe sf_;
 };

@@ -54,6 +54,33 @@ ScenarioConfig scenario_config_for(const LocationProfile& loc) {
   for (int i = 0; i < 3; ++i) {
     CellSpec cell{bands[i], ctrl};
     cell.convolutional_pdcch = loc.convolutional_pdcch;
+    if (loc.nr_numerology >= 0 && i > 0) {
+      // Mixed LTE+NR CA: the primary stays LTE, secondaries become NR at
+      // the requested numerology. Bandwidths follow 38.101 channels whose
+      // PRB counts sit near the LTE secondaries they replace, keeping the
+      // end-to-end rates in the same band as the all-LTE study; the
+      // CORESET shrinks with the carrier so it always fits.
+      cell.nr = true;
+      cell.scs_khz = 15 << loc.nr_numerology;
+      switch (loc.nr_numerology) {
+        case 0:  // 15 kHz: 10 MHz -> 52 PRBs
+          cell.bandwidth_mhz = 10.0;
+          cell.coreset_rbs = 48;
+          break;
+        case 1:  // 30 kHz: 20 MHz -> 51 PRBs
+          cell.bandwidth_mhz = 20.0;
+          cell.coreset_rbs = 48;
+          break;
+        default:  // 120 kHz: 50 MHz -> 32 PRBs
+          cell.bandwidth_mhz = 50.0;
+          cell.coreset_rbs = 30;
+          break;
+      }
+      cell.coreset_symbols = 2;
+      // Third carrier doubles as the mini-slot showcase: URLLC-style
+      // preemption shortens its HARQ turnaround to 2 slots.
+      cell.mini_slot = (i == 2);
+    }
     cfg.cells.push_back(cell);
   }
   return cfg;
@@ -65,6 +92,14 @@ UeSpec ue_spec_for(const LocationProfile& loc) {
   ue.cell_indices.clear();
   for (int i = 0; i < loc.n_cells; ++i) ue.cell_indices.push_back(static_cast<std::size_t>(i));
   ue.trace = phy::MobilityTrace::stationary(loc.rssi_dbm);
+  if (loc.nr_numerology >= 0 && loc.n_cells >= 2) {
+    // Under --fault-profile handover-storm these make the rotation cross
+    // the RAT boundary: the UE swings between its full LTE+NR set, an
+    // LTE-only set, and (with three carriers) a reduced mixed set, so an
+    // LTE<->NR handover happens on every swing.
+    ue.serving_sets.push_back({0});
+    if (loc.n_cells >= 3) ue.serving_sets.push_back({0, 1});
+  }
   return ue;
 }
 

@@ -25,6 +25,13 @@ struct LocationProfile {
   // throughput") records with it on so bench_replay exercises the
   // lockstep batch decoder.
   bool convolutional_pdcch = false;
+  // 5G NR secondary carriers (run_experiment --nr): numerology mu for the
+  // secondary cells, or -1 for an all-LTE location (the paper's study).
+  // mu 0/1/3 -> 15/30/120 kHz SCS. The primary carrier always stays LTE,
+  // so enabling this exercises mixed LTE+NR carrier aggregation: PDCCH
+  // monitoring over heterogeneous search spaces and capacity fusion over
+  // heterogeneous slot clocks (DESIGN.md section 16).
+  int nr_numerology = -1;
 
   std::string describe() const;
 };

@@ -7,6 +7,7 @@
 
 #include "cap/taps.h"
 #include "check/check.h"
+#include "nr/numerology.h"
 #include "obs/obs.h"
 #include "pbe/pbe_sender.h"
 #include "sim/algorithms.h"
@@ -31,12 +32,26 @@ Scenario::Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)), rng_(cfg_.seed) {
     throw std::invalid_argument("scenario needs at least one cell");
   }
   for (std::size_t i = 0; i < cfg_.cells.size(); ++i) {
+    const CellSpec& spec = cfg_.cells[i];
     phy::CellConfig cc;
     cc.id = static_cast<phy::CellId>(i + 1);
-    cc.bandwidth_mhz = cfg_.cells[i].bandwidth_mhz;
-    cc.pdcch_coding = cfg_.cells[i].convolutional_pdcch
-                          ? phy::PdcchCoding::kConvolutional
-                          : phy::PdcchCoding::kRepetition;
+    cc.bandwidth_mhz = spec.bandwidth_mhz;
+    if (spec.nr) {
+      cc.rat = phy::Rat::kNr;
+      cc.scs = nr::scs_from_khz(spec.scs_khz);
+      cc.coreset.rbs = spec.coreset_rbs;
+      cc.coreset.symbols = spec.coreset_symbols;
+      cc.mini_slot_preemption = spec.mini_slot;
+      // NR PDCCH is polar-coded; convolutional_pdcch opts into the
+      // (equivalently shaped) conv path for apples-to-apples ablations.
+      cc.pdcch_coding = spec.convolutional_pdcch ? phy::PdcchCoding::kConvolutional
+                                                 : phy::PdcchCoding::kPolar;
+      nr::nr_prbs_for(cc.scs, cc.bandwidth_mhz);  // validate the pairing now
+    } else {
+      cc.pdcch_coding = spec.convolutional_pdcch
+                            ? phy::PdcchCoding::kConvolutional
+                            : phy::PdcchCoding::kRepetition;
+    }
     cell_cfgs_.push_back(cc);
   }
 

@@ -59,6 +59,18 @@ struct CellSpec {
   // single cluster, so carrier aggregation never crosses a shard. Cluster
   // ids need not be contiguous; domains are ordered by ascending id.
   int cluster = 0;
+
+  // --- 5G NR (ignored while nr == false) ---
+  // Make this carrier an NR cell: scalable numerology `scs_khz`
+  // (15/30/120), PDCCH confined to a CORESET of `coreset_rbs` x
+  // `coreset_symbols` (polar-coded unless convolutional_pdcch), and the
+  // bandwidth interpreted against the 38.101 PRB tables. `mini_slot`
+  // schedules HARQ retransmissions on the 2-slot mini-slot cadence.
+  bool nr = false;
+  int scs_khz = 30;
+  int coreset_rbs = 48;
+  int coreset_symbols = 2;
+  bool mini_slot = false;
 };
 
 struct UeSpec {

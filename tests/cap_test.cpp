@@ -27,8 +27,12 @@ namespace {
 
 // Whole-file FNV-1a of a fixed synthetic trace; pinned by
 // CapGolden.FormatDigestIsPinned. Changing the on-disk format requires a
-// kFormatVersion bump alongside an update here.
-constexpr std::uint64_t kGoldenFormatDigest = 0x5de14db212f2e18full;
+// kFormatVersion bump alongside an update here (v2 value; the v1 stream
+// is pinned separately by CapGolden.V1FormatDigestIsPinned).
+constexpr std::uint64_t kGoldenFormatDigest = 0xb71cb82813050b54ull;
+// Same synthetic stream written with version 1: must stay bit-for-bit
+// what pre-NR builds produced, forever.
+constexpr std::uint64_t kGoldenV1FormatDigest = 0x5de14db212f2e18full;
 
 // --- helpers -------------------------------------------------------------
 
@@ -108,9 +112,10 @@ std::vector<cap::Record> random_records(util::Rng& rng, int n) {
       sf += rng.uniform_int(1, 5);
       const int n_cells = static_cast<int>(rng.uniform_int(1, 3));
       for (int c = 0; c < n_cells; ++c) {
-        rec.batch.cells.push_back(random_cell(
-            rng, static_cast<phy::CellId>(c + 1),
-            static_cast<int>(rng.uniform_int(1, 84))));
+        auto cell = random_cell(rng, static_cast<phy::CellId>(c + 1),
+                                static_cast<int>(rng.uniform_int(1, 84)));
+        cell.sf_index = rec.batch.sf_index;  // 1 ms clock (LTE cells)
+        rec.batch.cells.push_back(std::move(cell));
       }
     } else {
       t = std::clamp(t + rng.uniform_int(0, 2000),
@@ -407,10 +412,10 @@ TEST(CapFailClosed, EmptyAndGarbageFiles) {
 // Pins the on-disk byte stream: any change to the wire format, header
 // layout, chunking or CRC must bump kFormatVersion — this test failing
 // without a version bump means old traces silently changed meaning.
-TEST(CapGolden, FormatDigestIsPinned) {
+std::uint64_t golden_stream_digest(std::uint16_t version) {
   const auto path = tmp_path("golden.pbt");
   util::Rng rng(1234);
-  cap::TraceWriter writer(path, 16);
+  cap::TraceWriter writer(path, 16, version);
   writer.begin(sample_header(true));
   for (const auto& rec : random_records(rng, 64)) {
     if (rec.kind == cap::Record::Kind::kBatch) writer.record_batch(rec.batch);
@@ -419,13 +424,26 @@ TEST(CapGolden, FormatDigestIsPinned) {
     }
     if (rec.kind == cap::Record::Kind::kProbe) writer.record_probe(rec.probe.t);
   }
-  ASSERT_TRUE(writer.close()) << writer.error();
+  EXPECT_TRUE(writer.close()) << writer.error();
   const auto bytes = read_file(path);
-  const std::uint64_t digest = util::fnv1a64(bytes.data(), bytes.size());
+  std::remove(path.c_str());
+  return util::fnv1a64(bytes.data(), bytes.size());
+}
+
+TEST(CapGolden, FormatDigestIsPinned) {
+  const std::uint64_t digest = golden_stream_digest(cap::kFormatVersion);
   EXPECT_EQ(digest, kGoldenFormatDigest)
       << "on-disk format changed: bump cap::kFormatVersion and update "
          "this digest (got 0x" << std::hex << digest << ")";
-  std::remove(path.c_str());
+}
+
+// The version-1 encoder must keep producing the exact byte stream pre-NR
+// builds wrote: old readers and archived traces depend on it.
+TEST(CapGolden, V1FormatDigestIsPinned) {
+  const std::uint64_t digest = golden_stream_digest(1);
+  EXPECT_EQ(digest, kGoldenV1FormatDigest)
+      << "the version-1 stream regressed (got 0x" << std::hex << digest
+      << ") - v1 is frozen; only the current version may change";
 }
 
 // --- trace surgery (cut / merge / verify) --------------------------------

@@ -261,23 +261,21 @@ TEST(Convolutional, BatchEarlyAbortIsExactSafe) {
 TEST(ConvolutionalPdcch, BlindDecodeAllFormats) {
   CellConfig cell{1, 20.0};
   cell.pdcch_coding = PdcchCoding::kConvolutional;
-  for (int f = 0; f < kNumDciFormats; ++f) {
-    const auto fmt = static_cast<DciFormat>(f);
+  for (const auto fmt : kLteDciFormats) {
     PdcchBuilder b(cell, 0);
     Dci d;
     d.rnti = 0x234;
     d.format = fmt;
-    d.n_prbs = f == 0 ? 4 : 25;
-    const bool mimo = fmt == DciFormat::kFormat2 || fmt == DciFormat::kFormat2A;
-    d.mcs = {9, mimo ? 2 : 1};
+    d.n_prbs = fmt == DciFormat::kFormat0 ? 4 : 25;
+    d.mcs = {9, format_is_mimo(fmt) ? 2 : 1};
     // Smallest AL with >= 2x redundancy for this format's length.
     const int steps = dci_payload_bits(fmt) + 16 + kConvTailBits;
     const int al = 2 * steps <= 2 * kBitsPerCce ? 2 : 4;
-    ASSERT_TRUE(b.add(d, al)) << f;
+    ASSERT_TRUE(b.add(d, al)) << static_cast<int>(fmt);
     const auto sf = std::move(b).build();
     decoder::BlindDecoder dec{cell};
     const auto msgs = dec.decode(sf);
-    ASSERT_EQ(msgs.size(), 1u) << "format " << f;
+    ASSERT_EQ(msgs.size(), 1u) << "format " << static_cast<int>(fmt);
     EXPECT_EQ(msgs[0].format, fmt);
     EXPECT_EQ(msgs[0].rnti, 0x234);
     EXPECT_EQ(msgs[0].n_prbs, d.n_prbs);

@@ -6,6 +6,7 @@
 #include "decoder/message_fusion.h"
 #include "decoder/monitor.h"
 #include "decoder/user_tracker.h"
+#include "nr/numerology.h"
 #include "phy/pdcch.h"
 #include "util/rng.h"
 
@@ -19,10 +20,7 @@ phy::Dci make_dci(phy::Rnti rnti, int n_prbs, int prb_start = 0,
   d.format = fmt;
   d.prb_start = static_cast<std::uint16_t>(prb_start);
   d.n_prbs = static_cast<std::uint16_t>(n_prbs);
-  d.mcs = {cqi, fmt == phy::DciFormat::kFormat2 ||
-                        fmt == phy::DciFormat::kFormat2A
-                    ? 2
-                    : 1};
+  d.mcs = {cqi, phy::format_is_mimo(fmt) ? 2 : 1};
   return d;
 }
 
@@ -113,19 +111,39 @@ TEST(BlindDecoder, NoFalsePositivesOnNoise) {
 }
 
 TEST(BlindDecoder, WrongFormatNeverWins) {
-  // Exhaustive: place every format at every AL it fits and verify the
-  // decode returns exactly the placed message with its own format.
+  // Exhaustive: place every format of each RAT at every AL it fits and
+  // verify the decode returns exactly the placed message with its own
+  // format.
   phy::CellConfig cell{1, 20.0};
-  for (int f = 0; f < phy::kNumDciFormats; ++f) {
-    const auto fmt = static_cast<phy::DciFormat>(f);
+  for (const auto fmt : phy::kLteDciFormats) {
     for (int al : {1, 2, 4, 8}) {
       phy::PdcchBuilder b(cell, 0);
-      auto d = make_dci(0x123, f == 0 ? 4 : 25, 0, fmt);
+      auto d = make_dci(0x123, fmt == phy::DciFormat::kFormat0 ? 4 : 25, 0,
+                        fmt);
       ASSERT_TRUE(b.add(d, al));
       const auto sf = std::move(b).build();
       BlindDecoder dec{cell};
       const auto msgs = dec.decode(sf);
-      ASSERT_EQ(msgs.size(), 1u) << "format " << f << " AL " << al;
+      ASSERT_EQ(msgs.size(), 1u) << "format " << static_cast<int>(fmt)
+                                 << " AL " << al;
+      EXPECT_EQ(msgs[0].format, fmt);
+      EXPECT_EQ(msgs[0].rnti, 0x123);
+    }
+  }
+  phy::CellConfig nr_cell{2, 20.0};
+  nr_cell.rat = phy::Rat::kNr;
+  nr_cell.scs = nr::Scs::k30kHz;
+  for (const auto fmt : phy::kNrDciFormats) {
+    for (int al : {1, 2, 4, 8, 16}) {
+      phy::PdcchBuilder b(nr_cell, 0);
+      auto d = make_dci(0x123,
+                        fmt == phy::DciFormat::kNrFormat0_0 ? 4 : 25, 0, fmt);
+      ASSERT_TRUE(b.add(d, al));
+      const auto sf = std::move(b).build();
+      BlindDecoder dec{nr_cell};
+      const auto msgs = dec.decode(sf);
+      ASSERT_EQ(msgs.size(), 1u) << "format " << static_cast<int>(fmt)
+                                 << " AL " << al;
       EXPECT_EQ(msgs[0].format, fmt);
       EXPECT_EQ(msgs[0].rnti, 0x123);
     }
@@ -144,7 +162,7 @@ TEST(MessageFusion, AlignsBySubframe) {
   EXPECT_TRUE(out.empty());  // waiting for cell 2
   fusion.on_decoded(2, 100, {make_dci(0x200, 7)});
   ASSERT_EQ(out.size(), 1u);
-  EXPECT_EQ(out[0].sf_index, 100);
+  EXPECT_EQ(out[0].time, 100 * util::kSubframe);
   ASSERT_EQ(out[0].cells.size(), 2u);
   EXPECT_EQ(out[0].cells[0].cell, 1u);
   EXPECT_EQ(out[0].cells[1].cell, 2u);
@@ -162,9 +180,10 @@ TEST(MessageFusion, MissingCellFlushedByNextSubframe) {
   EXPECT_EQ(out.size(), 1u);         // sf 100 flushed incomplete
   fusion.on_decoded(2, 101, {});
   ASSERT_EQ(out.size(), 2u);
-  EXPECT_EQ(out[0].sf_index, 100);
+  EXPECT_EQ(out[0].time, 100 * util::kSubframe);
+  EXPECT_EQ(out[0].cells[0].sf_index, 100);
   EXPECT_TRUE(out[0].cells[1].messages.empty());
-  EXPECT_EQ(out[1].sf_index, 101);
+  EXPECT_EQ(out[1].time, 101 * util::kSubframe);
 }
 
 TEST(MessageFusion, SingleCellImmediate) {

@@ -394,6 +394,162 @@ INSTANTIATE_TEST_SUITE_P(Profiles, ShardDeterminismTest,
                            return n;
                          });
 
+// --- mixed LTE+NR lane (DESIGN.md §16) -----------------------------------
+//
+// Heterogeneous slot clocks add slot-major cell stepping, time-keyed
+// fusion and per-cell tick arithmetic to everything the sharded engine
+// already parallelizes. The contract is unchanged: FlowStats and the
+// trace digest are byte-identical for any shard count x thread count,
+// clean and under a handover storm whose serving sets cross the RAT
+// boundary (LTE<->NR handovers).
+
+sim::ScenarioConfig mixed_nr_config(const std::string& profile,
+                                    std::uint64_t seed) {
+  sim::ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.cells.clear();
+  for (int c = 0; c < 8; ++c) {
+    sim::CellSpec cell;
+    cell.control_users_per_subframe = 0.3;
+    cell.cluster = c / 2;  // 4 clusters x 2 cells
+    if (c % 2 == 1) {
+      // Odd cells are NR: alternate 30 kHz and 120 kHz so the set mixes
+      // three clocks (1 ms / 500 us / 125 us); one mini-slot cell.
+      cell.nr = true;
+      cell.scs_khz = (c % 4 == 1) ? 30 : 120;
+      cell.bandwidth_mhz = (c % 4 == 1) ? 20.0 : 50.0;
+      cell.coreset_rbs = (c % 4 == 1) ? 48 : 30;
+      cell.mini_slot = (c == 7);
+    } else {
+      cell.bandwidth_mhz = 10.0;
+    }
+    cfg.cells.push_back(cell);
+  }
+  cfg.fault = *fault::profile_by_name(profile);
+  cfg.fault_seed = 3;
+  return cfg;
+}
+
+// UE 1: a PBE flow aggregating an LTE+NR pair — the measurement pipeline
+// itself fuses heterogeneous clocks. UEs 2 and 3 migrate across shards
+// AND across RATs under the storm.
+std::vector<int> populate_mixed_nr(sim::Scenario& s) {
+  sim::UeSpec u1;
+  u1.id = 1;
+  u1.cell_indices = {0, 1};  // LTE primary + NR 30 kHz secondary
+  s.add_ue(u1);
+  sim::UeSpec u2;
+  u2.id = 2;
+  u2.cell_indices = {2};                 // LTE
+  u2.serving_sets = {{7}, {3}, {6, 7}};  // NR cross, NR same-cluster, mixed
+  s.add_ue(u2);
+  sim::UeSpec u3;
+  u3.id = 3;
+  u3.cell_indices = {4, 5};      // mixed pair
+  u3.serving_sets = {{1}, {4}};  // NR-only cross, LTE-only same-cluster
+  s.add_ue(u3);
+
+  sim::BackgroundSpec bg;
+  bg.cell_index = 3;  // background load on a 120 kHz cell
+  bg.n_users = 3;
+  s.add_background(bg);
+
+  std::vector<int> flows;
+  const char* algos[] = {"pbe", "gcc", "cubic"};
+  for (int i = 0; i < 3; ++i) {
+    sim::FlowSpec fs;
+    fs.algo = algos[i];
+    fs.ue = static_cast<mac::UeId>(i + 1);
+    fs.stop = kShardStop;
+    flows.push_back(s.add_flow(fs));
+  }
+  return flows;
+}
+
+RunDigest run_mixed_nr_once(const std::string& profile, std::uint64_t seed,
+                            int shards, int threads) {
+  sim::set_default_shards(shards);
+  par::set_default_threads(threads);
+  obs::Trace::instance().start(obs::TraceConfig{});
+
+  auto cfg = mixed_nr_config(profile, seed);
+  sim::Scenario s{cfg};
+  const auto flows = populate_mixed_nr(s);
+  s.run_until(kShardStop);
+
+  RunDigest d;
+  for (int f : flows) {
+    s.stats(f).finish(kShardStop);
+    d.tput += s.stats(f).avg_tput_mbps();
+    d.avg_d += s.stats(f).avg_delay_ms();
+    const auto& wins = s.stats(f).window_tputs_mbps().samples();
+    d.wins.insert(d.wins.end(), wins.begin(), wins.end());
+    const auto& dl = s.stats(f).delays_ms().samples();
+    d.delays.insert(d.delays.end(), dl.begin(), dl.end());
+  }
+  d.attempts = s.pbe_client(flows[0])->monitor().total_candidates_tried();
+  d.p50_d = s.ue_domain(2);
+  d.p95_d = s.ue_domain(3);
+
+  obs::Trace::instance().stop();
+  d.trace_digest = obs::Trace::instance().digest();
+  obs::Trace::instance().clear();
+  sim::set_default_shards(1);
+  par::set_default_threads(1);
+  return d;
+}
+
+class MixedNrDeterminismTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void TearDown() override {
+    par::set_default_threads(1);
+    sim::set_default_shards(1);
+  }
+};
+
+TEST_P(MixedNrDeterminismTest, AnyShardAndThreadCountIsByteIdentical) {
+  const auto& profile = GetParam();
+  const auto base = run_mixed_nr_once(profile, 11, 1, 1);
+  ASSERT_GT(base.wins.size(), 0u);
+  ASSERT_GT(base.attempts, 0u);
+  for (const int shards : {1, 4}) {
+    for (const int threads : {1, 8}) {
+      if (shards == 1 && threads == 1) continue;  // the base itself
+      const auto r = run_mixed_nr_once(profile, 11, shards, threads);
+      EXPECT_EQ(base.tput, r.tput)
+          << "shards=" << shards << " threads=" << threads;
+      EXPECT_EQ(base.attempts, r.attempts)
+          << "shards=" << shards << " threads=" << threads;
+      EXPECT_EQ(base.trace_digest, r.trace_digest)
+          << "shards=" << shards << " threads=" << threads;
+      ASSERT_EQ(base.wins.size(), r.wins.size());
+      for (std::size_t i = 0; i < base.wins.size(); ++i) {
+        ASSERT_EQ(base.wins[i], r.wins[i])
+            << "window " << i << " shards=" << shards
+            << " threads=" << threads;
+      }
+      ASSERT_EQ(base.delays.size(), r.delays.size());
+      for (std::size_t i = 0; i < base.delays.size(); ++i) {
+        ASSERT_EQ(base.delays[i], r.delays[i])
+            << "delay sample " << i << " shards=" << shards
+            << " threads=" << threads;
+      }
+      EXPECT_TRUE(base == r) << "shards=" << shards
+                             << " threads=" << threads;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Profiles, MixedNrDeterminismTest,
+                         ::testing::Values("none", "handover-storm"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (auto& ch : n) {
+                             if (ch == '-') ch = '_';
+                           }
+                           return n;
+                         });
+
 // A capture recorded from a fully sharded, fully threaded run must carry
 // the same pipeline digest as a serial unsharded run, and replay to it
 // byte-identically (pbecc::cap's tentpole guarantee, now from shards).
